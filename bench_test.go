@@ -1,0 +1,70 @@
+// Benchmarks regenerating each of the paper's tables and figures on a
+// reduced scale (fewer cycles and the representative pair subset) so that
+// `go test -bench=.` completes in reasonable time on one machine. Use
+// `cmd/maskexp -full` for the full-scale regeneration.
+package masksim
+
+import (
+	"testing"
+
+	"masksim/internal/experiments"
+)
+
+// benchCycles keeps each experiment benchmark short; the shapes (who wins,
+// roughly by what factor) are stable at this scale, per EXPERIMENTS.md.
+const benchCycles = 6_000
+
+func runExperiment(b *testing.B, id string) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tables, err := experiments.Run(id, benchCycles, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tables) == 0 || len(tables[0].Rows) == 0 {
+			b.Fatalf("experiment %s produced no rows", id)
+		}
+	}
+}
+
+func BenchmarkFig1TimeMultiplexing(b *testing.B) { runExperiment(b, "fig1") }
+func BenchmarkFig3Baselines(b *testing.B)        { runExperiment(b, "fig3") }
+func BenchmarkFig5ConcurrentWalks(b *testing.B)  { runExperiment(b, "fig5") }
+func BenchmarkFig6StalledWarps(b *testing.B)     { runExperiment(b, "fig6") }
+func BenchmarkFig7TLBInterference(b *testing.B)  { runExperiment(b, "fig7") }
+func BenchmarkFig8DRAMBandwidth(b *testing.B)    { runExperiment(b, "fig8") }
+func BenchmarkFig9DRAMLatency(b *testing.B)      { runExperiment(b, "fig9") }
+func BenchmarkFig11Throughput(b *testing.B)      { runExperiment(b, "fig11") }
+func BenchmarkFig12ZeroHMR(b *testing.B)         { runExperiment(b, "fig12") }
+func BenchmarkFig13OneHMR(b *testing.B)          { runExperiment(b, "fig13") }
+func BenchmarkFig14TwoHMR(b *testing.B)          { runExperiment(b, "fig14") }
+func BenchmarkFig15Unfairness(b *testing.B)      { runExperiment(b, "fig15") }
+func BenchmarkTab3Scalability(b *testing.B)      { runExperiment(b, "tab3") }
+func BenchmarkTab4Generality(b *testing.B)       { runExperiment(b, "tab4") }
+func BenchmarkCompTLBTokens(b *testing.B)        { runExperiment(b, "comp-tlb") }
+func BenchmarkCompL2Bypass(b *testing.B)         { runExperiment(b, "comp-cache") }
+func BenchmarkCompDRAMSched(b *testing.B)        { runExperiment(b, "comp-dram") }
+func BenchmarkSensTLBSize(b *testing.B)          { runExperiment(b, "sens-tlbsize") }
+func BenchmarkSensPageSize(b *testing.B)         { runExperiment(b, "sens-pagesize") }
+func BenchmarkSensMemPolicy(b *testing.B)        { runExperiment(b, "sens-memsched") }
+func BenchmarkStorageAccounting(b *testing.B)    { runExperiment(b, "storage") }
+func BenchmarkCalibrationMatrix(b *testing.B)    { runExperiment(b, "calib") }
+func BenchmarkAnatomy(b *testing.B)              { runExperiment(b, "anatomy") }
+func BenchmarkAblation(b *testing.B)             { runExperiment(b, "ablate") }
+func BenchmarkExtPaging(b *testing.B)            { runExperiment(b, "ext-paging") }
+func BenchmarkExtPrefetch(b *testing.B)          { runExperiment(b, "ext-prefetch") }
+func BenchmarkSensTokens(b *testing.B)           { runExperiment(b, "sens-tokens") }
+func BenchmarkSensWarpSched(b *testing.B)        { runExperiment(b, "sens-warpsched") }
+
+// BenchmarkSimulatorKernel measures raw simulation speed (cycles/op) of the
+// contended reference pair on the full MASK configuration — the simulator's
+// hot loop.
+func BenchmarkSimulatorKernel(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := MASKConfig()
+		if _, err := Run(cfg, []string{"3DS", "CONS"}, benchCycles); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+// Command maskexp regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	maskexp [-cycles N] [-full] <experiment-id>...
+//	maskexp -list
+//	maskexp all
+//
+// Experiment IDs follow DESIGN.md's per-experiment index (fig1, fig3, ...,
+// tab3, tab4, comp-*, sens-*). Without -full, figure-11-class experiments
+// use the representative pair subset to stay fast; -full runs all 35 pairs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"masksim/internal/experiments"
+)
+
+func main() {
+	var (
+		cycles = flag.Int64("cycles", 50_000, "simulated cycles per run")
+		full   = flag.Bool("full", false, "use all 35 workload pairs (slower)")
+		list   = flag.Bool("list", false, "list experiment IDs and exit")
+		csvDir = flag.String("csv", "", "also write each table as CSV into this directory")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Printf("  %-14s %s\n", id, experiments.Describe(id))
+		}
+		return
+	}
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "maskexp: no experiment given; try -list")
+		os.Exit(2)
+	}
+	if len(args) == 1 && args[0] == "all" {
+		args = experiments.IDs()
+	}
+	for _, id := range args {
+		tables, err := experiments.Run(id, *cycles, *full)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "maskexp:", err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			fmt.Println(t)
+			if *csvDir != "" {
+				path := filepath.Join(*csvDir, t.ID+".csv")
+				if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
+					fmt.Fprintln(os.Stderr, "maskexp:", err)
+					os.Exit(1)
+				}
+			}
+		}
+	}
+}

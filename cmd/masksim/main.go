@@ -1,0 +1,158 @@
+// Command masksim runs one multiprogrammed workload on one simulated GPU
+// configuration and prints the collected statistics.
+//
+// Usage:
+//
+//	masksim -config MASK -apps 3DS,HISTO -cycles 100000
+//	masksim -config SharedTLB -apps RED_RAY -cycles 50000 -speedup
+//	masksim -list
+//
+// With -speedup, each app is additionally run alone on the same core count
+// to report weighted speedup, IPC throughput, and unfairness.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"masksim/internal/workload"
+	"masksim/sim"
+)
+
+func main() {
+	var (
+		configName = flag.String("config", "MASK", "configuration: "+strings.Join(sim.ConfigNames(), ", "))
+		appsFlag   = flag.String("apps", "3DS,HISTO", "comma- or underscore-separated benchmark names")
+		cycles     = flag.Int64("cycles", 100_000, "simulation length in core cycles")
+		speedup    = flag.Bool("speedup", false, "also run each app alone and report multiprogramming metrics")
+		list       = flag.Bool("list", false, "list benchmarks and configurations, then exit")
+		trace      = flag.String("trace", "", "write a CSV time series (IPC, TLB miss rate, walks, tokens) to this file")
+		traceEvery = flag.Int64("trace-interval", 1000, "trace sampling interval in cycles")
+		paging     = flag.Bool("paging", false, "enable the demand-paging extension (paper §5.5)")
+		traceFiles = flag.String("tracefiles", "", "comma-separated trace files to run instead of -apps (see workload.ParseTrace for the format)")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("configurations:", strings.Join(sim.ConfigNames(), " "))
+		fmt.Println("benchmarks:", strings.Join(workload.Names(), " "))
+		return
+	}
+
+	cfg, err := sim.ConfigByName(*configName)
+	if err != nil {
+		fatal(err)
+	}
+	names := splitApps(*appsFlag)
+	if len(names) == 0 {
+		fatal(fmt.Errorf("no applications given"))
+	}
+
+	if *trace != "" {
+		cfg.TraceInterval = *traceEvery
+	}
+	if *paging {
+		cfg.DemandPaging = true
+	}
+	var res *sim.Results
+	var err2 error
+	if *traceFiles != "" {
+		res, err2 = runTraceFiles(cfg, strings.Split(*traceFiles, ","), *cycles)
+	} else {
+		res, err2 = sim.Run(cfg, names, *cycles)
+	}
+	if err2 != nil {
+		fatal(err2)
+	}
+	fmt.Print(res)
+	if *trace != "" {
+		if err := writeTraceCSV(*trace, res); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace: %d samples written to %s\n", len(res.Trace), *trace)
+	}
+
+	if *speedup {
+		// IPC_alone runs on the same platform under the SharedTLB design
+		// with full, unpartitioned resources (the paper's normalization).
+		aloneCfg := cfg
+		aloneCfg.Ideal = false
+		aloneCfg.Static = false
+		aloneCfg.Mask = sim.Mechanisms{}
+		aloneCfg.Design = sim.DesignSharedTLB
+		aloneCfg.TimeMuxQuantum = 0
+		split := sim.EvenSplit(cfg.Cores, len(names))
+		alone := make([]float64, len(names))
+		for i, n := range names {
+			ar, err := sim.RunAlone(aloneCfg, n, split[i], *cycles)
+			if err != nil {
+				fatal(err)
+			}
+			alone[i] = ar.Apps[0].IPC
+		}
+		m := res.Metrics(alone)
+		fmt.Printf("weighted speedup = %.3f   IPC throughput = %.3f   unfairness (max slowdown) = %.3f\n",
+			m.WeightedSpeedup, m.IPCThroughput, m.Unfairness)
+	}
+}
+
+// splitApps accepts both "A,B" and the paper's "A_B" pair syntax.
+func splitApps(s string) []string {
+	f := func(r rune) bool { return r == ',' || r == '_' }
+	return strings.FieldsFunc(s, f)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "masksim:", err)
+	os.Exit(1)
+}
+
+// runTraceFiles loads external traces and runs them as the workload.
+func runTraceFiles(cfg sim.Config, paths []string, cycles int64) (*sim.Results, error) {
+	var apps []workload.App
+	for i, path := range paths {
+		f, err := os.Open(strings.TrimSpace(path))
+		if err != nil {
+			return nil, err
+		}
+		ts, err := workload.ParseTrace(strings.TrimSpace(path), f)
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+		apps = append(apps, workload.App{ID: i, Trace: ts})
+	}
+	s, err := sim.New(cfg, apps, sim.EvenSplit(cfg.Cores, len(apps)))
+	if err != nil {
+		return nil, err
+	}
+	return s.Run(cycles), nil
+}
+
+// writeTraceCSV dumps the sampled time series for plotting.
+func writeTraceCSV(path string, res *sim.Results) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	fmt.Fprint(w, "cycle,ipc,l2tlb_miss_rate,concurrent_walks,outstanding_faults")
+	if len(res.Trace) > 0 {
+		for i := range res.Trace[0].TokensPerApp {
+			fmt.Fprintf(w, ",tokens_app%d", i)
+		}
+	}
+	fmt.Fprintln(w)
+	for _, s := range res.Trace {
+		fmt.Fprintf(w, "%d,%.4f,%.4f,%d,%d", s.Cycle, s.IPC, s.L2TLBMissRate, s.ConcurrentWalks, s.OutstandingFaults)
+		for _, tok := range s.TokensPerApp {
+			fmt.Fprintf(w, ",%d", tok)
+		}
+		fmt.Fprintln(w)
+	}
+	return w.Flush()
+}

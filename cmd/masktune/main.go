@@ -1,0 +1,105 @@
+// Command masktune is a calibration aid: it sweeps global scale factors over
+// the workload profiles and reports, for each candidate, the shape
+// indicators that the reproduction must satisfy (baseline-vs-Ideal gap, sign
+// and size of each MASK mechanism's effect). It exists so that workload
+// recalibration is reproducible rather than hand-tuned.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"sync"
+
+	"masksim/internal/workload"
+	"masksim/sim"
+)
+
+type scale struct {
+	shf float64 // ScatterHotFrac override
+	dps float64 // DivergeProb multiplier
+	hot float64 // HotBytes multiplier
+}
+
+func mutate(p workload.Profile, s scale) workload.Profile {
+	if p.Divergence > 1 {
+		p.ScatterHotFrac = s.shf
+		p.DivergeProb *= s.dps
+		if p.DivergeProb > 1 {
+			p.DivergeProb = 1
+		}
+	}
+	p.HotBytes = int(float64(p.HotBytes) * s.hot)
+	return p
+}
+
+func run(cfg sim.Config, pair [2]string, s scale, cycles int64) *sim.Results {
+	apps := []workload.App{workload.NewApp(0, pair[0]), workload.NewApp(1, pair[1])}
+	for i := range apps {
+		apps[i].Profile = mutate(apps[i].Profile, s)
+	}
+	simu, err := sim.New(cfg, apps, sim.EvenSplit(cfg.Cores, 2))
+	if err != nil {
+		panic(err)
+	}
+	return simu.Run(cycles)
+}
+
+func main() {
+	cycles := flag.Int64("cycles", 15_000, "cycles per run")
+	flag.Parse()
+
+	pairs := [][2]string{{"3DS", "CONS"}, {"HISTO", "GUP"}}
+	configs := []string{"Ideal", "SharedTLB", "MASK-TLB", "MASK-Cache", "MASK-DRAM", "MASK"}
+
+	grid := []scale{
+		{shf: 0.7, dps: 1, hot: 1},
+		{shf: 0.7, dps: 2, hot: 1},
+		{shf: 0.7, dps: 3, hot: 1},
+		{shf: 0.7, dps: 4, hot: 1},
+	}
+
+	type key struct {
+		g    int
+		pair int
+		cfg  int
+	}
+	results := make(map[key]*sim.Results)
+	var mu sync.Mutex
+	sem := make(chan struct{}, 16)
+	var wg sync.WaitGroup
+	for gi, g := range grid {
+		for pi, p := range pairs {
+			for ci, cn := range configs {
+				wg.Add(1)
+				go func(gi, pi, ci int, g scale, p [2]string, cn string) {
+					defer wg.Done()
+					sem <- struct{}{}
+					defer func() { <-sem }()
+					cfg, _ := sim.ConfigByName(cn)
+					r := run(cfg, p, g, *cycles)
+					mu.Lock()
+					results[key{gi, pi, ci}] = r
+					mu.Unlock()
+				}(gi, pi, ci, g, p, cn)
+			}
+		}
+	}
+	wg.Wait()
+
+	for gi, g := range grid {
+		fmt.Printf("== shf=%.1f dps=%.1f ==\n", g.shf, g.dps)
+		for pi, p := range pairs {
+			ideal := results[key{gi, pi, 0}].TotalIPC
+			base := results[key{gi, pi, 1}].TotalIPC
+			fmt.Printf("  %s_%s: base/ideal=%.2f", p[0], p[1], base/ideal)
+			for ci := 2; ci < len(configs); ci++ {
+				r := results[key{gi, pi, ci}]
+				fmt.Printf("  %s=%+.1f%%", configs[ci], 100*(r.TotalIPC/base-1))
+			}
+			b := results[key{gi, pi, 1}]
+			fmt.Printf("  [L2m=%.0f/%.0f%% wlk=%.0f@%.0fcy]\n",
+				100*b.Apps[0].L2TLB.MissRate(), 100*b.Apps[1].L2TLB.MissRate(),
+				b.Walker.AvgConcurrent(), b.Walker.AvgLatency())
+		}
+	}
+}

@@ -1,0 +1,54 @@
+// Cloudshare: a cloud-consolidation scenario — pack three to five tenants
+// onto one GPU and watch translation contention grow, then recover with
+// MASK. Reproduces the flavour of the paper's Table 3 scalability study.
+//
+//	go run ./examples/cloudshare
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"masksim/sim"
+)
+
+func main() {
+	const cycles = 25_000
+	tenants := []string{"HISTO", "GUP", "CONS", "RED", "3DS"}
+
+	fmt.Println("tenants  SharedTLB-IPC  MASK-IPC  Ideal-IPC  SharedTLB/Ideal  MASK/Ideal")
+	for n := 2; n <= len(tenants); n++ {
+		names := tenants[:n]
+		ipc := map[string]float64{}
+		for _, cfgName := range []string{"SharedTLB", "MASK", "Ideal"} {
+			cfg, err := sim.ConfigByName(cfgName)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := sim.Run(cfg, names, cycles)
+			if err != nil {
+				log.Fatal(err)
+			}
+			ipc[cfgName] = res.TotalIPC
+		}
+		fmt.Printf("%-7d  %-13.2f  %-8.2f  %-9.2f  %-15s  %.1f%%\n",
+			n, ipc["SharedTLB"], ipc["MASK"], ipc["Ideal"],
+			fmt.Sprintf("%.1f%%", 100*ipc["SharedTLB"]/ipc["Ideal"]),
+			100*ipc["MASK"]/ipc["Ideal"])
+	}
+
+	// Per-tenant fairness view at full consolidation (5 tenants).
+	fmt.Println("\nper-tenant IPC at 5 tenants:")
+	for _, cfgName := range []string{"SharedTLB", "MASK"} {
+		cfg, _ := sim.ConfigByName(cfgName)
+		res, err := sim.Run(cfg, tenants, cycles)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-10s", cfgName)
+		for _, a := range res.Apps {
+			fmt.Printf("  %s=%.2f", a.Name, a.IPC)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,46 @@
+// Quickstart: run two applications concurrently on the SharedTLB baseline
+// and on MASK, and compare the paper's headline metrics.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"masksim/sim"
+)
+
+func main() {
+	const cycles = 30_000
+	pair := []string{"3DS", "CONS"} // two TLB-hungry (2-HMR) applications
+
+	// IPC_alone: each app alone on its half of the GPU cores, with the
+	// whole memory system to itself (the paper's weighted-speedup baseline).
+	split := sim.EvenSplit(sim.Baseline().Cores, len(pair))
+	alone := make([]float64, len(pair))
+	for i, name := range pair {
+		res, err := sim.RunAlone(sim.SharedTLBConfig(), name, split[i], cycles)
+		if err != nil {
+			log.Fatal(err)
+		}
+		alone[i] = res.Apps[0].IPC
+		fmt.Printf("%-5s alone: IPC=%.2f  L1 TLB miss=%.1f%%  L2 TLB miss=%.1f%%\n",
+			name, alone[i], 100*res.Apps[0].L1TLB.MissRate(), 100*res.Apps[0].L2TLB.MissRate())
+	}
+	fmt.Println()
+
+	for _, cfgName := range []string{"SharedTLB", "MASK", "Ideal"} {
+		cfg, err := sim.ConfigByName(cfgName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := sim.Run(cfg, pair, cycles)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m := res.Metrics(alone)
+		fmt.Printf("%-10s weighted speedup=%.3f  IPC throughput=%.2f  unfairness=%.2f\n",
+			cfgName, m.WeightedSpeedup, m.IPCThroughput, m.Unfairness)
+	}
+}

@@ -1,0 +1,57 @@
+// TLBstudy: explore how shared-L2-TLB capacity and page size change the
+// translation bottleneck — the paper's §7.3 sensitivity studies as an
+// interactive exploration.
+//
+//	go run ./examples/tlbstudy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"masksim/sim"
+)
+
+func main() {
+	const cycles = 20_000
+	pair := []string{"MM", "CONS"}
+
+	fmt.Println("== shared L2 TLB size sweep (pair MM_CONS) ==")
+	fmt.Println("entries  SharedTLB-IPC  MASK-IPC  L2TLBmiss(MM)  L2TLBmiss(CONS)")
+	for _, entries := range []int{64, 128, 256, 512, 1024, 4096} {
+		base := sim.SharedTLBConfig()
+		base.L2TLBEntries = entries
+		if entries < base.L2TLBWays {
+			base.L2TLBWays = entries
+		}
+		baseRes, err := sim.Run(base, pair, cycles)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mask := sim.MASKConfig()
+		mask.L2TLBEntries = entries
+		if entries < mask.L2TLBWays {
+			mask.L2TLBWays = entries
+		}
+		maskRes, err := sim.Run(mask, pair, cycles)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-7d  %-13.2f  %-8.2f  %-13s  %.1f%%\n",
+			entries, baseRes.TotalIPC, maskRes.TotalIPC,
+			fmt.Sprintf("%.1f%%", 100*baseRes.Apps[0].L2TLB.MissRate()),
+			100*baseRes.Apps[1].L2TLB.MissRate())
+	}
+
+	fmt.Println("\n== page size (4KB vs 2MB) ==")
+	for _, ps := range []int{4 << 10, 2 << 20} {
+		cfg := sim.SharedTLBConfig()
+		cfg.PageSize = ps
+		res, err := sim.Run(cfg, pair, cycles)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("page=%7dB  IPC=%.2f  walks: avg concurrent=%.1f avg latency=%.0f cycles\n",
+			ps, res.TotalIPC, res.Walker.AvgConcurrent(), res.Walker.AvgLatency())
+	}
+}

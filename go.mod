@@ -1,0 +1,3 @@
+module masksim
+
+go 1.22

@@ -1,0 +1,632 @@
+// Package cache implements the set-associative cache model used for the
+// private L1 data caches, the shared L2 data cache, and the page walk cache.
+//
+// The model captures the effects the paper depends on:
+//
+//   - bounded bandwidth: each cache has banks with a fixed number of ports;
+//     requests queue per bank, so bursts of page-walk traffic create the
+//     queueing delays analysed in §4.3 and attacked by MASK's L2 bypass;
+//   - fixed access latency per level (Table 1);
+//   - MSHR-based miss merging, so many warps touching one line generate a
+//     single fill;
+//   - per-traffic-class and per-page-walk-level hit counters, the inputs to
+//     the Address-Translation-Aware L2 Bypass decision (§5.3);
+//   - an optional bypass hook that routes selected requests straight to the
+//     backing store, skipping both probe and fill;
+//   - optional way partitioning, used by the Static baseline to model
+//     statically provisioned L2 capacity (NVIDIA GRID / AMD FirePro style).
+package cache
+
+import (
+	"fmt"
+
+	"masksim/internal/memreq"
+)
+
+// Backend is the next level below a cache (another cache, or DRAM).
+// Submit returns false when the component cannot accept the request this
+// cycle (queue full); the caller must retry.
+type Backend interface {
+	Submit(now int64, r *memreq.Request) bool
+}
+
+// Config describes a cache instance.
+type Config struct {
+	Name         string
+	SizeBytes    int
+	Ways         int
+	LineSize     int
+	Banks        int
+	PortsPerBank int
+	// Latency is the access (tag+data) latency in cycles.
+	Latency int64
+	// QueueCap bounds each bank's input queue; 0 means unbounded.
+	QueueCap int
+	// WriteBack selects write-back with dirty evictions (the shared L2).
+	// When false the cache is write-through no-allocate (the L1s).
+	WriteBack bool
+	// MSHRs bounds the number of outstanding distinct line misses; 0 means
+	// unbounded.
+	MSHRs int
+	// WriteCombineWindow, for write-through caches, absorbs repeated stores
+	// to one line within the window (cycles) into a single forwarded write,
+	// modelling the GPU's write-combining/store buffers: warps of a thread
+	// block storing to the same lines must not multiply downstream
+	// bandwidth. 0 disables combining.
+	WriteCombineWindow int64
+}
+
+// Stats aggregates hit/miss counters for one traffic class. Translation
+// traffic is additionally broken down by page-walk level.
+type Stats struct {
+	Accesses uint64
+	Hits     uint64
+	Misses   uint64
+	Bypasses uint64
+}
+
+// HitRate returns Hits/(Hits+Misses), or 0 when there were no probes.
+func (s Stats) HitRate() float64 {
+	probes := s.Hits + s.Misses
+	if probes == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(probes)
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	// stamp implements LRU: the victim is the valid line with the smallest
+	// stamp; ways are few enough that a linear scan is cheap.
+	stamp int64
+}
+
+type mshr struct {
+	lineAddr uint64
+	waiting  []*memreq.Request
+}
+
+// Cache is a banked, set-associative, LRU cache.
+type Cache struct {
+	cfg       Config
+	lineShift uint
+	sets      int
+	lines     []line // sets*ways, set-major
+	backend   Backend
+
+	queues []bankQueue
+
+	mshrs map[uint64]*mshr
+	// bypassMSHRs coalesces concurrent bypassed reads of one line: bypassing
+	// skips the probe and the fill (§5.3), but miss-status registers still
+	// exist, so identical in-flight line fetches must not be duplicated.
+	bypassMSHRs map[uint64]*mshr
+	// retry holds fill and write requests the backend rejected.
+	retry []*memreq.Request
+
+	// bypass, when non-nil, routes matching requests directly to the backend
+	// with no probe, no fill, and no bank-queue occupancy. Used for MASK's
+	// Address-Translation-Aware L2 Bypass.
+	bypass func(r *memreq.Request) bool
+
+	// wayMask, when non-empty, restricts the replacement victim for each app
+	// to its allowed ways (Static partitioning). Indexed by AppID.
+	wayMask []uint64
+
+	stamp int64
+
+	// Write-combining state: two generation sets swapped every window, so a
+	// line is absorbed for between one and two windows after its first
+	// forwarded store.
+	combineCur, combinePrev map[uint64]struct{}
+	combineSwapAt           int64
+
+	// Per-level stats: index 0 is data, 1..4 are page-walk levels.
+	levelStats [memreq.MaxWalkLevel + 1]Stats
+	// epochStats are rolled by EpochRoll into lastRates.
+	epochStats [memreq.MaxWalkLevel + 1]Stats
+	lastRates  [memreq.MaxWalkLevel + 1]float64
+	lastValid  [memreq.MaxWalkLevel + 1]bool
+
+	// latency accounting per class
+	latSum   [2]uint64
+	latCount [2]uint64
+}
+
+// bankQueue is a ring buffer: pops are O(1), which matters because every
+// data access flows through a bank queue.
+type bankQueue struct {
+	items []bankItem
+	head  int
+	n     int
+}
+
+type bankItem struct {
+	readyAt int64
+	req     *memreq.Request
+}
+
+func (q *bankQueue) push(it bankItem) {
+	if q.n == len(q.items) {
+		q.grow()
+	}
+	q.items[(q.head+q.n)%len(q.items)] = it
+	q.n++
+}
+
+func (q *bankQueue) grow() {
+	next := make([]bankItem, max(8, len(q.items)*2))
+	for i := 0; i < q.n; i++ {
+		next[i] = q.items[(q.head+i)%len(q.items)]
+	}
+	q.items = next
+	q.head = 0
+}
+
+func (q *bankQueue) front() *bankItem {
+	return &q.items[q.head]
+}
+
+func (q *bankQueue) pop() bankItem {
+	it := q.items[q.head]
+	q.items[q.head].req = nil
+	q.head = (q.head + 1) % len(q.items)
+	q.n--
+	return it
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// New creates a cache. backend may be nil only for caches that are guaranteed
+// never to miss or write through (not used in practice; the simulator always
+// wires a backend).
+func New(cfg Config, backend Backend) *Cache {
+	if cfg.LineSize <= 0 || cfg.Ways <= 0 || cfg.SizeBytes <= 0 {
+		panic(fmt.Sprintf("cache %s: invalid geometry %+v", cfg.Name, cfg))
+	}
+	if cfg.Banks <= 0 {
+		cfg.Banks = 1
+	}
+	if cfg.PortsPerBank <= 0 {
+		cfg.PortsPerBank = 1
+	}
+	numLines := cfg.SizeBytes / cfg.LineSize
+	sets := numLines / cfg.Ways
+	if sets == 0 {
+		panic(fmt.Sprintf("cache %s: fewer lines than ways", cfg.Name))
+	}
+	shift := uint(0)
+	for 1<<shift < cfg.LineSize {
+		shift++
+	}
+	if 1<<shift != cfg.LineSize {
+		panic(fmt.Sprintf("cache %s: line size %d not a power of two", cfg.Name, cfg.LineSize))
+	}
+	return &Cache{
+		cfg:         cfg,
+		lineShift:   shift,
+		sets:        sets,
+		lines:       make([]line, sets*cfg.Ways),
+		backend:     backend,
+		queues:      make([]bankQueue, cfg.Banks),
+		mshrs:       make(map[uint64]*mshr),
+		bypassMSHRs: make(map[uint64]*mshr),
+	}
+}
+
+// SetBypass installs the bypass predicate (nil disables bypassing).
+func (c *Cache) SetBypass(f func(r *memreq.Request) bool) {
+	c.bypass = f
+}
+
+// SetWayPartition restricts each app to a subset of ways. masks[app] is a
+// bitmask over way indices. An empty slice disables partitioning.
+func (c *Cache) SetWayPartition(masks []uint64) {
+	c.wayMask = masks
+}
+
+// LineSize returns the cache line size in bytes.
+func (c *Cache) LineSize() int { return c.cfg.LineSize }
+
+// Name returns the configured cache name.
+func (c *Cache) Name() string { return c.cfg.Name }
+
+// LevelStats returns cumulative stats for walk level lvl (0 = data).
+func (c *Cache) LevelStats(lvl int) Stats { return c.levelStats[lvl] }
+
+// LastEpochHitRate returns the hit rate measured during the previous epoch
+// for walk level lvl, and whether any probes were observed.
+func (c *Cache) LastEpochHitRate(lvl int) (float64, bool) {
+	return c.lastRates[lvl], c.lastValid[lvl]
+}
+
+// EpochRoll snapshots the current epoch's per-level hit rates and starts a
+// new epoch. The MASK L2 bypass policy calls this on epoch boundaries (§5.2).
+func (c *Cache) EpochRoll() {
+	for lvl := range c.epochStats {
+		probes := c.epochStats[lvl].Hits + c.epochStats[lvl].Misses
+		if probes > 0 {
+			c.lastRates[lvl] = float64(c.epochStats[lvl].Hits) / float64(probes)
+			c.lastValid[lvl] = true
+		}
+		c.epochStats[lvl] = Stats{}
+	}
+}
+
+// AvgLatency returns the average completion latency in cycles observed for
+// the given class of read requests completed by this cache or below it.
+func (c *Cache) AvgLatency(class memreq.Class) float64 {
+	if c.latCount[class] == 0 {
+		return 0
+	}
+	return float64(c.latSum[class]) / float64(c.latCount[class])
+}
+
+func (c *Cache) bankOf(lineAddr uint64) int {
+	return int(lineAddr % uint64(c.cfg.Banks))
+}
+
+func (c *Cache) setOf(lineAddr uint64) int {
+	return int(lineAddr % uint64(c.sets))
+}
+
+// Submit implements Backend: it accepts a request into the cache's bank
+// queue. It returns false when the bank queue is full.
+func (c *Cache) Submit(now int64, r *memreq.Request) bool {
+	lineAddr := r.Addr >> c.lineShift
+	if c.bypass != nil && r.Kind == memreq.Read && c.bypass(r) {
+		// Bypassed requests skip the queue, the probe, and the fill. They
+		// still consume backend bandwidth and still coalesce in MSHRs; if
+		// the backend is full the line fetch waits in the retry list rather
+		// than the bank queue, so it does not contend with cached traffic
+		// (§5.3).
+		c.levelStats[r.WalkLevel].Accesses++
+		c.levelStats[r.WalkLevel].Bypasses++
+		if m, ok := c.bypassMSHRs[lineAddr]; ok {
+			m.waiting = append(m.waiting, r)
+			return true
+		}
+		m := &mshr{lineAddr: lineAddr, waiting: []*memreq.Request{r}}
+		c.bypassMSHRs[lineAddr] = m
+		fetch := &memreq.Request{
+			ID: r.ID, AppID: r.AppID, ASID: r.ASID, CoreID: r.CoreID,
+			WarpID: r.WarpID, Kind: memreq.Read, Class: r.Class,
+			WalkLevel: r.WalkLevel, Addr: lineAddr << c.lineShift, Issue: r.Issue,
+			Done: func(fnow int64, fr *memreq.Request) {
+				delete(c.bypassMSHRs, m.lineAddr)
+				for _, w := range m.waiting {
+					w.Served = fr.Served
+					w.Complete(fnow, fr.Served)
+				}
+				m.waiting = nil
+			},
+		}
+		if !c.backend.Submit(now, fetch) {
+			c.retry = append(c.retry, fetch)
+		}
+		return true
+	}
+	b := c.bankOf(lineAddr)
+	q := &c.queues[b]
+	if c.cfg.QueueCap > 0 && q.n >= c.cfg.QueueCap {
+		return false
+	}
+	q.push(bankItem{readyAt: now + c.cfg.Latency, req: r})
+	return true
+}
+
+// QueueOccupancy returns the total number of queued requests across banks,
+// used by tests and congestion metrics.
+func (c *Cache) QueueOccupancy() int {
+	n := 0
+	for i := range c.queues {
+		n += c.queues[i].n
+	}
+	return n
+}
+
+// Tick services each bank's ready requests (up to the port limit) and retries
+// rejected backend submissions.
+func (c *Cache) Tick(now int64) {
+	if w := c.cfg.WriteCombineWindow; w > 0 && now >= c.combineSwapAt {
+		if now-c.combineSwapAt >= w {
+			// More than a whole window elapsed since the swap was due
+			// (idle gap): both generations are stale.
+			c.combinePrev = nil
+		} else {
+			c.combinePrev = c.combineCur
+		}
+		c.combineCur = make(map[uint64]struct{})
+		c.combineSwapAt = now + w
+	}
+	// Retry backend submissions first so freed backend slots are used by the
+	// oldest blocked traffic.
+	nkeep := 0
+	for _, r := range c.retry {
+		if !c.backend.Submit(now, r) {
+			c.retry[nkeep] = r
+			nkeep++
+		}
+	}
+	c.retry = c.retry[:nkeep]
+
+	for b := range c.queues {
+		q := &c.queues[b]
+		served := 0
+		for served < c.cfg.PortsPerBank && q.n > 0 && q.front().readyAt <= now {
+			item := q.pop()
+			c.service(now, item.req)
+			served++
+		}
+	}
+}
+
+func (c *Cache) service(now int64, r *memreq.Request) {
+	lineAddr := r.Addr >> c.lineShift
+	c.levelStats[r.WalkLevel].Accesses++
+
+	set := c.setOf(lineAddr)
+	base := set * c.cfg.Ways
+	hitWay := -1
+	for w := 0; w < c.cfg.Ways; w++ {
+		ln := &c.lines[base+w]
+		if ln.valid && ln.tag == lineAddr {
+			hitWay = w
+			break
+		}
+	}
+
+	if r.Kind == memreq.Write {
+		c.serviceWrite(now, r, base, hitWay)
+		return
+	}
+
+	if hitWay >= 0 {
+		c.recordHit(r)
+		c.stamp++
+		c.lines[base+hitWay].stamp = c.stamp
+		c.recordLatency(now, r)
+		r.Complete(now, c.serviceLevel())
+		return
+	}
+
+	c.recordMiss(r)
+
+	// Merge into an existing MSHR if one covers this line.
+	if m, ok := c.mshrs[lineAddr]; ok {
+		m.waiting = append(m.waiting, r)
+		return
+	}
+	if c.cfg.MSHRs > 0 && len(c.mshrs) >= c.cfg.MSHRs {
+		// MSHRs exhausted: the request must retry through the bank queue.
+		// Re-enqueue at the back with no additional latency charge beyond
+		// the natural queueing delay.
+		c.queues[c.bankOf(lineAddr)].push(bankItem{readyAt: now + 1, req: r})
+		return
+	}
+	m := &mshr{lineAddr: lineAddr, waiting: []*memreq.Request{r}}
+	c.mshrs[lineAddr] = m
+	fill := &memreq.Request{
+		ID:        r.ID,
+		AppID:     r.AppID,
+		ASID:      r.ASID,
+		CoreID:    r.CoreID,
+		WarpID:    r.WarpID,
+		Kind:      memreq.Read,
+		Class:     r.Class,
+		WalkLevel: r.WalkLevel,
+		Addr:      lineAddr << c.lineShift,
+		Issue:     r.Issue,
+		Done: func(fnow int64, fr *memreq.Request) {
+			c.handleFill(fnow, m, fr)
+		},
+	}
+	if !c.backend.Submit(now, fill) {
+		c.retry = append(c.retry, fill)
+	}
+}
+
+func (c *Cache) serviceWrite(now int64, r *memreq.Request, base, hitWay int) {
+	if c.cfg.WriteBack {
+		if hitWay >= 0 {
+			c.recordHit(r)
+			ln := &c.lines[base+hitWay]
+			c.stamp++
+			ln.stamp = c.stamp
+			ln.dirty = true
+			r.Complete(now, c.serviceLevel())
+			return
+		}
+		c.recordMiss(r)
+		// Write-allocate: install the line (fetch-on-write is approximated
+		// by an immediate install plus a fill read charged to the backend),
+		// then mark dirty. The store itself retires immediately via the
+		// write buffer.
+		lineAddr := r.Addr >> c.lineShift
+		c.install(now, lineAddr, true, r.AppID)
+		fill := &memreq.Request{
+			ID: r.ID, AppID: r.AppID, ASID: r.ASID, CoreID: r.CoreID,
+			Kind: memreq.Read, Class: r.Class, WalkLevel: r.WalkLevel,
+			Addr: lineAddr << c.lineShift, Issue: now,
+		}
+		if !c.backend.Submit(now, fill) {
+			c.retry = append(c.retry, fill)
+		}
+		r.Complete(now, c.serviceLevel())
+		return
+	}
+	// Write-through no-allocate: update on hit, always forward, retire now.
+	if hitWay >= 0 {
+		c.recordHit(r)
+		c.stamp++
+		c.lines[base+hitWay].stamp = c.stamp
+	} else {
+		c.recordMiss(r)
+	}
+	if c.cfg.WriteCombineWindow > 0 {
+		lineAddr := r.Addr >> c.lineShift
+		if _, ok := c.combineCur[lineAddr]; ok {
+			r.Complete(now, c.serviceLevel())
+			return
+		}
+		if _, ok := c.combinePrev[lineAddr]; ok {
+			r.Complete(now, c.serviceLevel())
+			return
+		}
+		if c.combineCur == nil {
+			c.combineCur = make(map[uint64]struct{})
+			c.combinePrev = make(map[uint64]struct{})
+		}
+		c.combineCur[lineAddr] = struct{}{}
+	}
+	fwd := &memreq.Request{
+		ID: r.ID, AppID: r.AppID, ASID: r.ASID, CoreID: r.CoreID,
+		Kind: memreq.Write, Class: r.Class, WalkLevel: r.WalkLevel,
+		Addr: r.Addr, Issue: now,
+	}
+	if !c.backend.Submit(now, fwd) {
+		c.retry = append(c.retry, fwd)
+	}
+	r.Complete(now, c.serviceLevel())
+}
+
+func (c *Cache) handleFill(now int64, m *mshr, fr *memreq.Request) {
+	delete(c.mshrs, m.lineAddr)
+	c.install(now, m.lineAddr, false, fr.AppID)
+	for _, w := range m.waiting {
+		w.Served = fr.Served
+		c.recordLatency(now, w)
+		w.Complete(now, fr.Served)
+	}
+	m.waiting = nil
+}
+
+// install places lineAddr into its set, evicting the LRU victim (restricted
+// to the app's ways under partitioning) and emitting a writeback if dirty.
+func (c *Cache) install(now int64, lineAddr uint64, dirty bool, appID int) {
+	set := c.setOf(lineAddr)
+	base := set * c.cfg.Ways
+	victim := -1
+	var victimStamp int64 = 1<<63 - 1
+	var mask uint64 = ^uint64(0)
+	if len(c.wayMask) > 0 && appID >= 0 && appID < len(c.wayMask) {
+		mask = c.wayMask[appID]
+	}
+	for w := 0; w < c.cfg.Ways; w++ {
+		if mask&(1<<uint(w)) == 0 {
+			continue
+		}
+		ln := &c.lines[base+w]
+		if !ln.valid {
+			victim = w
+			break
+		}
+		if ln.stamp < victimStamp {
+			victimStamp = ln.stamp
+			victim = w
+		}
+	}
+	if victim < 0 {
+		// The app's way mask is empty (misconfiguration); fall back to way 0
+		// so the simulation stays live.
+		victim = 0
+	}
+	ln := &c.lines[base+victim]
+	if ln.valid && ln.dirty && c.cfg.WriteBack {
+		wb := &memreq.Request{
+			Kind:  memreq.Write,
+			Class: memreq.Data,
+			Addr:  ln.tag << c.lineShift,
+			Issue: now,
+			AppID: appID,
+		}
+		if !c.backend.Submit(now, wb) {
+			c.retry = append(c.retry, wb)
+		}
+	}
+	c.stamp++
+	*ln = line{tag: lineAddr, valid: true, dirty: dirty, stamp: c.stamp}
+}
+
+func (c *Cache) recordHit(r *memreq.Request) {
+	c.levelStats[r.WalkLevel].Hits++
+	c.epochStats[r.WalkLevel].Hits++
+}
+
+func (c *Cache) recordMiss(r *memreq.Request) {
+	c.levelStats[r.WalkLevel].Misses++
+	c.epochStats[r.WalkLevel].Misses++
+}
+
+func (c *Cache) recordLatency(now int64, r *memreq.Request) {
+	c.latSum[r.Class] += uint64(now - r.Issue)
+	c.latCount[r.Class]++
+}
+
+func (c *Cache) serviceLevel() memreq.Service {
+	// The cache reports itself as L1 or L2 based on write policy; precise
+	// labelling only feeds stats, and in this simulator the only write-back
+	// cache is the shared L2.
+	if c.cfg.WriteBack {
+		return memreq.ServedL2
+	}
+	return memreq.ServedL1
+}
+
+// FlushFraction invalidates roughly the given fraction of lines (every k-th
+// line, deterministically), modelling partial state loss across a context
+// switch. Dirty victims are written back. fraction >= 1 empties the cache.
+func (c *Cache) FlushFraction(now int64, fraction float64) {
+	if fraction <= 0 {
+		return
+	}
+	stride := 1
+	if fraction < 1 {
+		stride = int(1 / fraction)
+		if stride < 1 {
+			stride = 1
+		}
+	}
+	for i := range c.lines {
+		if i%stride != 0 {
+			continue
+		}
+		ln := &c.lines[i]
+		if ln.valid && ln.dirty && c.cfg.WriteBack {
+			wb := &memreq.Request{
+				Kind:  memreq.Write,
+				Class: memreq.Data,
+				Addr:  ln.tag << c.lineShift,
+				Issue: now,
+			}
+			if !c.backend.Submit(now, wb) {
+				c.retry = append(c.retry, wb)
+			}
+		}
+		ln.valid = false
+		ln.dirty = false
+	}
+}
+
+// Contains reports whether the line holding addr is present (test helper).
+func (c *Cache) Contains(addr uint64) bool {
+	lineAddr := addr >> c.lineShift
+	base := c.setOf(lineAddr) * c.cfg.Ways
+	for w := 0; w < c.cfg.Ways; w++ {
+		ln := &c.lines[base+w]
+		if ln.valid && ln.tag == lineAddr {
+			return true
+		}
+	}
+	return false
+}
+
+// OutstandingMisses returns the number of active MSHRs (test/metrics helper).
+func (c *Cache) OutstandingMisses() int { return len(c.mshrs) }

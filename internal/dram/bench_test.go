@@ -1,0 +1,39 @@
+package dram
+
+import (
+	"testing"
+
+	"masksim/internal/memreq"
+)
+
+func BenchmarkFRFCFSPickDeepQueue(b *testing.B) {
+	s := NewFRFCFS(0)
+	banks := make([]Bank, 16)
+	for i := range banks {
+		banks[i].OpenRow = -1
+	}
+	for i := 0; i < 64; i++ {
+		s.Enqueue(int64(i), &Queued{
+			Req: &memreq.Request{}, Arrival: int64(i),
+			Bank: i % 16, Row: int64(i),
+		})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := s.Pick(int64(1000+i), banks)
+		if q != nil {
+			s.Enqueue(int64(1000+i), q) // keep the queue full
+		}
+	}
+}
+
+func BenchmarkDRAMTick(b *testing.B) {
+	d := newFRFCFSDRAM()
+	for i := 0; i < 32; i++ {
+		d.Submit(0, &memreq.Request{Kind: memreq.Read, Addr: uint64(i) << 12})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Tick(int64(i))
+	}
+}

@@ -1,0 +1,320 @@
+// Package dram models the GPU's GDDR5 main memory: channels, banks, row
+// buffers, and pluggable request schedulers.
+//
+// The model captures the behaviours §4.3 and §5.4 of the paper depend on:
+// row-buffer locality (row hits are much cheaper than row conflicts), a
+// shared data bus per channel, and a scheduler that decides which queued
+// request to service next. The baseline scheduler is FR-FCFS; MASK replaces
+// it with the Address-Space-Aware scheduler (Golden/Silver/Normal queues)
+// implemented in sched.go.
+package dram
+
+import (
+	"masksim/internal/memreq"
+)
+
+// Config describes the DRAM subsystem (paper Table 1: GDDR5, 8 channels,
+// 8 banks, FR-FCFS, burst length 8).
+type Config struct {
+	Channels        int
+	BanksPerChannel int
+	RowBytes        int
+	LineSize        int
+
+	// Latencies are in GPU core cycles.
+	RowHitLatency    int64 // CAS only
+	RowClosedLatency int64 // activate + CAS
+	RowConflictLat   int64 // precharge + activate + CAS
+	BusCycles        int64 // data-bus occupancy per transfer (burst)
+	// SameRowGap is the column-to-column command gap (tCCD): consecutive
+	// accesses to an open row pipeline at this rate, even though each one's
+	// data latency is RowHitLatency. This is what makes coalesced streaming
+	// cheap and makes row-missing (translation) requests comparatively
+	// expensive — the asymmetry behind the paper's Figure 9.
+	SameRowGap int64
+
+	// ClosedRowPolicy precharges after every access (§7.3 sensitivity).
+	ClosedRowPolicy bool
+
+	// QueueCap bounds each channel's request buffer.
+	QueueCap int
+}
+
+// DefaultConfig mirrors the paper's Table 1 memory configuration with timing
+// expressed in 1020MHz core cycles.
+func DefaultConfig() Config {
+	return Config{
+		Channels:         8,
+		BanksPerChannel:  16,
+		RowBytes:         4096,
+		LineSize:         64,
+		RowHitLatency:    20,
+		RowClosedLatency: 45,
+		RowConflictLat:   65,
+		BusCycles:        2,
+		SameRowGap:       4,
+		QueueCap:         256,
+	}
+}
+
+// Scheduler selects the next request to service on a channel. Enqueue may
+// refuse (queue full). Pick must return a request whose bank is ready at
+// now, or nil.
+type Scheduler interface {
+	Enqueue(now int64, q *Queued) bool
+	Pick(now int64, banks []Bank) *Queued
+	Len() int
+}
+
+// Queued is a request waiting in (or in flight from) a channel.
+type Queued struct {
+	Req     *memreq.Request
+	Arrival int64
+	Bank    int
+	Row     int64
+	finish  int64
+}
+
+// Bank is the visible state of one DRAM bank, consulted by schedulers.
+type Bank struct {
+	OpenRow int64 // -1 when closed
+	ReadyAt int64
+}
+
+// ClassCounters aggregates per-traffic-class DRAM statistics.
+type ClassCounters struct {
+	Requests  uint64
+	BusCycles uint64
+	LatSum    uint64 // cycles from channel arrival to data completion
+
+	RowHits      uint64
+	RowClosed    uint64
+	RowConflicts uint64
+}
+
+// RowHitRate returns the fraction of issued requests that hit an open row.
+func (c ClassCounters) RowHitRate() float64 {
+	total := c.RowHits + c.RowClosed + c.RowConflicts
+	if total == 0 {
+		return 0
+	}
+	return float64(c.RowHits) / float64(total)
+}
+
+// AvgLatency returns the mean queueing+service latency.
+func (c ClassCounters) AvgLatency() float64 {
+	if c.Requests == 0 {
+		return 0
+	}
+	return float64(c.LatSum) / float64(c.Requests)
+}
+
+type channel struct {
+	banks      []Bank
+	sched      Scheduler
+	busReadyAt int64
+	inflight   []*Queued
+}
+
+// DRAM is the full memory subsystem. It implements cache.Backend.
+type DRAM struct {
+	cfg       Config
+	lineShift uint
+	channels  []channel
+
+	// Class is indexed by memreq.Class.
+	Class [2]ClassCounters
+	// PerApp bus cycles, sized lazily.
+	perAppBus []uint64
+
+	startCycle int64
+	lastCycle  int64
+}
+
+// New builds the DRAM model. mkSched constructs one scheduler per channel.
+func New(cfg Config, mkSched func(chanIdx int) Scheduler) *DRAM {
+	shift := uint(0)
+	for 1<<shift < cfg.LineSize {
+		shift++
+	}
+	d := &DRAM{
+		cfg:       cfg,
+		lineShift: shift,
+		channels:  make([]channel, cfg.Channels),
+	}
+	for i := range d.channels {
+		ch := &d.channels[i]
+		ch.banks = make([]Bank, cfg.BanksPerChannel)
+		for b := range ch.banks {
+			ch.banks[b].OpenRow = -1
+		}
+		ch.sched = mkSched(i)
+	}
+	return d
+}
+
+// Config returns the DRAM configuration.
+func (d *DRAM) Config() Config { return d.cfg }
+
+// frameShift is log2 of the 4KB physical frame used for channel
+// interleaving; it matches pagetable.FrameSize.
+const frameShift = 12
+
+// Map decomposes a physical address into (channel, bank, row).
+//
+// Interleaving is frame-granular: a whole 4KB frame lives on one channel, so
+// (1) sequential lines within a frame share a row buffer (streaming patterns
+// enjoy row hits) and (2) the Static baseline can partition channels between
+// applications by constraining frame allocation (ChannelOfFrame).
+// Consecutive frames rotate across channels, spreading bandwidth.
+func (d *DRAM) Map(addr uint64) (chanIdx, bank int, row int64) {
+	frame := addr >> frameShift
+	chanIdx = int(frame % uint64(d.cfg.Channels))
+	fc := frame / uint64(d.cfg.Channels)
+	bank = int(fc % uint64(d.cfg.BanksPerChannel))
+	rowsPerFrame := int64((1 << frameShift) / d.cfg.RowBytes)
+	if rowsPerFrame < 1 {
+		rowsPerFrame = 1
+	}
+	rowInFrame := int64(addr&((1<<frameShift)-1)) / int64(d.cfg.RowBytes)
+	if rowInFrame >= rowsPerFrame {
+		rowInFrame = rowsPerFrame - 1
+	}
+	row = int64(fc/uint64(d.cfg.BanksPerChannel))*rowsPerFrame + rowInFrame
+	return
+}
+
+// ChannelOfFrame returns the DRAM channel that physical frame number frame
+// maps to; the Static baseline's allocator constraint uses it to confine an
+// application's footprint (data and page tables) to its channel partition.
+func (d *DRAM) ChannelOfFrame(frame uint64) int {
+	return int(frame % uint64(d.cfg.Channels))
+}
+
+// Submit implements cache.Backend: route the request to its channel queue.
+func (d *DRAM) Submit(now int64, r *memreq.Request) bool {
+	chanIdx, bank, row := d.Map(r.Addr)
+	q := &Queued{Req: r, Arrival: now, Bank: bank, Row: row}
+	return d.channels[chanIdx].sched.Enqueue(now, q)
+}
+
+// Tick advances every channel: completes finished transfers and issues new
+// ones chosen by the scheduler.
+func (d *DRAM) Tick(now int64) {
+	d.lastCycle = now
+	for i := range d.channels {
+		ch := &d.channels[i]
+
+		// Complete transfers whose data has arrived.
+		nkeep := 0
+		for _, q := range ch.inflight {
+			if q.finish <= now {
+				d.complete(now, q)
+			} else {
+				ch.inflight[nkeep] = q
+				nkeep++
+			}
+		}
+		ch.inflight = ch.inflight[:nkeep]
+
+		// Issue one request per cycle if the scheduler has a ready candidate.
+		q := ch.sched.Pick(now, ch.banks)
+		if q == nil {
+			continue
+		}
+		bank := &ch.banks[q.Bank]
+		cls := q.Req.Class
+		var svc int64
+		switch {
+		case bank.OpenRow == q.Row:
+			svc = d.cfg.RowHitLatency
+			d.Class[cls].RowHits++
+		case bank.OpenRow < 0:
+			svc = d.cfg.RowClosedLatency
+			d.Class[cls].RowClosed++
+		default:
+			svc = d.cfg.RowConflictLat
+			d.Class[cls].RowConflicts++
+		}
+		finish := now + svc
+		if t := ch.busReadyAt + d.cfg.BusCycles; t > finish {
+			finish = t
+		}
+		ch.busReadyAt = finish
+		// Banks are pipelined two ways: the data transfer overlaps on the
+		// shared bus while the bank works, and row hits accept the next
+		// column command after only SameRowGap cycles, so a coalesced burst
+		// streams out of an open row far faster than its per-request
+		// latency.
+		if bank.OpenRow == q.Row && !d.cfg.ClosedRowPolicy {
+			gap := d.cfg.SameRowGap
+			if gap <= 0 {
+				gap = svc
+			}
+			bank.ReadyAt = now + gap
+		} else {
+			bank.ReadyAt = now + svc
+		}
+		if d.cfg.ClosedRowPolicy {
+			bank.OpenRow = -1
+		} else {
+			bank.OpenRow = q.Row
+		}
+		q.finish = finish
+		ch.inflight = append(ch.inflight, q)
+
+		d.Class[cls].BusCycles += uint64(d.cfg.BusCycles)
+		app := q.Req.AppID
+		if app >= 0 {
+			for len(d.perAppBus) <= app {
+				d.perAppBus = append(d.perAppBus, 0)
+			}
+			d.perAppBus[app] += uint64(d.cfg.BusCycles)
+		}
+	}
+}
+
+func (d *DRAM) complete(now int64, q *Queued) {
+	cls := q.Req.Class
+	d.Class[cls].Requests++
+	d.Class[cls].LatSum += uint64(now - q.Arrival)
+	q.Req.Complete(now, memreq.ServedDRAM)
+}
+
+// BandwidthUtil returns the fraction of total channel-cycles the data buses
+// were busy for the given class, over the window since ResetWindow (or the
+// whole run). This feeds the paper's Figure 8 reproduction.
+func (d *DRAM) BandwidthUtil(class memreq.Class) float64 {
+	elapsed := d.lastCycle - d.startCycle
+	if elapsed <= 0 {
+		return 0
+	}
+	total := float64(elapsed) * float64(d.cfg.Channels)
+	return float64(d.Class[class].BusCycles) / total
+}
+
+// AppBusCycles returns the data-bus cycles consumed by app.
+func (d *DRAM) AppBusCycles(app int) uint64 {
+	if app < 0 || app >= len(d.perAppBus) {
+		return 0
+	}
+	return d.perAppBus[app]
+}
+
+// QueueLen returns the number of queued (not yet issued) requests.
+func (d *DRAM) QueueLen() int {
+	n := 0
+	for i := range d.channels {
+		n += d.channels[i].sched.Len()
+	}
+	return n
+}
+
+// Inflight returns the number of issued-but-incomplete transfers.
+func (d *DRAM) Inflight() int {
+	n := 0
+	for i := range d.channels {
+		n += len(d.channels[i].inflight)
+	}
+	return n
+}

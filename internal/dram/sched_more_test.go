@@ -1,0 +1,108 @@
+package dram
+
+import (
+	"testing"
+
+	"masksim/internal/memreq"
+)
+
+func transQ(arrival int64) *Queued {
+	return &Queued{Req: &memreq.Request{Class: memreq.Translation}, Arrival: arrival}
+}
+
+func dataQ(app int, arrival int64) *Queued {
+	return &Queued{Req: &memreq.Request{Class: memreq.Data, AppID: app}, Arrival: arrival}
+}
+
+func TestMASKTranslationSpillsWhenGoldenFull(t *testing.T) {
+	s := NewMASKSched(2, 0, nil) // silver disabled
+	for i := 0; i < 16; i++ {
+		if !s.Enqueue(int64(i), transQ(int64(i))) {
+			t.Fatalf("golden enqueue %d failed", i)
+		}
+	}
+	g, sv, n := s.QueueLens()
+	if g != 16 || sv != 0 || n != 0 {
+		t.Fatalf("lens %d/%d/%d before spill", g, sv, n)
+	}
+	// The 17th translation spills into silver.
+	if !s.Enqueue(16, transQ(16)) {
+		t.Fatal("spill enqueue failed")
+	}
+	g, sv, _ = s.QueueLens()
+	if g != 16 || sv != 1 {
+		t.Fatalf("lens %d/%d after spill, want 16/1", g, sv)
+	}
+}
+
+func TestMASKRejectsWhenAllQueuesFull(t *testing.T) {
+	s := NewMASKSched(1, 0, nil)
+	// Fill normal (192 cap).
+	for i := 0; i < 192; i++ {
+		if !s.Enqueue(0, dataQ(0, 0)) {
+			t.Fatalf("normal enqueue %d failed", i)
+		}
+	}
+	if s.Enqueue(0, dataQ(0, 0)) {
+		t.Fatal("data accepted beyond normal capacity with silver disabled")
+	}
+}
+
+func TestMASKSilverBeatsNormalAtEqualLocality(t *testing.T) {
+	s := NewMASKSched(2, 500, nil)
+	banks := []Bank{{OpenRow: -1, ReadyAt: 0}}
+	older := dataQ(1, 0) // app 1 -> normal (app 0 holds the first turn)
+	older.Bank, older.Row = 0, 5
+	s.Enqueue(0, older)
+	silver := dataQ(0, 10) // app 0 -> silver
+	silver.Bank, silver.Row = 0, 6
+	s.Enqueue(10, silver)
+	if got := s.Pick(20, banks); got != silver {
+		t.Fatal("silver request did not beat older normal request")
+	}
+}
+
+func TestMASKRowHitBeatsSilverMiss(t *testing.T) {
+	s := NewMASKSched(2, 500, nil)
+	banks := []Bank{{OpenRow: 7, ReadyAt: 0}}
+	hit := dataQ(1, 0) // normal queue, but an open-row hit
+	hit.Bank, hit.Row = 0, 7
+	s.Enqueue(0, hit)
+	silver := dataQ(0, 10) // silver, row miss
+	silver.Bank, silver.Row = 0, 3
+	s.Enqueue(10, silver)
+	if got := s.Pick(20, banks); got != hit {
+		t.Fatal("row-locality preservation across queues broken")
+	}
+}
+
+func TestMASKLenCountsAllQueues(t *testing.T) {
+	s := NewMASKSched(2, 500, nil)
+	s.Enqueue(0, transQ(0))
+	s.Enqueue(0, dataQ(0, 0))
+	s.Enqueue(0, dataQ(1, 0))
+	if s.Len() != 3 {
+		t.Fatalf("Len=%d, want 3", s.Len())
+	}
+}
+
+func TestMASKPicksNothingWhenBanksBusy(t *testing.T) {
+	s := NewMASKSched(1, 500, nil)
+	banks := []Bank{{OpenRow: -1, ReadyAt: 100}}
+	q := dataQ(0, 0)
+	q.Bank = 0
+	s.Enqueue(0, q)
+	if s.Pick(10, banks) != nil {
+		t.Fatal("picked a request for a busy bank")
+	}
+	if got := s.Pick(100, banks); got != q {
+		t.Fatal("request not served once the bank freed")
+	}
+}
+
+func TestFRFCFSEmptyPick(t *testing.T) {
+	s := NewFRFCFS(4)
+	if s.Pick(0, []Bank{{OpenRow: -1}}) != nil {
+		t.Fatal("picked from an empty queue")
+	}
+}

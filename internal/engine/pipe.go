@@ -1,0 +1,69 @@
+package engine
+
+// Pipe is a bounded FIFO in which each item becomes visible to the consumer
+// only after a fixed latency. It models a pipelined, fixed-latency link such
+// as a cache port or an interconnect hop: the producer Pushes at cycle t, the
+// consumer can Pop the item at cycle t+latency or later. Capacity bounds the
+// number of in-flight items; a full Pipe exerts back-pressure (Push returns
+// false), which is how queueing delay emerges in the simulator.
+type Pipe[T any] struct {
+	latency int64
+	cap     int
+	items   []pipeItem[T]
+}
+
+type pipeItem[T any] struct {
+	readyAt int64
+	value   T
+}
+
+// NewPipe returns a Pipe with the given latency (cycles) and capacity.
+// A capacity of 0 means unbounded.
+func NewPipe[T any](latency int64, capacity int) *Pipe[T] {
+	if latency < 0 {
+		panic("engine: negative pipe latency")
+	}
+	return &Pipe[T]{latency: latency, cap: capacity}
+}
+
+// Push inserts v at cycle now. It returns false if the pipe is full.
+func (p *Pipe[T]) Push(now int64, v T) bool {
+	if p.cap > 0 && len(p.items) >= p.cap {
+		return false
+	}
+	p.items = append(p.items, pipeItem[T]{readyAt: now + p.latency, value: v})
+	return true
+}
+
+// Pop removes and returns the oldest item if it is ready at cycle now.
+func (p *Pipe[T]) Pop(now int64) (T, bool) {
+	var zero T
+	if len(p.items) == 0 || p.items[0].readyAt > now {
+		return zero, false
+	}
+	v := p.items[0].value
+	// Shift rather than reslice so the backing array does not grow without
+	// bound over a long simulation.
+	copy(p.items, p.items[1:])
+	p.items = p.items[:len(p.items)-1]
+	return v, true
+}
+
+// Peek returns the oldest item without removing it, if ready at cycle now.
+func (p *Pipe[T]) Peek(now int64) (T, bool) {
+	var zero T
+	if len(p.items) == 0 || p.items[0].readyAt > now {
+		return zero, false
+	}
+	return p.items[0].value, true
+}
+
+// Len returns the number of in-flight items (ready or not).
+func (p *Pipe[T]) Len() int {
+	return len(p.items)
+}
+
+// Full reports whether a Push at this moment would fail.
+func (p *Pipe[T]) Full() bool {
+	return p.cap > 0 && len(p.items) >= p.cap
+}

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"masksim/internal/metrics"
+	"masksim/sim"
+)
+
+// Ablate runs every combination of MASK's three mechanisms over the
+// contended pair set, showing how the components compose — the ablation
+// study DESIGN.md calls out. The paper evaluates the three singletons
+// (Figure 11); the pairwise and triple combinations quantify interaction
+// effects on this substrate.
+func Ablate(h *Harness, full bool) *Table {
+	pairs := pairSet(full)
+	combos := []struct {
+		name string
+		mask sim.Mechanisms
+	}{
+		{"baseline", sim.Mechanisms{}},
+		{"T (tokens)", sim.Mechanisms{Tokens: true}},
+		{"C (L2 bypass)", sim.Mechanisms{L2Bypass: true}},
+		{"D (DRAM sched)", sim.Mechanisms{DRAMSched: true}},
+		{"T+C", sim.Mechanisms{Tokens: true, L2Bypass: true}},
+		{"T+D", sim.Mechanisms{Tokens: true, DRAMSched: true}},
+		{"C+D", sim.Mechanisms{L2Bypass: true, DRAMSched: true}},
+		{"T+C+D (MASK)", sim.Mechanisms{Tokens: true, L2Bypass: true, DRAMSched: true}},
+	}
+	t := &Table{
+		ID:    "ablate",
+		Title: "mechanism ablation: mean total IPC over the pair set, relative to baseline",
+		Cols:  []string{"combination", "meanIPC", "vsBaseline%"},
+	}
+	var base float64
+	for i, combo := range combos {
+		cfg := sim.SharedTLBConfig()
+		cfg.Name = combo.name
+		cfg.Mask = combo.mask
+		var xs []float64
+		for _, p := range pairs {
+			res, err := sim.Run(cfg, []string{p.A, p.B}, h.Cycles)
+			if err != nil {
+				panic(err)
+			}
+			xs = append(xs, res.TotalIPC)
+		}
+		mean := metrics.Mean(xs)
+		if i == 0 {
+			base = mean
+		}
+		t.AddRowf(2, combo.name, mean, 100*(mean/base-1))
+	}
+	return t
+}
+
+func init() {
+	register("ablate", "MASK mechanism-combination ablation (DESIGN.md)",
+		func(h *Harness, full bool) []*Table { return []*Table{Ablate(h, full)} })
+}

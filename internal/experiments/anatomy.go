@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"masksim/sim"
+)
+
+// Anatomy quantifies the paper's Figure 4: how much of a warp's memory-stall
+// time is spent waiting for address translation (before the data request can
+// even issue) versus waiting for data. Under Ideal the translation share is
+// zero by construction; MASK's job is to shrink it.
+func Anatomy(h *Harness, full bool) *Table {
+	pairs := pairSet(false)
+	t := &Table{
+		ID:    "anatomy",
+		Title: "warp stall anatomy (Figure 4): translation vs data share of memory-stall time",
+		Cols:  []string{"pair", "config", "transStall%", "dataStall%", "coreIdle%"},
+	}
+	for _, p := range pairs {
+		for _, cfgName := range []string{"SharedTLB", "MASK", "Ideal"} {
+			cfg, _ := sim.ConfigByName(cfgName)
+			res, err := sim.Run(cfg, []string{p.A, p.B}, h.Cycles)
+			if err != nil {
+				panic(err)
+			}
+			total := res.TransStallCycles + res.DataStallCycles
+			var transFrac float64
+			if total > 0 {
+				transFrac = float64(res.TransStallCycles) / float64(total)
+			}
+			t.AddRowf(1, p.Name(), cfgName,
+				100*transFrac, 100*(1-transFrac), 100*res.IdleFraction)
+		}
+	}
+	return t
+}
+
+func init() {
+	register("anatomy", "warp stall anatomy: translation vs data (Figure 4)",
+		func(h *Harness, full bool) []*Table { return []*Table{Anatomy(h, full)} })
+}

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"fmt"
+
+	"masksim/internal/memreq"
+	"masksim/internal/workload"
+	"masksim/sim"
+)
+
+// CalibPairs is a small representative pair set (one per category plus
+// stress cases) used by the calibration experiment and quick benchmarks.
+var CalibPairs = []workload.Pair{
+	{A: "HISTO", B: "GUP"}, // 0-HMR: streaming + TLB-thrash-sensitive
+	{A: "NW", B: "HS"},     // 0-HMR: gentle pair
+	{A: "3DS", B: "HISTO"}, // 1-HMR
+	{A: "RED", B: "BP"},    // 1-HMR
+	{A: "3DS", B: "CONS"},  // 2-HMR (not in Pairs35; stress case)
+	{A: "MM", B: "CONS"},   // 2-HMR
+}
+
+// Calib runs the standard configurations over CalibPairs and reports the
+// indicators used to validate the substrate against the paper's expected
+// shapes: weighted speedup per config, plus baseline-vs-Ideal diagnostics.
+func Calib(h *Harness) *Table {
+	var cfgs []sim.Config
+	for _, name := range sim.ConfigNames() {
+		c, _ := sim.ConfigByName(name)
+		cfgs = append(cfgs, c)
+	}
+	m := h.RunMatrix(sim.SharedTLBConfig(), cfgs, CalibPairs)
+
+	t := &Table{
+		ID:    "calib",
+		Title: "calibration matrix: weighted speedup per (pair, config)",
+		Cols:  append([]string{"pair"}, m.Configs...),
+	}
+	for _, p := range CalibPairs {
+		row := []interface{}{p.Name()}
+		for _, c := range m.Configs {
+			row = append(row, m.Cell(p, c).Metrics.WeightedSpeedup)
+		}
+		t.AddRowf(3, row...)
+	}
+	avg := []interface{}{"MEAN"}
+	for _, c := range m.Configs {
+		avg = append(avg, m.MeanWS(c, nil))
+	}
+	t.AddRowf(3, avg...)
+
+	// Diagnostics rows for the SharedTLB baseline and MASK.
+	for _, cfgName := range []string{"SharedTLB", "MASK"} {
+		for _, p := range CalibPairs {
+			r := m.Cell(p, cfgName).Results
+			t.AddRow("")
+			t.AddRow("diag "+cfgName+" "+p.Name(),
+				fm("idle=%.0f%%", 100*r.IdleFraction),
+				fm("L1m=%.0f/%.0f%%", 100*r.Apps[0].L1TLB.MissRate(), 100*r.Apps[1].L1TLB.MissRate()),
+				fm("L2m=%.0f/%.0f%%", 100*r.Apps[0].L2TLB.MissRate(), 100*r.Apps[1].L2TLB.MissRate()),
+				fm("walks=%.0f", r.Walker.AvgConcurrent()),
+				fm("wlat=%.0f", r.Walker.AvgLatency()),
+				fm("stall=%.0f", r.Apps[0].L1TLB.AvgStalledWarps()),
+				fm("tLat=%.0f dLat=%.0f", r.DRAMClass[memreq.Translation].AvgLatency(), r.DRAMClass[memreq.Data].AvgLatency()),
+			)
+		}
+	}
+	return t
+}
+
+func fm(format string, args ...interface{}) string {
+	return fmt.Sprintf(format, args...)
+}

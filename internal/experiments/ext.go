@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"fmt"
+
+	"masksim/internal/metrics"
+	"masksim/sim"
+)
+
+// ExtPaging evaluates the demand-paging extension the paper defers to
+// future work (§5.5): cold-start cost of major faults and how MASK behaves
+// once faults and translation contention combine. The fault latency sweep
+// brackets PCIe-attached (slow) and NVLink-attached (faster) host memory.
+func ExtPaging(h *Harness, full bool) *Table {
+	pair := []string{"3DS", "CONS"}
+	t := &Table{
+		ID:    "ext-paging",
+		Title: "demand paging extension (§5.5): cold-start IPC vs pre-populated pages",
+		Note:  "faults are first-touch major faults; pre-populated runs are the paper's configuration",
+		Cols:  []string{"config", "faultLat", "totalIPC", "faults", "avgFaultLat"},
+	}
+	for _, cfgName := range []string{"SharedTLB", "MASK"} {
+		base, _ := sim.ConfigByName(cfgName)
+		res, err := sim.Run(base, pair, h.Cycles)
+		if err != nil {
+			panic(err)
+		}
+		t.AddRow(cfgName, "prepopulated", fmt.Sprintf("%.2f", res.TotalIPC), "0", "-")
+		for _, lat := range []int64{5_000, 20_000} {
+			cfg := base
+			cfg.DemandPaging = true
+			cfg.FaultLatency = lat
+			res, err := sim.Run(cfg, pair, h.Cycles)
+			if err != nil {
+				panic(err)
+			}
+			t.AddRow(cfgName, fmt.Sprintf("%dcy", lat),
+				fmt.Sprintf("%.2f", res.TotalIPC),
+				fmt.Sprintf("%d", res.Faults.Faults),
+				fmt.Sprintf("%.0f", res.Faults.AvgLatency()))
+		}
+	}
+	return t
+}
+
+// SensWarpSched compares the GTO baseline against round-robin warp
+// scheduling for SharedTLB and MASK (warp scheduling is orthogonal to MASK,
+// §8.2 — the gains must survive a scheduler change).
+func SensWarpSched(h *Harness, full bool) *Table {
+	pairs := pairSet(false)
+	t := &Table{
+		ID:    "sens-warpsched",
+		Title: "warp-scheduler sensitivity: mean total IPC over the pair set",
+		Cols:  []string{"scheduler", "SharedTLB", "MASK", "MASKgain%"},
+	}
+	for _, rr := range []bool{false, true} {
+		name := "GTO"
+		if rr {
+			name = "round-robin"
+		}
+		run := func(base sim.Config) float64 {
+			base.RoundRobinSched = rr
+			var xs []float64
+			for _, p := range pairs {
+				res, err := sim.Run(base, []string{p.A, p.B}, h.Cycles)
+				if err != nil {
+					panic(err)
+				}
+				xs = append(xs, res.TotalIPC)
+			}
+			return metrics.Mean(xs)
+		}
+		shared := run(sim.SharedTLBConfig())
+		mask := run(sim.MASKConfig())
+		t.AddRowf(2, name, shared, mask, 100*(mask/shared-1))
+	}
+	return t
+}
+
+func init() {
+	register("ext-paging", "demand-paging extension study (§5.5 future work)",
+		func(h *Harness, full bool) []*Table { return []*Table{ExtPaging(h, full)} })
+	register("sens-warpsched", "GTO vs round-robin warp scheduling",
+		func(h *Harness, full bool) []*Table { return []*Table{SensWarpSched(h, full)} })
+	register("sens-tokens", "InitialTokens sweep (§6 design-parameter study)",
+		func(h *Harness, full bool) []*Table { return []*Table{SensTokens(h, full)} })
+	register("ext-prefetch", "stride TLB prefetcher vs MASK (§8.2 claim test)",
+		func(h *Harness, full bool) []*Table { return []*Table{ExtPrefetch(h, full)} })
+}
+
+// SensTokens sweeps InitialTokens (the paper reports <1% performance
+// variance across the range because the epoch adaptation converges to the
+// same steady state, §6).
+func SensTokens(h *Harness, full bool) *Table {
+	pair := []string{"MM", "CONS"}
+	t := &Table{
+		ID:    "sens-tokens",
+		Title: "InitialTokens sweep under MASK (paper: <1% variance)",
+		Cols:  []string{"initialTokens", "totalIPC"},
+	}
+	for _, frac := range []float64{0.25, 0.50, 0.80, 1.00} {
+		cfg := sim.MASKConfig()
+		cfg.TokenInitFraction = frac
+		res, err := sim.Run(cfg, pair, h.Cycles)
+		if err != nil {
+			panic(err)
+		}
+		t.AddRowf(2, fmt.Sprintf("%.0f%%", 100*frac), res.TotalIPC)
+	}
+	return t
+}
+
+// ExtPrefetch tests the paper's related-work claim (§8.2) that CPU-style
+// TLB prefetchers are "likely to be less effective" than MASK under
+// multi-address-space concurrency, by running a stride prefetcher on the
+// same substrate.
+func ExtPrefetch(h *Harness, full bool) *Table {
+	pairs := pairSet(false)
+	t := &Table{
+		ID:    "ext-prefetch",
+		Title: "stride TLB prefetcher vs MASK (related-work comparison, §8.2)",
+		Cols:  []string{"pair", "SharedTLB", "+prefetch", "MASK", "pf-accuracy%"},
+	}
+	for _, p := range pairs {
+		base, err := sim.Run(sim.SharedTLBConfig(), []string{p.A, p.B}, h.Cycles)
+		if err != nil {
+			panic(err)
+		}
+		pfCfg := sim.SharedTLBConfig()
+		pfCfg.TLBPrefetch = true
+		pf, err := sim.Run(pfCfg, []string{p.A, p.B}, h.Cycles)
+		if err != nil {
+			panic(err)
+		}
+		mask, err := sim.Run(sim.MASKConfig(), []string{p.A, p.B}, h.Cycles)
+		if err != nil {
+			panic(err)
+		}
+		t.AddRowf(2, p.Name(), base.TotalIPC, pf.TotalIPC, mask.TotalIPC,
+			100*pf.Prefetch.Accuracy())
+	}
+	return t
+}

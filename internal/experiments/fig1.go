@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"fmt"
+
+	"masksim/sim"
+)
+
+// Fig1 reproduces Figure 1: the execution-time overhead of time multiplexing
+// N concurrently-launched processes versus running them back-to-back.
+//
+// The paper measures real NVIDIA K40 and GTX 1080 GPUs; we have no GPU, so
+// (per DESIGN.md §1) we model the mechanism instead: when N processes
+// time-share, every scheduling quantum begins with part of the GPU's TLB and
+// cache state evicted by the other N-1 processes. The eviction fraction
+// grows with N until the state is fully cold. Back-to-back execution has no
+// such loss, so the overhead is the IPC ratio. The paper's kernel
+// "interleaves basic arithmetic operations with loads and stores"; we use
+// the MM profile, which has the same flavour.
+func Fig1(h *Harness) *Table {
+	t := &Table{
+		ID:    "fig1",
+		Title: "time-multiplexing overhead vs number of concurrent processes",
+		Note:  "paper: 12% at 2 processes rising to 91% at 10 (GTX 1080); we reproduce the mechanism (state loss per quantum)",
+		Cols:  []string{"processes", "evicted/quantum", "IPC", "overhead"},
+	}
+	// quantum is the scheduling slice; drainPerProc models the driver-side
+	// context-switch cost (pipeline drain + kernel relaunch), which grows
+	// with the number of runnable contexts.
+	const (
+		quantum      = 2_000
+		drainPerProc = 100
+	)
+	base, err := sim.Run(sim.SharedTLBConfig(), []string{"MM"}, h.Cycles)
+	if err != nil {
+		panic(err)
+	}
+	for n := 2; n <= 10; n++ {
+		cfg := sim.SharedTLBConfig()
+		cfg.TimeMuxQuantum = quantum
+		// With n processes sharing, the intervening n-1 quanta evict a
+		// growing share of this process's state.
+		evict := float64(n-1) * 0.12
+		if evict > 1 {
+			evict = 1
+		}
+		cfg.TimeMuxEvict = evict
+		res, err := sim.Run(cfg, []string{"MM"}, h.Cycles)
+		if err != nil {
+			panic(err)
+		}
+		drainFrac := float64(drainPerProc*n) / quantum
+		overhead := base.TotalIPC/res.TotalIPC*(1+drainFrac) - 1
+		t.AddRow(fmt.Sprintf("%d", n), fmt.Sprintf("%.0f%%", 100*evict),
+			fmt.Sprintf("%.2f", res.TotalIPC), fmt.Sprintf("%.1f%%", 100*overhead))
+	}
+	return t
+}
+
+func init() {
+	register("fig1", "time-multiplexing overhead vs process count (Figure 1)",
+		func(h *Harness, full bool) []*Table { return []*Table{Fig1(h)} })
+}

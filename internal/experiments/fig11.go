@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"sync"
+
+	"masksim/internal/workload"
+	"masksim/sim"
+)
+
+// fig11Cache memoizes the expensive (pairs × eight configurations) grid so
+// that regenerating Figures 11-15 in one process simulates it only once.
+var fig11Cache = struct {
+	sync.Mutex
+	m map[fig11Key]*Matrix
+}{m: map[fig11Key]*Matrix{}}
+
+type fig11Key struct {
+	cycles int64
+	full   bool
+}
+
+// fig11Matrix runs (or returns the memoized) grid shared by Figures 11-15.
+func fig11Matrix(h *Harness, full bool) *Matrix {
+	key := fig11Key{h.Cycles, full}
+	fig11Cache.Lock()
+	if m, ok := fig11Cache.m[key]; ok {
+		fig11Cache.Unlock()
+		return m
+	}
+	fig11Cache.Unlock()
+
+	pairs := pairSet(full)
+	var cfgs []sim.Config
+	for _, n := range figConfigs() {
+		c, _ := sim.ConfigByName(n)
+		cfgs = append(cfgs, c)
+	}
+	m := h.RunMatrix(sim.SharedTLBConfig(), cfgs, pairs)
+
+	fig11Cache.Lock()
+	fig11Cache.m[key] = m
+	fig11Cache.Unlock()
+	return m
+}
+
+// Fig11 reproduces Figure 11: average weighted speedup per workload
+// category for all eight configurations.
+func Fig11(h *Harness, full bool) []*Table {
+	m := fig11Matrix(h, full)
+	zero, one, two := categorize(m.Pairs)
+
+	t := &Table{
+		ID:    "fig11",
+		Title: "multiprogrammed performance (weighted speedup) by category",
+		Note:  "paper: MASK +57.8% over SharedTLB on average, within 23.2% of Ideal",
+		Cols:  append([]string{"category"}, figConfigs()...),
+	}
+	for _, row := range []struct {
+		name  string
+		pairs []workload.Pair
+	}{{"0-HMR", zero}, {"1-HMR", one}, {"2-HMR", two}, {"Average", nil}} {
+		cells := []interface{}{row.name}
+		for _, c := range figConfigs() {
+			cells = append(cells, m.MeanWS(c, row.pairs))
+		}
+		t.AddRowf(3, cells...)
+	}
+	base := m.MeanWS("SharedTLB", nil)
+	mask := m.MeanWS("MASK", nil)
+	ideal := m.MeanWS("Ideal", nil)
+	t.AddRow("")
+	t.AddRowf(1, "MASK vs SharedTLB (%)", 100*(mask/base-1))
+	t.AddRowf(1, "MASK vs Ideal (%)", 100*(mask/ideal-1))
+
+	t2 := &Table{
+		ID:    "fig11-ipc",
+		Title: "IPC throughput by category (paper §7.1: MASK +43.4%)",
+		Cols:  append([]string{"category"}, figConfigs()...),
+	}
+	for _, row := range []struct {
+		name  string
+		pairs []workload.Pair
+	}{{"0-HMR", zero}, {"1-HMR", one}, {"2-HMR", two}, {"Average", nil}} {
+		cells := []interface{}{row.name}
+		for _, c := range figConfigs() {
+			cells = append(cells, m.MeanIPCThroughput(c, row.pairs))
+		}
+		t2.AddRowf(2, cells...)
+	}
+	return []*Table{t, t2}
+}
+
+// perPairTable renders one category's per-workload weighted speedups
+// (Figures 12, 13, 14).
+func perPairTable(m *Matrix, id, title string, pairs []workload.Pair) *Table {
+	t := &Table{ID: id, Title: title, Cols: append([]string{"pair"}, figConfigs()...)}
+	for _, p := range pairs {
+		cells := []interface{}{p.Name()}
+		for _, c := range figConfigs() {
+			cells = append(cells, m.Cell(p, c).Metrics.WeightedSpeedup)
+		}
+		t.AddRowf(3, cells...)
+	}
+	return t
+}
+
+// Fig15 reproduces Figure 15: unfairness (maximum slowdown) by category for
+// Static, PWCache, SharedTLB and MASK.
+func Fig15(m *Matrix) *Table {
+	zero, one, two := categorize(m.Pairs)
+	cfgs := []string{"Static", "PWCache", "SharedTLB", "MASK"}
+	t := &Table{
+		ID:    "fig15",
+		Title: "unfairness (maximum slowdown, lower is better) by category",
+		Note:  "paper: MASK reduces unfairness by 22.4% vs SharedTLB",
+		Cols:  append([]string{"category"}, cfgs...),
+	}
+	for _, row := range []struct {
+		name  string
+		pairs []workload.Pair
+	}{{"0-HMR", zero}, {"1-HMR", one}, {"2-HMR", two}, {"Average", nil}} {
+		cells := []interface{}{row.name}
+		for _, c := range cfgs {
+			cells = append(cells, m.MeanUnfairness(c, row.pairs))
+		}
+		t.AddRowf(3, cells...)
+	}
+	return t
+}
+
+func init() {
+	register("fig11", "weighted speedup by category, all configs (Figure 11)",
+		func(h *Harness, full bool) []*Table { return Fig11(h, full) })
+	register("fig12", "per-workload weighted speedup, 0-HMR (Figure 12)",
+		func(h *Harness, full bool) []*Table {
+			m := fig11Matrix(h, full)
+			zero, _, _ := categorize(m.Pairs)
+			return []*Table{perPairTable(m, "fig12", "0-HMR per-workload weighted speedup", zero)}
+		})
+	register("fig13", "per-workload weighted speedup, 1-HMR (Figure 13)",
+		func(h *Harness, full bool) []*Table {
+			m := fig11Matrix(h, full)
+			_, one, _ := categorize(m.Pairs)
+			return []*Table{perPairTable(m, "fig13", "1-HMR per-workload weighted speedup", one)}
+		})
+	register("fig14", "per-workload weighted speedup, 2-HMR (Figure 14)",
+		func(h *Harness, full bool) []*Table {
+			m := fig11Matrix(h, full)
+			_, _, two := categorize(m.Pairs)
+			return []*Table{perPairTable(m, "fig14", "2-HMR per-workload weighted speedup", two)}
+		})
+	register("fig15", "unfairness (max slowdown) by category (Figure 15)",
+		func(h *Harness, full bool) []*Table { return []*Table{Fig15(fig11Matrix(h, full))} })
+}

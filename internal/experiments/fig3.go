@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"masksim/internal/metrics"
+	"masksim/sim"
+)
+
+// Fig3 reproduces Figure 3: the performance of the two baseline designs
+// (PWCache and SharedTLB) normalized to the Ideal (always-hit) TLB, for
+// two-application workloads. The paper reports averages of 0.55 and 0.59.
+func Fig3(h *Harness, full bool) *Table {
+	pairs := pairSet(full)
+	var cfgs []sim.Config
+	for _, n := range []string{"PWCache", "SharedTLB", "Ideal"} {
+		c, _ := sim.ConfigByName(n)
+		cfgs = append(cfgs, c)
+	}
+	m := h.RunMatrix(sim.SharedTLBConfig(), cfgs, pairs)
+
+	t := &Table{
+		ID:    "fig3",
+		Title: "baseline designs normalized to Ideal (weighted speedup ratio)",
+		Note:  "paper: both baselines average ~0.55-0.60 of Ideal",
+		Cols:  []string{"pair", "PWCache", "SharedTLB"},
+	}
+	var pw, sh []float64
+	for _, p := range pairs {
+		ideal := m.Cell(p, "Ideal").Metrics.WeightedSpeedup
+		a := m.Cell(p, "PWCache").Metrics.WeightedSpeedup / ideal
+		b := m.Cell(p, "SharedTLB").Metrics.WeightedSpeedup / ideal
+		pw = append(pw, a)
+		sh = append(sh, b)
+		t.AddRowf(3, p.Name(), a, b)
+	}
+	t.AddRowf(3, "MEAN", metrics.Mean(pw), metrics.Mean(sh))
+	return t
+}
+
+func init() {
+	register("fig3", "PWCache & SharedTLB baselines vs Ideal (Figure 3)",
+		func(h *Harness, full bool) []*Table { return []*Table{Fig3(h, full)} })
+}

@@ -1,0 +1,239 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§7) on the masksim substrate. Each experiment is a function
+// returning a printable Table; cmd/maskexp dispatches on experiment IDs and
+// bench_test.go wraps each one in a benchmark.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"masksim/internal/metrics"
+	"masksim/internal/workload"
+	"masksim/sim"
+)
+
+// Harness runs batches of simulations with caching of alone-run IPCs and a
+// worker pool (independent Simulator instances share no state).
+type Harness struct {
+	// Cycles is the simulated length of shared runs; AloneCycles of alone
+	// runs (defaults to Cycles).
+	Cycles      int64
+	AloneCycles int64
+	// Workers bounds concurrent simulations; 0 means GOMAXPROCS.
+	Workers int
+
+	mu    sync.Mutex
+	alone map[aloneKey]float64
+}
+
+type aloneKey struct {
+	arch  string
+	app   string
+	cores int
+}
+
+// NewHarness returns a Harness with the given shared-run length.
+func NewHarness(cycles int64) *Harness {
+	return &Harness{Cycles: cycles, AloneCycles: cycles, alone: make(map[aloneKey]float64)}
+}
+
+func (h *Harness) workers() int {
+	if h.Workers > 0 {
+		return h.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// parallel runs fn(i) for i in [0,n) on the worker pool.
+func (h *Harness) parallel(n int, fn func(i int)) {
+	w := h.workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// archKey identifies the platform (not the TLB design) so alone-run IPCs are
+// shared between configurations of the same machine.
+func archKey(cfg sim.Config) string {
+	return fmt.Sprintf("c%d-w%d-l2tlb%d-pg%d-ch%d-l2%d",
+		cfg.Cores, cfg.WarpsPerCore, cfg.L2TLBEntries, cfg.PageSize,
+		cfg.DRAM.Channels, cfg.L2Cache.SizeBytes)
+}
+
+// AloneIPC returns the paper's IPC_alone for app on cores cores of the
+// aloneCfg platform, caching results. Alone runs use the SharedTLB design of
+// the same platform with full (unpartitioned) resources.
+func (h *Harness) AloneIPC(aloneCfg sim.Config, app string, cores int) float64 {
+	key := aloneKey{archKey(aloneCfg), app, cores}
+	h.mu.Lock()
+	v, ok := h.alone[key]
+	h.mu.Unlock()
+	if ok {
+		return v
+	}
+	cfg := aloneCfg
+	cfg.Static = false
+	cfg.Ideal = false
+	cfg.Mask = sim.Mechanisms{}
+	cfg.Design = sim.DesignSharedTLB
+	res, err := sim.RunAlone(cfg, app, cores, h.AloneCycles)
+	if err != nil {
+		panic(err)
+	}
+	v = res.Apps[0].IPC
+	h.mu.Lock()
+	h.alone[key] = v
+	h.mu.Unlock()
+	return v
+}
+
+// WarmAlone precomputes alone IPCs for every app of the given pairs in
+// parallel.
+func (h *Harness) WarmAlone(aloneCfg sim.Config, pairs []workload.Pair) {
+	seen := map[string]bool{}
+	var apps []string
+	for _, p := range pairs {
+		for _, a := range []string{p.A, p.B} {
+			if !seen[a] {
+				seen[a] = true
+				apps = append(apps, a)
+			}
+		}
+	}
+	sort.Strings(apps)
+	split := sim.EvenSplit(aloneCfg.Cores, 2)
+	h.parallel(len(apps), func(i int) {
+		h.AloneIPC(aloneCfg, apps[i], split[0])
+	})
+}
+
+// Cell is one (pair, config) measurement.
+type Cell struct {
+	Pair    workload.Pair
+	Config  string
+	Results *sim.Results
+	Metrics sim.PairMetrics
+}
+
+// Matrix is the (pair × config) result grid underlying Figures 11–15.
+type Matrix struct {
+	Pairs   []workload.Pair
+	Configs []string
+	Cells   map[string]map[string]*Cell // pair name -> config name -> cell
+}
+
+// Cell returns the cell for (pair, config).
+func (m *Matrix) Cell(pair workload.Pair, config string) *Cell {
+	return m.Cells[pair.Name()][config]
+}
+
+// MeanWS returns the arithmetic-mean weighted speedup for config over pairs
+// (all pairs when subset is nil).
+func (m *Matrix) MeanWS(config string, subset []workload.Pair) float64 {
+	if subset == nil {
+		subset = m.Pairs
+	}
+	var xs []float64
+	for _, p := range subset {
+		if c := m.Cell(p, config); c != nil {
+			xs = append(xs, c.Metrics.WeightedSpeedup)
+		}
+	}
+	return metrics.Mean(xs)
+}
+
+// MeanUnfairness is MeanWS for the maximum-slowdown metric.
+func (m *Matrix) MeanUnfairness(config string, subset []workload.Pair) float64 {
+	if subset == nil {
+		subset = m.Pairs
+	}
+	var xs []float64
+	for _, p := range subset {
+		if c := m.Cell(p, config); c != nil {
+			xs = append(xs, c.Metrics.Unfairness)
+		}
+	}
+	return metrics.Mean(xs)
+}
+
+// MeanIPCThroughput averages the summed shared IPC for config over pairs.
+func (m *Matrix) MeanIPCThroughput(config string, subset []workload.Pair) float64 {
+	if subset == nil {
+		subset = m.Pairs
+	}
+	var xs []float64
+	for _, p := range subset {
+		if c := m.Cell(p, config); c != nil {
+			xs = append(xs, c.Metrics.IPCThroughput)
+		}
+	}
+	return metrics.Mean(xs)
+}
+
+// RunMatrix simulates every (pair, config) combination. Alone IPCs come from
+// the SharedTLB variant of aloneCfg.
+func (h *Harness) RunMatrix(aloneCfg sim.Config, configs []sim.Config, pairs []workload.Pair) *Matrix {
+	h.WarmAlone(aloneCfg, pairs)
+
+	m := &Matrix{Pairs: pairs, Cells: make(map[string]map[string]*Cell)}
+	for _, c := range configs {
+		m.Configs = append(m.Configs, c.Name)
+	}
+	for _, p := range pairs {
+		m.Cells[p.Name()] = make(map[string]*Cell)
+	}
+
+	type job struct {
+		pair workload.Pair
+		cfg  sim.Config
+	}
+	var jobs []job
+	for _, p := range pairs {
+		for _, c := range configs {
+			jobs = append(jobs, job{p, c})
+		}
+	}
+	var mu sync.Mutex
+	h.parallel(len(jobs), func(i int) {
+		j := jobs[i]
+		res, err := sim.Run(j.cfg, []string{j.pair.A, j.pair.B}, h.Cycles)
+		if err != nil {
+			panic(err)
+		}
+		split := sim.EvenSplit(j.cfg.Cores, 2)
+		alone := []float64{
+			h.AloneIPC(aloneCfg, j.pair.A, split[0]),
+			h.AloneIPC(aloneCfg, j.pair.B, split[1]),
+		}
+		cell := &Cell{Pair: j.pair, Config: j.cfg.Name, Results: res, Metrics: res.Metrics(alone)}
+		mu.Lock()
+		m.Cells[j.pair.Name()][j.cfg.Name] = cell
+		mu.Unlock()
+	})
+	return m
+}

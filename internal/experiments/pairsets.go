@@ -1,0 +1,52 @@
+package experiments
+
+import "masksim/internal/workload"
+
+// RepresentativePairs is the default (fast) pair set for the figure-11-class
+// experiments: three pairs per n-HMR category, spanning the behaviours of
+// the full 35-pair list. The -full flag switches to workload.Pairs35.
+var RepresentativePairs = []workload.Pair{
+	// 0-HMR
+	{A: "HISTO", B: "GUP"}, {A: "NW", B: "HS"}, {A: "RAY", B: "GUP"},
+	// 1-HMR
+	{A: "3DS", B: "HISTO"}, {A: "RED", B: "BP"}, {A: "TRD", B: "LPS"},
+	// 2-HMR
+	{A: "MM", B: "CONS"}, {A: "SCAN", B: "SRAD"}, {A: "TRD", B: "RED"},
+}
+
+// pairSet selects the pair list for an experiment run.
+func pairSet(full bool) []workload.Pair {
+	if full {
+		return workload.Pairs35
+	}
+	return RepresentativePairs
+}
+
+// appSet returns the benchmark list used by the per-application figures
+// (Figures 5 and 6 evaluate 30 applications).
+func appSet(full bool) []string {
+	if full {
+		return workload.Names()
+	}
+	return []string{"3DS", "BFS2", "BP", "CONS", "GUP", "HISTO", "LPS", "LUD", "MM", "MUM", "NN", "RED", "SCAN"}
+}
+
+// categorize splits pairs by HMR count.
+func categorize(pairs []workload.Pair) (zero, one, two []workload.Pair) {
+	for _, p := range pairs {
+		switch p.HMRCount() {
+		case 0:
+			zero = append(zero, p)
+		case 1:
+			one = append(one, p)
+		default:
+			two = append(two, p)
+		}
+	}
+	return
+}
+
+// figConfigs returns the eight configurations of Figures 11-15 in order.
+func figConfigs() []string {
+	return []string{"Static", "PWCache", "SharedTLB", "MASK-TLB", "MASK-Cache", "MASK-DRAM", "MASK", "Ideal"}
+}

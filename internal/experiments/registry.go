@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// registration maps experiment IDs to their implementations. Each experiment
+// receives a pre-sized Harness and the -full flag.
+type experiment struct {
+	id   string
+	desc string
+	run  func(h *Harness, full bool) []*Table
+}
+
+var registry = map[string]experiment{}
+
+func register(id, desc string, run func(h *Harness, full bool) []*Table) {
+	registry[id] = experiment{id: id, desc: desc, run: run}
+}
+
+// IDs lists registered experiment IDs in sorted order.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Describe returns the one-line description for id.
+func Describe(id string) string {
+	return registry[id].desc
+}
+
+// Run executes one experiment by ID.
+func Run(id string, cycles int64, full bool) ([]*Table, error) {
+	e, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q", id)
+	}
+	h := NewHarness(cycles)
+	return e.run(h, full), nil
+}
+
+func init() {
+	register("calib", "calibration matrix over representative pairs", func(h *Harness, full bool) []*Table {
+		return []*Table{Calib(h)}
+	})
+}

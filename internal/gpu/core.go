@@ -1,0 +1,274 @@
+// Package gpu models the SIMT shader cores: warps, the GTO (greedy-then-
+// oldest) warp scheduler, memory-instruction issue, and the fine-grained
+// multithreading whose breakdown under TLB misses is the paper's central
+// observation (§4.1, Figure 4).
+//
+// Each core issues at most one instruction per cycle from one warp. Compute
+// instructions retire immediately; a memory instruction blocks its warp until
+// every translated read access completes, so the core's ability to hide
+// memory latency depends entirely on other warps remaining schedulable —
+// exactly the property a single shared TLB miss destroys when it stalls many
+// warps at once.
+package gpu
+
+import (
+	"masksim/internal/cache"
+	"masksim/internal/memreq"
+	"masksim/internal/workload"
+)
+
+// TranslateFn resolves a virtual page for a warp; done receives the physical
+// frame. Implementations wrap the L1 TLB, or the instantaneous page-table
+// lookup in the Ideal configuration.
+type TranslateFn func(now int64, vpn uint64, warpID int, done func(now int64, frame uint64))
+
+// Config holds the per-core parameters.
+type Config struct {
+	WarpsPerCore int
+	PageShift    uint
+	FrameSize    uint64
+	LineSize     uint64
+	// RoundRobin selects round-robin warp scheduling instead of the default
+	// GTO (greedy-then-oldest, Rogers et al.; the paper's baseline).
+	RoundRobin bool
+}
+
+// Stats aggregates one core's activity.
+type Stats struct {
+	Instructions uint64
+	MemInsts     uint64
+	ComputeInsts uint64
+	// IdleCycles counts cycles with no schedulable warp — the visible
+	// symptom of translation-induced stalls (Figure 4b).
+	IdleCycles uint64
+	Cycles     uint64
+
+	// Stall anatomy (the paper's Figure 4): per completed memory
+	// instruction, warp-cycles spent waiting for address translation vs
+	// waiting for data after translation.
+	TransStallCycles uint64
+	DataStallCycles  uint64
+}
+
+// IPC returns instructions per cycle for this core.
+func (s Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Instructions) / float64(s.Cycles)
+}
+
+type warpState uint8
+
+const (
+	warpReady warpState = iota
+	warpWaitMem
+)
+
+type warp struct {
+	id          int
+	state       warpState
+	computeLeft int
+
+	pendingTrans    int
+	outstandingData int
+
+	// issuedAt and transDoneAt delimit the translation phase of the current
+	// memory instruction for stall-anatomy accounting.
+	issuedAt    int64
+	transDoneAt int64
+
+	stream *workload.Stream
+}
+
+// Core is one shader core running a single application's warps.
+type Core struct {
+	id    int
+	appID int
+	cfg   Config
+
+	warps   []warp
+	current int
+
+	translate TranslateFn
+	l1d       *cache.Cache
+	idgen     *memreq.IDGen
+
+	retry []*memreq.Request
+
+	readyCount int
+
+	Stats Stats
+}
+
+// New builds a core whose warps draw from the given streams (one per warp).
+func New(id, appID int, cfg Config, streams []*workload.Stream, translate TranslateFn, l1d *cache.Cache, idgen *memreq.IDGen) *Core {
+	if len(streams) != cfg.WarpsPerCore {
+		panic("gpu: stream count must equal warps per core")
+	}
+	c := &Core{
+		id:        id,
+		appID:     appID,
+		cfg:       cfg,
+		warps:     make([]warp, cfg.WarpsPerCore),
+		translate: translate,
+		l1d:       l1d,
+		idgen:     idgen,
+	}
+	for i := range c.warps {
+		c.warps[i] = warp{id: i, stream: streams[i]}
+	}
+	c.readyCount = len(c.warps)
+	return c
+}
+
+// ID returns the core's global index.
+func (c *Core) ID() int { return c.id }
+
+// AppID returns the application the core is assigned to.
+func (c *Core) AppID() int { return c.appID }
+
+// ReadyWarps returns the number of schedulable warps (metrics helper).
+func (c *Core) ReadyWarps() int { return c.readyCount }
+
+// Tick retries rejected cache submissions, then issues one instruction from
+// the GTO-selected warp.
+func (c *Core) Tick(now int64) {
+	c.Stats.Cycles++
+
+	if len(c.retry) > 0 {
+		nkeep := 0
+		for _, r := range c.retry {
+			if !c.l1d.Submit(now, r) {
+				c.retry[nkeep] = r
+				nkeep++
+			}
+		}
+		c.retry = c.retry[:nkeep]
+	}
+
+	w := c.pickWarp()
+	if w == nil {
+		c.Stats.IdleCycles++
+		return
+	}
+	c.issue(now, w)
+}
+
+// pickWarp selects the next warp. Under GTO (default) it keeps issuing from
+// the current warp while it is ready, falling back to the oldest (lowest-ID)
+// ready warp; under round-robin it rotates past the current warp each pick.
+// A warp whose next instruction is a memory access blocked on its group
+// barrier (workload.GroupSync) is skipped: it occupies no issue slot until
+// its group catches up.
+func (c *Core) pickWarp() *warp {
+	if c.readyCount == 0 {
+		return nil
+	}
+	if c.cfg.RoundRobin {
+		n := len(c.warps)
+		for off := 1; off <= n; off++ {
+			i := (c.current + off) % n
+			w := &c.warps[i]
+			if w.state == warpReady && issuable(w) {
+				c.current = i
+				return w
+			}
+		}
+		return nil
+	}
+	if w := &c.warps[c.current]; w.state == warpReady && issuable(w) {
+		return w
+	}
+	for i := range c.warps {
+		w := &c.warps[i]
+		if w.state == warpReady && issuable(w) {
+			c.current = i
+			return w
+		}
+	}
+	return nil
+}
+
+func issuable(w *warp) bool {
+	return w.computeLeft > 0 || !w.stream.SyncStalled()
+}
+
+func (c *Core) issue(now int64, w *warp) {
+	c.Stats.Instructions++
+	if w.computeLeft > 0 {
+		w.computeLeft--
+		c.Stats.ComputeInsts++
+		return
+	}
+	c.Stats.MemInsts++
+	c.issueMem(now, w)
+}
+
+// issueMem launches one coalesced memory instruction: every distinct page is
+// translated once, and each translated page yields its line accesses. The
+// warp blocks until all reads complete; stores retire through the write
+// buffer and do not block beyond their translation.
+func (c *Core) issueMem(now int64, w *warp) {
+	inst := w.stream.NextMem()
+	w.state = warpWaitMem
+	c.readyCount--
+	w.pendingTrans = len(inst.Pages)
+	w.outstandingData = 0
+	w.issuedAt = now
+	w.transDoneAt = now
+	isWrite := inst.Write
+
+	for _, pg := range inst.Pages {
+		lines := pg.Lines
+		vpn := lines[0] >> c.cfg.PageShift
+		c.translate(now, vpn, w.id, func(tnow int64, frame uint64) {
+			c.onTranslated(tnow, w, lines, frame, isWrite)
+		})
+	}
+}
+
+func (c *Core) onTranslated(now int64, w *warp, lines []uint64, frame uint64, isWrite bool) {
+	w.pendingTrans--
+	if w.pendingTrans == 0 {
+		w.transDoneAt = now
+	}
+	pageMask := (uint64(1) << c.cfg.PageShift) - 1
+	for _, va := range lines {
+		pa := frame*c.cfg.FrameSize + (va & pageMask)
+		req := &memreq.Request{
+			ID:     c.idgen.Next(),
+			AppID:  c.appID,
+			CoreID: c.id,
+			WarpID: w.id,
+			Class:  memreq.Data,
+			Addr:   pa,
+			Issue:  now,
+		}
+		if isWrite {
+			req.Kind = memreq.Write
+			// Fire-and-forget through the write buffer.
+		} else {
+			req.Kind = memreq.Read
+			w.outstandingData++
+			req.Done = func(dnow int64, _ *memreq.Request) {
+				w.outstandingData--
+				c.maybeUnblock(dnow, w)
+			}
+		}
+		if !c.l1d.Submit(now, req) {
+			c.retry = append(c.retry, req)
+		}
+	}
+	c.maybeUnblock(now, w)
+}
+
+func (c *Core) maybeUnblock(now int64, w *warp) {
+	if w.state == warpWaitMem && w.pendingTrans == 0 && w.outstandingData == 0 {
+		c.Stats.TransStallCycles += uint64(w.transDoneAt - w.issuedAt)
+		c.Stats.DataStallCycles += uint64(now - w.transDoneAt)
+		w.state = warpReady
+		w.computeLeft = w.stream.NextComputeGap()
+		c.readyCount++
+	}
+}

@@ -1,0 +1,225 @@
+package gpu
+
+import (
+	"testing"
+
+	"masksim/internal/cache"
+	"masksim/internal/memreq"
+	"masksim/internal/workload"
+)
+
+// sink is a backend that completes everything after a fixed delay, driven
+// by tick().
+type sink struct {
+	delay   int64
+	pending []pendingReq
+}
+
+type pendingReq struct {
+	at int64
+	r  *memreq.Request
+}
+
+func (s *sink) Submit(now int64, r *memreq.Request) bool {
+	s.pending = append(s.pending, pendingReq{at: now + s.delay, r: r})
+	return true
+}
+
+func (s *sink) tick(now int64) {
+	nkeep := 0
+	for _, p := range s.pending {
+		if p.at <= now {
+			p.r.Complete(now, memreq.ServedDRAM)
+		} else {
+			s.pending[nkeep] = p
+			nkeep++
+		}
+	}
+	s.pending = s.pending[:nkeep]
+}
+
+func testProfile() workload.Profile {
+	return workload.Profile{
+		Name: "T", HotBytes: 64 << 10, PrivateBytes: 256 << 10,
+		HotProb: 0.5, PageStayProb: 0.8, SeqProb: 0.9,
+		ComputePerMem: 4, Divergence: 1, LinesPerInst: 2, WriteFrac: 0.2,
+	}
+}
+
+func newTestCore(warps int, translate TranslateFn) (*Core, *sink, *cache.Cache) {
+	be := &sink{delay: 5}
+	l1d := cache.New(cache.Config{
+		Name: "l1", SizeBytes: 4096, Ways: 4, LineSize: 64,
+		Banks: 1, PortsPerBank: 4, Latency: 1, QueueCap: 64,
+	}, be)
+	streams := make([]*workload.Stream, warps)
+	p := testProfile()
+	for w := 0; w < warps; w++ {
+		streams[w] = p.NewStream(workload.StreamConfig{
+			Base: 1 << 32, PageSize: 4096, LineSize: 64,
+			WarpIndex: w, NumWarps: warps, Seed: 5,
+		})
+	}
+	var idgen memreq.IDGen
+	core := New(0, 0, Config{
+		WarpsPerCore: warps, PageShift: 12, FrameSize: 4096, LineSize: 64,
+	}, streams, translate, l1d, &idgen)
+	return core, be, l1d
+}
+
+// identity translation: frame number = vpn (keeps data addresses valid).
+func instantTranslate(now int64, vpn uint64, warpID int, done func(int64, uint64)) {
+	done(now, vpn)
+}
+
+func run(core *Core, be *sink, l1d *cache.Cache, cycles int64) {
+	for now := int64(0); now < cycles; now++ {
+		core.Tick(now)
+		l1d.Tick(now)
+		be.tick(now)
+	}
+}
+
+func TestCoreMakesProgress(t *testing.T) {
+	core, be, l1d := newTestCore(4, instantTranslate)
+	run(core, be, l1d, 2000)
+	if core.Stats.Instructions == 0 {
+		t.Fatal("no instructions issued")
+	}
+	if core.Stats.MemInsts == 0 || core.Stats.ComputeInsts == 0 {
+		t.Fatalf("instruction mix broken: %+v", core.Stats)
+	}
+	if core.Stats.IPC() <= 0 || core.Stats.IPC() > 1 {
+		t.Fatalf("IPC=%v out of (0,1]", core.Stats.IPC())
+	}
+}
+
+func TestCoreIssuesAtMostOnePerCycle(t *testing.T) {
+	core, be, l1d := newTestCore(8, instantTranslate)
+	run(core, be, l1d, 500)
+	if core.Stats.Instructions+core.Stats.IdleCycles != core.Stats.Cycles {
+		t.Fatalf("instructions(%d) + idle(%d) != cycles(%d)",
+			core.Stats.Instructions, core.Stats.IdleCycles, core.Stats.Cycles)
+	}
+}
+
+func TestCoreIdlesWhenTranslationStalls(t *testing.T) {
+	// A translation that never completes must idle the core once every warp
+	// has issued its first memory instruction.
+	neverTranslate := func(now int64, vpn uint64, warpID int, done func(int64, uint64)) {}
+	core, be, l1d := newTestCore(2, neverTranslate)
+	run(core, be, l1d, 500)
+	if core.ReadyWarps() != 0 {
+		t.Fatalf("%d warps ready despite blocked translations", core.ReadyWarps())
+	}
+	if core.Stats.IdleCycles == 0 {
+		t.Fatal("core never idled")
+	}
+}
+
+func TestDelayedTranslationUnblocksWarp(t *testing.T) {
+	var pending []func(int64, uint64)
+	var vpns []uint64
+	stash := func(now int64, vpn uint64, warpID int, done func(int64, uint64)) {
+		pending = append(pending, done)
+		vpns = append(vpns, vpn)
+	}
+	core, be, l1d := newTestCore(1, stash)
+	run(core, be, l1d, 50)
+	if len(pending) == 0 {
+		t.Fatal("no translation requested")
+	}
+	issuedBefore := core.Stats.Instructions
+	// Complete the translation; the warp should resume.
+	for i, done := range pending {
+		done(50, vpns[i])
+	}
+	pending = nil
+	run2 := func(from, to int64) {
+		for now := from; now < to; now++ {
+			core.Tick(now)
+			l1d.Tick(now)
+			be.tick(now)
+			for i, done := range pending {
+				done(now, vpns[len(vpns)-len(pending)+i])
+			}
+			pending = nil
+		}
+	}
+	run2(51, 300)
+	if core.Stats.Instructions <= issuedBefore {
+		t.Fatal("warp did not resume after translation completed")
+	}
+}
+
+func TestGTOPrefersCurrentWarp(t *testing.T) {
+	core, be, l1d := newTestCore(4, instantTranslate)
+	// After the first issue, the same warp should keep issuing its compute
+	// instructions until it blocks on memory.
+	core.Tick(0)
+	first := core.current
+	for now := int64(1); now < 5; now++ {
+		core.Tick(now)
+		if core.warps[first].state == warpReady && core.current != first {
+			t.Fatal("GTO switched away from a ready current warp")
+		}
+		l1d.Tick(now)
+		be.tick(now)
+	}
+}
+
+func TestWritesDoNotBlockWarp(t *testing.T) {
+	// With WriteFrac 1, every memory instruction is a store; the warp must
+	// keep issuing (stores retire via the write buffer).
+	p := testProfile()
+	p.WriteFrac = 1
+	be := &sink{delay: 1000} // writes would block forever if they counted
+	l1d := cache.New(cache.Config{
+		Name: "l1", SizeBytes: 4096, Ways: 4, LineSize: 64,
+		Banks: 1, PortsPerBank: 4, Latency: 1, QueueCap: 256,
+	}, be)
+	s := p.NewStream(workload.StreamConfig{
+		Base: 1 << 32, PageSize: 4096, LineSize: 64, WarpIndex: 0, NumWarps: 1, Seed: 3,
+	})
+	var idgen memreq.IDGen
+	core := New(0, 0, Config{WarpsPerCore: 1, PageShift: 12, FrameSize: 4096, LineSize: 64},
+		[]*workload.Stream{s}, instantTranslate, l1d, &idgen)
+	for now := int64(0); now < 300; now++ {
+		core.Tick(now)
+		l1d.Tick(now)
+	}
+	if core.Stats.MemInsts < 10 {
+		t.Fatalf("store-only warp issued just %d memory instructions", core.Stats.MemInsts)
+	}
+}
+
+func TestSyncStalledWarpSkipped(t *testing.T) {
+	p := testProfile()
+	p.WarpsPerGroup = 2
+	f := workload.NewStreamFactory(p, 1<<32, 4096, 64, 2, 9)
+	streams := []*workload.Stream{f.New(0), f.New(1)}
+	// Block warp 1 forever by never translating for it; warp 0 advances
+	// until the group-sync window stops it.
+	var idgen memreq.IDGen
+	be := &sink{delay: 2}
+	l1d := cache.New(cache.Config{
+		Name: "l1", SizeBytes: 4096, Ways: 4, LineSize: 64,
+		Banks: 1, PortsPerBank: 4, Latency: 1, QueueCap: 64,
+	}, be)
+	translate := func(now int64, vpn uint64, warpID int, done func(int64, uint64)) {
+		if warpID == 1 {
+			return // never completes
+		}
+		done(now, vpn)
+	}
+	core := New(0, 0, Config{WarpsPerCore: 2, PageShift: 12, FrameSize: 4096, LineSize: 64},
+		streams, translate, l1d, &idgen)
+	for now := int64(0); now < 3000; now++ {
+		core.Tick(now)
+		l1d.Tick(now)
+		be.tick(now)
+	}
+	if !streams[0].SyncStalled() {
+		t.Fatal("leader warp ran unboundedly ahead of its blocked group member")
+	}
+}

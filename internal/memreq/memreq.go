@@ -1,0 +1,143 @@
+// Package memreq defines the request types that flow through the simulated
+// memory hierarchy.
+//
+// Two request families exist, mirroring the paper's taxonomy (§4.3):
+//
+//   - Request: a physical-address memory access serviced by the data caches
+//     and DRAM. Data demand requests and the page-table-walker's dependent
+//     accesses are both Requests; they are distinguished by Class and, for
+//     translation requests, by WalkLevel (1 = page-table root .. 4 = leaf).
+//   - TransReq: a virtual-page translation request serviced by the TLB
+//     hierarchy (L1 TLB -> shared L2 TLB / page walk cache -> walker).
+//
+// MASK's mechanisms key off these distinctions: the L2 bypass decision uses
+// Class and WalkLevel, and the DRAM scheduler routes Class Translation into
+// the Golden Queue.
+package memreq
+
+// Kind is the access direction of a memory request.
+type Kind uint8
+
+// Access kinds.
+const (
+	Read Kind = iota
+	Write
+)
+
+// String returns a short human-readable name.
+func (k Kind) String() string {
+	if k == Write {
+		return "write"
+	}
+	return "read"
+}
+
+// Class partitions requests into the two traffic classes the paper's
+// mechanisms differentiate.
+type Class uint8
+
+// Request classes.
+const (
+	// Data is a demand request issued on behalf of application loads/stores.
+	Data Class = iota
+	// Translation is a page-table-walk access issued by the walker.
+	Translation
+)
+
+// String returns a short human-readable name.
+func (c Class) String() string {
+	if c == Translation {
+		return "translation"
+	}
+	return "data"
+}
+
+// MaxWalkLevel is the deepest page-table level (4-level x86-64-style tables).
+const MaxWalkLevel = 4
+
+// Service identifies the hierarchy level that ultimately supplied a request.
+type Service uint8
+
+// Service points.
+const (
+	ServedNone Service = iota
+	ServedL1
+	ServedL2
+	ServedDRAM
+)
+
+// Request is a physical-address access to the cache/DRAM hierarchy.
+//
+// Done, if non-nil, is invoked exactly once by the component that completes
+// the request (a cache on a hit or fill, or DRAM). Writes may carry a nil
+// Done (fire-and-forget, e.g. write-through traffic and dirty evictions).
+type Request struct {
+	ID     uint64
+	AppID  int
+	ASID   uint8
+	CoreID int
+	WarpID int
+
+	Kind  Kind
+	Class Class
+	// WalkLevel is 0 for data requests and 1..4 for translation requests,
+	// where 1 is the page-table root. The paper tags each memory request
+	// with its page-walk depth (§5.3) so the L2 can bypass per level.
+	WalkLevel uint8
+
+	// Addr is the physical byte address.
+	Addr uint64
+	// Issue is the cycle the request entered the memory system (used for
+	// latency accounting).
+	Issue int64
+	// Served records which level supplied the data; set by the hierarchy.
+	Served Service
+
+	Done func(now int64, r *Request)
+}
+
+// Complete marks the request served at svc and fires the Done callback.
+func (r *Request) Complete(now int64, svc Service) {
+	if r.Served == ServedNone {
+		r.Served = svc
+	}
+	if r.Done != nil {
+		r.Done(now, r)
+	}
+}
+
+// TransReq is a virtual-page translation request flowing through the TLB
+// hierarchy. Done receives the translated physical frame number.
+type TransReq struct {
+	AppID  int
+	ASID   uint8
+	CoreID int
+	WarpID int
+
+	// VPN is the virtual page number being translated.
+	VPN uint64
+	// HasToken records whether the requesting warp held a TLB-Fill Token at
+	// issue time (§5.2); it controls whether the walker's result may fill the
+	// shared L2 TLB or only the bypass cache.
+	HasToken bool
+	// Issue is the cycle the request left the L1 TLB.
+	Issue int64
+	// StalledWarps counts the warps blocked on this translation; maintained
+	// by the L1 TLB MSHR and consumed by the Address-Space-Aware DRAM
+	// scheduler's WarpsStalled metric (§5.4).
+	StalledWarps int
+
+	Done func(now int64, frame uint64)
+}
+
+// IDGen hands out unique request IDs. A plain counter is sufficient because
+// the simulator is single-threaded per run.
+type IDGen struct {
+	next uint64
+}
+
+// Next returns a fresh unique ID.
+func (g *IDGen) Next() uint64 {
+	g.next++
+	return g.next
+}

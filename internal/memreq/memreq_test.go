@@ -1,0 +1,61 @@
+package memreq
+
+import "testing"
+
+func TestCompleteInvokesDoneOnce(t *testing.T) {
+	calls := 0
+	r := &Request{Done: func(now int64, req *Request) { calls++ }}
+	r.Complete(5, ServedL2)
+	if calls != 1 {
+		t.Fatalf("Done called %d times", calls)
+	}
+	if r.Served != ServedL2 {
+		t.Fatalf("Served=%v, want ServedL2", r.Served)
+	}
+}
+
+func TestCompleteKeepsFirstServiceLevel(t *testing.T) {
+	r := &Request{}
+	r.Complete(1, ServedDRAM)
+	r.Complete(2, ServedL1)
+	if r.Served != ServedDRAM {
+		t.Fatalf("Served=%v, want the first level (ServedDRAM)", r.Served)
+	}
+}
+
+func TestCompleteNilDone(t *testing.T) {
+	r := &Request{Kind: Write}
+	r.Complete(1, ServedL1) // must not panic
+}
+
+func TestIDGenUnique(t *testing.T) {
+	var g IDGen
+	seen := map[uint64]bool{}
+	for i := 0; i < 10000; i++ {
+		id := g.Next()
+		if seen[id] {
+			t.Fatalf("duplicate id %d", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Read.String() != "read" || Write.String() != "write" {
+		t.Fatal("Kind.String mismatch")
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if Data.String() != "data" || Translation.String() != "translation" {
+		t.Fatal("Class.String mismatch")
+	}
+}
+
+func TestTransReqCarriesTokenState(t *testing.T) {
+	tr := &TransReq{VPN: 0x1234, HasToken: true, StalledWarps: 1}
+	tr.StalledWarps++
+	if tr.StalledWarps != 2 || !tr.HasToken {
+		t.Fatal("TransReq bookkeeping broken")
+	}
+}

@@ -1,0 +1,134 @@
+// Package metrics implements the multiprogramming metrics the paper reports:
+// weighted speedup (system throughput), IPC throughput, and maximum-slowdown
+// unfairness, plus small helpers for aggregating time series.
+package metrics
+
+import "math"
+
+// WeightedSpeedup is the paper's primary throughput metric (Eyerman &
+// Eeckhout): sum over apps of IPC_shared / IPC_alone.
+func WeightedSpeedup(shared, alone []float64) float64 {
+	ws := 0.0
+	for i := range shared {
+		if i < len(alone) && alone[i] > 0 {
+			ws += shared[i] / alone[i]
+		}
+	}
+	return ws
+}
+
+// IPCThroughput is the plain sum of shared IPCs (the paper's "IPC
+// throughput", §7.1).
+func IPCThroughput(shared []float64) float64 {
+	t := 0.0
+	for _, v := range shared {
+		t += v
+	}
+	return t
+}
+
+// MaxSlowdown is the paper's unfairness metric: max over apps of
+// IPC_alone / IPC_shared. Lower is better; 1.0 is perfectly fair sharing
+// with no slowdown.
+func MaxSlowdown(shared, alone []float64) float64 {
+	worst := 0.0
+	for i := range shared {
+		if i < len(alone) && shared[i] > 0 {
+			if s := alone[i] / shared[i]; s > worst {
+				worst = s
+			}
+		}
+	}
+	return worst
+}
+
+// HarmonicSpeedup is the harmonic mean of per-app speedups, a
+// balance-sensitive alternative throughput metric.
+func HarmonicSpeedup(shared, alone []float64) float64 {
+	n := 0
+	sum := 0.0
+	for i := range shared {
+		if i < len(alone) && alone[i] > 0 && shared[i] > 0 {
+			sum += alone[i] / shared[i]
+			n++
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	return float64(n) / sum
+}
+
+// GeoMean returns the geometric mean of xs (ignoring non-positive entries),
+// used to average normalized results across workloads.
+func GeoMean(xs []float64) float64 {
+	n := 0
+	logSum := 0.0
+	for _, x := range xs {
+		if x > 0 {
+			logSum += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(logSum / float64(n))
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// MinMax returns the extrema of xs.
+func MinMax(xs []float64) (min, max float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	min, max = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return
+}
+
+// Series accumulates periodic samples (e.g. concurrent page walks).
+type Series struct {
+	Sum   float64
+	Count int
+	Min   float64
+	Max   float64
+}
+
+// Add records one sample.
+func (s *Series) Add(v float64) {
+	if s.Count == 0 || v < s.Min {
+		s.Min = v
+	}
+	if s.Count == 0 || v > s.Max {
+		s.Max = v
+	}
+	s.Sum += v
+	s.Count++
+}
+
+// Avg returns the running mean.
+func (s *Series) Avg() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}

@@ -1,0 +1,107 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func close(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestWeightedSpeedup(t *testing.T) {
+	// Two apps at exactly their alone IPC: WS = 2.
+	if ws := WeightedSpeedup([]float64{2, 3}, []float64{2, 3}); !close(ws, 2) {
+		t.Fatalf("WS=%v, want 2", ws)
+	}
+	// Halved performance: WS = 1.
+	if ws := WeightedSpeedup([]float64{1, 1.5}, []float64{2, 3}); !close(ws, 1) {
+		t.Fatalf("WS=%v, want 1", ws)
+	}
+}
+
+func TestWeightedSpeedupIgnoresZeroAlone(t *testing.T) {
+	if ws := WeightedSpeedup([]float64{1, 1}, []float64{0, 2}); !close(ws, 0.5) {
+		t.Fatalf("WS=%v, want 0.5 (zero-alone app skipped)", ws)
+	}
+}
+
+func TestIPCThroughput(t *testing.T) {
+	if v := IPCThroughput([]float64{1, 2, 3}); !close(v, 6) {
+		t.Fatalf("throughput=%v", v)
+	}
+}
+
+func TestMaxSlowdown(t *testing.T) {
+	// App 2 slowed 3x, app 1 slowed 2x: unfairness = 3.
+	if u := MaxSlowdown([]float64{1, 1}, []float64{2, 3}); !close(u, 3) {
+		t.Fatalf("unfairness=%v, want 3", u)
+	}
+}
+
+func TestHarmonicSpeedup(t *testing.T) {
+	// Equal 2x slowdowns: harmonic speedup = n / sum(slowdowns) = 2/4.
+	if h := HarmonicSpeedup([]float64{1, 1}, []float64{2, 2}); !close(h, 0.5) {
+		t.Fatalf("harmonic=%v, want 0.5", h)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{1, 4}); !close(g, 2) {
+		t.Fatalf("geomean=%v, want 2", g)
+	}
+	if g := GeoMean(nil); g != 0 {
+		t.Fatalf("geomean(nil)=%v", g)
+	}
+	// Non-positive entries are skipped.
+	if g := GeoMean([]float64{0, 9}); !close(g, 9) {
+		t.Fatalf("geomean with zero=%v", g)
+	}
+}
+
+func TestMeanAndMinMax(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if m := Mean(xs); !close(m, 2) {
+		t.Fatalf("mean=%v", m)
+	}
+	lo, hi := MinMax(xs)
+	if lo != 1 || hi != 3 {
+		t.Fatalf("minmax=%v,%v", lo, hi)
+	}
+	if Mean(nil) != 0 {
+		t.Fatal("mean(nil) != 0")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	for _, v := range []float64{2, 8, 5} {
+		s.Add(v)
+	}
+	if !close(s.Avg(), 5) || s.Min != 2 || s.Max != 8 || s.Count != 3 {
+		t.Fatalf("series %+v", s)
+	}
+	var empty Series
+	if empty.Avg() != 0 {
+		t.Fatal("empty series avg != 0")
+	}
+}
+
+// Property: weighted speedup of n apps is bounded by n times the max
+// individual speedup and is non-negative.
+func TestWeightedSpeedupBounds(t *testing.T) {
+	f := func(shared, alone []float64) bool {
+		n := len(shared)
+		if len(alone) < n {
+			n = len(alone)
+		}
+		for i := 0; i < n; i++ {
+			shared[i] = math.Abs(shared[i])
+			alone[i] = math.Abs(alone[i])
+		}
+		ws := WeightedSpeedup(shared[:n], alone[:n])
+		return ws >= 0 && !math.IsNaN(ws)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,35 @@
+package pagetable
+
+import "testing"
+
+func BenchmarkTranslate(b *testing.B) {
+	s := NewSpace(1, PageSize4K, NewAllocator())
+	va := uint64(0x4_0000_0000)
+	s.EnsureMapped(va)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := s.Translate(va); !ok {
+			b.Fatal("lost mapping")
+		}
+	}
+}
+
+func BenchmarkWalkAddrsInto(b *testing.B) {
+	s := NewSpace(1, PageSize4K, NewAllocator())
+	va := uint64(0x4_0000_0000)
+	s.EnsureMapped(va)
+	vpn := s.VPN(va)
+	var buf [4]uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.WalkAddrsInto(vpn, buf[:0])
+	}
+}
+
+func BenchmarkEnsureMapped(b *testing.B) {
+	s := NewSpace(1, PageSize4K, NewAllocator())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.EnsureMapped(uint64(i) << 12)
+	}
+}

@@ -1,0 +1,246 @@
+// Package pagetable materialises per-address-space multi-level radix page
+// tables in the simulated physical memory.
+//
+// Each application (address space, identified by an ASID per §5.1) owns a
+// Space backed by an x86-64-style radix table: four levels for 4KB pages or
+// three levels for 2MB large pages (§7.3's page-size sensitivity study). The
+// table nodes themselves occupy physical frames obtained from the same frame
+// Allocator as data pages, so the page-table walker's dependent accesses
+// (package ptw) touch realistic physical addresses and contend for the same
+// caches and DRAM banks as data — the interference at the heart of §4.3.
+package pagetable
+
+import "fmt"
+
+// PageSize4K and PageSize2M are the supported page sizes.
+const (
+	PageSize4K = 4 << 10
+	PageSize2M = 2 << 20
+)
+
+const (
+	// FrameSize is the physical frame granularity; page-table nodes always
+	// occupy one 4KB frame regardless of data page size.
+	FrameSize = 4 << 10
+	// entriesPerNode is the radix fan-out (512 8-byte PTEs per 4KB node).
+	entriesPerNode = 512
+	indexBits      = 9
+	pteSize        = 8
+)
+
+// Allocator hands out physical frame numbers. Frames are FrameSize bytes.
+// A constraint predicate restricts which frames an allocation may use; the
+// Static baseline uses it to confine each app's footprint to its DRAM
+// channel partition.
+type Allocator struct {
+	next       uint64
+	constraint func(frame uint64) bool
+	// limit guards against a constraint that rejects everything.
+	limit uint64
+}
+
+// NewAllocator returns an allocator starting at frame 1 (frame 0 is reserved
+// as a null sentinel).
+func NewAllocator() *Allocator {
+	return &Allocator{next: 1, limit: 1 << 40}
+}
+
+// SetConstraint restricts subsequent allocations to frames satisfying f.
+// Pass nil to remove the restriction.
+func (a *Allocator) SetConstraint(f func(frame uint64) bool) {
+	a.constraint = f
+}
+
+// Alloc returns the next acceptable physical frame number.
+func (a *Allocator) Alloc() uint64 {
+	for {
+		f := a.next
+		a.next++
+		if a.next > a.limit {
+			panic("pagetable: physical frame space exhausted")
+		}
+		if a.constraint == nil || a.constraint(f) {
+			return f
+		}
+	}
+}
+
+// Allocated returns how many frame numbers have been consumed (including
+// frames skipped by constraints); a cheap proxy for footprint in tests.
+func (a *Allocator) Allocated() uint64 { return a.next - 1 }
+
+type node struct {
+	frame    uint64
+	children []*node // interior nodes
+	// frames maps leaf slot -> data frame. Sparse VA layouts (large page
+	// strides) create many leaf nodes holding only a few mappings each, so
+	// leaves use a small map instead of a 512-slot array.
+	frames map[int]uint64
+}
+
+func newInterior(frame uint64) *node {
+	return &node{frame: frame, children: make([]*node, entriesPerNode)}
+}
+
+func newLeaf(frame uint64) *node {
+	return &node{frame: frame, frames: make(map[int]uint64, 8)}
+}
+
+// Space is one application's address space: an ASID plus its radix table.
+type Space struct {
+	asid      uint8
+	pageShift uint
+	levels    int
+	alloc     *Allocator
+	root      *node
+
+	mappedPages uint64
+}
+
+// NewSpace creates an empty address space using pageSize (PageSize4K or
+// PageSize2M) with tables allocated from alloc.
+func NewSpace(asid uint8, pageSize int, alloc *Allocator) *Space {
+	var shift uint
+	var levels int
+	switch pageSize {
+	case PageSize4K:
+		shift, levels = 12, 4
+	case PageSize2M:
+		shift, levels = 21, 3
+	default:
+		panic(fmt.Sprintf("pagetable: unsupported page size %d", pageSize))
+	}
+	s := &Space{asid: asid, pageShift: shift, levels: levels, alloc: alloc}
+	s.root = newInterior(alloc.Alloc())
+	return s
+}
+
+// ASID returns the address space identifier.
+func (s *Space) ASID() uint8 { return s.asid }
+
+// PageShift returns log2(page size).
+func (s *Space) PageShift() uint { return s.pageShift }
+
+// PageSize returns the data page size in bytes.
+func (s *Space) PageSize() int { return 1 << s.pageShift }
+
+// Levels returns the number of page-table levels (4 for 4KB, 3 for 2MB).
+func (s *Space) Levels() int { return s.levels }
+
+// MappedPages returns the number of data pages currently mapped.
+func (s *Space) MappedPages() uint64 { return s.mappedPages }
+
+// VPN returns the virtual page number of va.
+func (s *Space) VPN(va uint64) uint64 { return va >> s.pageShift }
+
+// indexAt extracts the radix index used at the given 1-based level.
+// Level 1 is the root; level s.levels is the leaf.
+func (s *Space) indexAt(vpn uint64, level int) int {
+	shift := uint(indexBits * (s.levels - level))
+	return int((vpn >> shift) & (entriesPerNode - 1))
+}
+
+// EnsureMapped maps the page containing va (allocating intermediate nodes
+// and the data frame as needed) and returns the data frame number.
+// The simulator pre-populates working sets at app load, matching the paper's
+// scope (page faults are future work, §5.5).
+func (s *Space) EnsureMapped(va uint64) uint64 {
+	vpn := s.VPN(va)
+	n := s.root
+	for level := 1; level < s.levels; level++ {
+		idx := s.indexAt(vpn, level)
+		if level == s.levels-1 {
+			// Next level is the leaf.
+			if n.children[idx] == nil {
+				n.children[idx] = newLeaf(s.alloc.Alloc())
+			}
+		} else if n.children[idx] == nil {
+			n.children[idx] = newInterior(s.alloc.Alloc())
+		}
+		n = n.children[idx]
+	}
+	idx := s.indexAt(vpn, s.levels)
+	if f, ok := n.frames[idx]; ok {
+		return f
+	}
+	// Data pages may span multiple frames (2MB pages); the frame number
+	// returned is the page's base frame and the page occupies
+	// pageSize/FrameSize consecutive frame numbers.
+	framesPerPage := uint64(s.PageSize() / FrameSize)
+	base := s.alloc.Alloc()
+	for i := uint64(1); i < framesPerPage; i++ {
+		s.alloc.Alloc()
+	}
+	n.frames[idx] = base
+	s.mappedPages++
+	return base
+}
+
+// Translate performs an instantaneous software walk: it returns the physical
+// address for va and whether the page is mapped. Used by the Ideal-TLB
+// configuration and by correctness tests.
+func (s *Space) Translate(va uint64) (uint64, bool) {
+	vpn := s.VPN(va)
+	n := s.root
+	for level := 1; level < s.levels; level++ {
+		idx := s.indexAt(vpn, level)
+		if n.children[idx] == nil {
+			return 0, false
+		}
+		n = n.children[idx]
+	}
+	idx := s.indexAt(vpn, s.levels)
+	frame, ok := n.frames[idx]
+	if !ok {
+		return 0, false
+	}
+	offsetMask := uint64(s.PageSize() - 1)
+	return frame*FrameSize + (va & offsetMask), true
+}
+
+// TranslateVPN is Translate for a whole page: it returns the data frame
+// number for vpn.
+func (s *Space) TranslateVPN(vpn uint64) (uint64, bool) {
+	pa, ok := s.Translate(vpn << s.pageShift)
+	if !ok {
+		return 0, false
+	}
+	return pa / FrameSize, true
+}
+
+// WalkAddrs returns the physical byte addresses of the page-table entries a
+// hardware walker must read to translate vpn, ordered from root (level 1) to
+// leaf. The page must be mapped.
+func (s *Space) WalkAddrs(vpn uint64) []uint64 {
+	addrs := make([]uint64, 0, s.levels)
+	n := s.root
+	for level := 1; level <= s.levels; level++ {
+		idx := s.indexAt(vpn, level)
+		addrs = append(addrs, n.frame*FrameSize+uint64(idx)*pteSize)
+		if level < s.levels {
+			if n.children[idx] == nil {
+				panic(fmt.Sprintf("pagetable: WalkAddrs on unmapped vpn %#x (level %d)", vpn, level))
+			}
+			n = n.children[idx]
+		}
+	}
+	return addrs
+}
+
+// WalkAddrsInto is WalkAddrs without allocation; dst must have capacity for
+// s.Levels() entries. It returns the filled prefix of dst.
+func (s *Space) WalkAddrsInto(vpn uint64, dst []uint64) []uint64 {
+	dst = dst[:0]
+	n := s.root
+	for level := 1; level <= s.levels; level++ {
+		idx := s.indexAt(vpn, level)
+		dst = append(dst, n.frame*FrameSize+uint64(idx)*pteSize)
+		if level < s.levels {
+			if n.children[idx] == nil {
+				panic(fmt.Sprintf("pagetable: WalkAddrsInto on unmapped vpn %#x (level %d)", vpn, level))
+			}
+			n = n.children[idx]
+		}
+	}
+	return dst
+}

@@ -1,0 +1,131 @@
+package ptw
+
+// FaultUnit implements the demand-paging extension the paper defers to
+// future work (§5.5, citing Pascal-style demand paging and Zheng et al.).
+//
+// When enabled, a page's first touch raises a major fault: the walk that
+// discovered it completes only after the fault service latency (the cost of
+// transferring the page over the host interconnect), and at most
+// Concurrency faults are serviced at once — queueing beyond that models the
+// host driver's fault-handling serialization. Subsequent touches of a
+// resident page proceed normally. The simulator pre-builds page tables for
+// address arithmetic; residency is what faults track.
+type FaultUnit struct {
+	// Latency is the per-fault service time in core cycles (tens of
+	// microseconds on real hardware).
+	Latency int64
+	// Concurrency bounds simultaneous fault services.
+	Concurrency int
+
+	resident map[faultKey]bool
+	inflight []*pendingFault
+	queue    []*pendingFault
+
+	Stats FaultStats
+}
+
+// FaultStats counts demand-paging activity.
+type FaultStats struct {
+	Faults    uint64
+	LatSum    uint64
+	Completed uint64
+}
+
+// AvgLatency returns mean fault latency including queueing.
+func (s FaultStats) AvgLatency() float64 {
+	if s.Completed == 0 {
+		return 0
+	}
+	return float64(s.LatSum) / float64(s.Completed)
+}
+
+type faultKey struct {
+	asid uint8
+	vpn  uint64
+}
+
+type pendingFault struct {
+	key    faultKey
+	start  int64
+	doneAt int64
+	notify []func(now int64)
+}
+
+// NewFaultUnit builds a fault unit.
+func NewFaultUnit(latency int64, concurrency int) *FaultUnit {
+	if concurrency < 1 {
+		concurrency = 1
+	}
+	return &FaultUnit{
+		Latency:     latency,
+		Concurrency: concurrency,
+		resident:    make(map[faultKey]bool),
+	}
+}
+
+// Touch reports whether (asid, vpn) is resident. If not, done is queued and
+// invoked when the fault completes; Touch returns false in that case.
+func (f *FaultUnit) Touch(now int64, asid uint8, vpn uint64, done func(now int64)) bool {
+	key := faultKey{asid, vpn}
+	if f.resident[key] {
+		return true
+	}
+	// Merge into an in-flight or queued fault for the same page.
+	for _, p := range append(f.inflight, f.queue...) {
+		if p.key == key {
+			p.notify = append(p.notify, done)
+			return false
+		}
+	}
+	f.Stats.Faults++
+	p := &pendingFault{key: key, start: now, notify: []func(int64){done}}
+	if len(f.inflight) < f.Concurrency {
+		p.doneAt = now + f.Latency
+		f.inflight = append(f.inflight, p)
+	} else {
+		f.queue = append(f.queue, p)
+	}
+	return false
+}
+
+// Prefault marks a page resident without cost (used to pre-populate pinned
+// regions, e.g. the first touch of each hot page at load).
+func (f *FaultUnit) Prefault(asid uint8, vpn uint64) {
+	f.resident[faultKey{asid, vpn}] = true
+}
+
+// Tick completes due faults and starts queued ones.
+func (f *FaultUnit) Tick(now int64) {
+	nkeep := 0
+	for _, p := range f.inflight {
+		if p.doneAt <= now {
+			f.resident[p.key] = true
+			f.Stats.Completed++
+			f.Stats.LatSum += uint64(now - p.start)
+			for _, cb := range p.notify {
+				cb(now)
+			}
+		} else {
+			f.inflight[nkeep] = p
+			nkeep++
+		}
+	}
+	f.inflight = f.inflight[:nkeep]
+	for len(f.inflight) < f.Concurrency && len(f.queue) > 0 {
+		p := f.queue[0]
+		copy(f.queue, f.queue[1:])
+		f.queue = f.queue[:len(f.queue)-1]
+		p.doneAt = now + f.Latency
+		f.inflight = append(f.inflight, p)
+	}
+}
+
+// Outstanding returns in-flight plus queued fault counts.
+func (f *FaultUnit) Outstanding() int { return len(f.inflight) + len(f.queue) }
+
+// SetFaultUnit attaches demand paging to the walker: a completed walk for a
+// non-resident page is held until its fault is serviced.
+func (w *Walker) SetFaultUnit(f *FaultUnit) { w.faults = f }
+
+// Faults returns the attached fault unit (nil when demand paging is off).
+func (w *Walker) Faults() *FaultUnit { return w.faults }

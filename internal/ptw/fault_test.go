@@ -1,0 +1,122 @@
+package ptw
+
+import (
+	"testing"
+
+	"masksim/internal/pagetable"
+)
+
+func TestFaultFirstTouchPaysLatency(t *testing.T) {
+	f := NewFaultUnit(100, 4)
+	fired := int64(-1)
+	if f.Touch(0, 1, 42, func(now int64) { fired = now }) {
+		t.Fatal("first touch reported resident")
+	}
+	for now := int64(1); now < 99; now++ {
+		f.Tick(now)
+		if fired >= 0 {
+			t.Fatalf("fault completed early at %d", fired)
+		}
+	}
+	f.Tick(100)
+	if fired != 100 {
+		t.Fatalf("fault completed at %d, want 100", fired)
+	}
+	// Page now resident: no further fault.
+	if !f.Touch(101, 1, 42, func(int64) {}) {
+		t.Fatal("resident page faulted again")
+	}
+	if f.Stats.Faults != 1 {
+		t.Fatalf("fault count %d, want 1", f.Stats.Faults)
+	}
+}
+
+func TestFaultMergesSamePage(t *testing.T) {
+	f := NewFaultUnit(50, 4)
+	done := 0
+	f.Touch(0, 1, 7, func(int64) { done++ })
+	f.Touch(1, 1, 7, func(int64) { done++ })
+	if f.Stats.Faults != 1 {
+		t.Fatalf("same-page touches raised %d faults", f.Stats.Faults)
+	}
+	for now := int64(0); now <= 60; now++ {
+		f.Tick(now)
+	}
+	if done != 2 {
+		t.Fatalf("%d callbacks fired, want 2", done)
+	}
+}
+
+func TestFaultConcurrencyLimit(t *testing.T) {
+	f := NewFaultUnit(100, 2)
+	done := 0
+	for vpn := uint64(0); vpn < 5; vpn++ {
+		f.Touch(0, 1, vpn, func(int64) { done++ })
+	}
+	if f.Outstanding() != 5 {
+		t.Fatalf("outstanding=%d, want 5", f.Outstanding())
+	}
+	// After one service window only the two in-flight faults are done.
+	for now := int64(0); now <= 100; now++ {
+		f.Tick(now)
+	}
+	if done != 2 {
+		t.Fatalf("%d faults done after one window, want 2 (concurrency limit)", done)
+	}
+	for now := int64(101); now <= 400; now++ {
+		f.Tick(now)
+	}
+	if done != 5 {
+		t.Fatalf("%d faults done at drain, want 5", done)
+	}
+	if f.Stats.AvgLatency() <= 100 {
+		t.Fatalf("queued faults should raise average latency above the service time, got %v",
+			f.Stats.AvgLatency())
+	}
+}
+
+func TestPrefaultSkipsFault(t *testing.T) {
+	f := NewFaultUnit(100, 1)
+	f.Prefault(1, 9)
+	if !f.Touch(0, 1, 9, func(int64) {}) {
+		t.Fatal("prefaulted page still faulted")
+	}
+}
+
+func TestWalkerWithFaultUnit(t *testing.T) {
+	mem := &fakeMem{}
+	w := New(4, mem, 1)
+	sp := pagetable.NewSpace(1, pagetable.PageSize4K, pagetable.NewAllocator())
+	w.AddSpace(sp)
+	fu := NewFaultUnit(200, 4)
+	w.SetFaultUnit(fu)
+	if w.Faults() != fu {
+		t.Fatal("fault unit not attached")
+	}
+
+	va := uint64(0x4_0000_0000)
+	sp.EnsureMapped(va)
+	var doneAt int64 = -1
+	w.StartWalk(0, 1, 0, sp.VPN(va), func(now int64, _ uint64) { doneAt = now })
+	now := int64(0)
+	for lvl := 0; lvl < 4; lvl++ {
+		w.Tick(now)
+		fu.Tick(now)
+		mem.completeAll(now + 1)
+		now += 2
+	}
+	// The walk finished but the fault holds the translation.
+	if doneAt >= 0 {
+		t.Fatal("translation returned before the fault was serviced")
+	}
+	for ; now < 300; now++ {
+		w.Tick(now)
+		fu.Tick(now)
+	}
+	if doneAt < 200 {
+		t.Fatalf("translation at %d, want >= fault latency 200", doneAt)
+	}
+	if w.Stats.Completed != 1 {
+		t.Fatal("walk completion not counted after fault")
+	}
+}

@@ -1,0 +1,245 @@
+// Package ptw implements the shared, highly-threaded page table walker.
+//
+// All cores share one walker that admits up to MaxConcurrent simultaneous
+// walks (64 in the paper, after Pichai et al. and Power et al.). Each walk
+// issues a chain of dependent physical memory reads, one per page-table
+// level; the reads are tagged Class=Translation with their WalkLevel so that
+// the L2 cache's bypass policy (§5.3) and the DRAM scheduler's Golden Queue
+// (§5.4) can distinguish them from data demand traffic.
+//
+// Under the PWCache baseline the walker's memory backend is the shared page
+// walk cache (an 8KB cache in front of the L2); under SharedTLB and MASK the
+// walker accesses the L2 data cache directly (Figure 2 of the paper).
+package ptw
+
+import (
+	"masksim/internal/cache"
+	"masksim/internal/memreq"
+	"masksim/internal/pagetable"
+)
+
+// Stats aggregates walker activity.
+type Stats struct {
+	Started   uint64
+	Completed uint64
+	LatSum    uint64
+
+	// Concurrency sampling for the Figure 5 metric.
+	Samples    uint64
+	ActiveSum  uint64
+	ActiveMax  int
+	ActivePeak int // including queued walks
+}
+
+// AvgLatency returns the mean walk latency in cycles.
+func (s Stats) AvgLatency() float64 {
+	if s.Completed == 0 {
+		return 0
+	}
+	return float64(s.LatSum) / float64(s.Completed)
+}
+
+// AvgConcurrent returns the average number of in-flight walks per sample.
+func (s Stats) AvgConcurrent() float64 {
+	if s.Samples == 0 {
+		return 0
+	}
+	return float64(s.ActiveSum) / float64(s.Samples)
+}
+
+type walk struct {
+	asid  uint8
+	appID int
+	vpn   uint64
+	done  func(now int64, frame uint64)
+
+	addrs    []uint64
+	level    int // next 1-based level to issue
+	waiting  bool
+	finished bool
+	start    int64
+	buf      [4]uint64
+}
+
+// Walker is the shared page table walker.
+type Walker struct {
+	max     int
+	backend cache.Backend
+	spaces  map[uint8]*pagetable.Space
+	idgen   *memreq.IDGen
+
+	active  []*walk
+	pending []*walk
+
+	perAppActive []int
+
+	// sampleEvery controls concurrency sampling (cycles); 0 disables.
+	sampleEvery int64
+
+	// faults, when non-nil, enables the demand-paging extension (§5.5).
+	faults *FaultUnit
+
+	Stats Stats
+}
+
+// New builds a walker admitting maxConcurrent walks, reading page tables
+// through backend.
+func New(maxConcurrent int, backend cache.Backend, numApps int) *Walker {
+	if maxConcurrent <= 0 {
+		maxConcurrent = 64
+	}
+	return &Walker{
+		max:          maxConcurrent,
+		backend:      backend,
+		spaces:       make(map[uint8]*pagetable.Space),
+		idgen:        &memreq.IDGen{},
+		perAppActive: make([]int, numApps),
+		sampleEvery:  128,
+	}
+}
+
+// AddSpace registers an address space so the walker can resolve its radix
+// table. Must be called for every ASID before simulation starts.
+func (w *Walker) AddSpace(s *pagetable.Space) {
+	w.spaces[s.ASID()] = s
+}
+
+// StartWalk implements tlb.WalkStarter: queue a walk for (asid, vpn).
+func (w *Walker) StartWalk(now int64, asid uint8, appID int, vpn uint64, done func(now int64, frame uint64)) {
+	sp, ok := w.spaces[asid]
+	if !ok {
+		panic("ptw: walk for unregistered ASID")
+	}
+	wk := &walk{asid: asid, appID: appID, vpn: vpn, done: done, level: 1, start: now}
+	wk.addrs = sp.WalkAddrsInto(vpn, wk.buf[:0])
+	w.Stats.Started++
+	if len(w.active) < w.max {
+		w.admit(wk)
+	} else {
+		w.pending = append(w.pending, wk)
+	}
+	if total := len(w.active) + len(w.pending); total > w.Stats.ActivePeak {
+		w.Stats.ActivePeak = total
+	}
+}
+
+// SubmitTrans implements tlb.TransBackend so the PWCache design can route L1
+// TLB misses straight to the walker. The pending queue is FIFO and
+// unbounded: under heavy miss traffic it grows long and walks become very
+// slow, which is precisely the PWCache design's weakness relative to a
+// shared L2 TLB (Figure 3). FIFO order keeps walker admission fair across
+// applications regardless of core tick order.
+func (w *Walker) SubmitTrans(now int64, tr *memreq.TransReq) bool {
+	w.StartWalk(now, tr.ASID, tr.AppID, tr.VPN, tr.Done)
+	return true
+}
+
+func (w *Walker) admit(wk *walk) {
+	w.active = append(w.active, wk)
+	if wk.appID >= 0 && wk.appID < len(w.perAppActive) {
+		w.perAppActive[wk.appID]++
+	}
+}
+
+// Tick issues the next dependent access for every walk that is not blocked
+// on memory, admits queued walks into freed slots, and samples concurrency.
+func (w *Walker) Tick(now int64) {
+	// Compact finished walks and admit pending ones.
+	nkeep := 0
+	for _, wk := range w.active {
+		if !wk.finished {
+			w.active[nkeep] = wk
+			nkeep++
+		}
+	}
+	w.active = w.active[:nkeep]
+	for len(w.active) < w.max && len(w.pending) > 0 {
+		wk := w.pending[0]
+		copy(w.pending, w.pending[1:])
+		w.pending = w.pending[:len(w.pending)-1]
+		w.admit(wk)
+	}
+
+	for _, wk := range w.active {
+		if wk.waiting || wk.finished {
+			continue
+		}
+		w.issue(now, wk)
+	}
+
+	if w.sampleEvery > 0 && now%w.sampleEvery == 0 {
+		w.Stats.Samples++
+		w.Stats.ActiveSum += uint64(len(w.active))
+		if len(w.active) > w.Stats.ActiveMax {
+			w.Stats.ActiveMax = len(w.active)
+		}
+	}
+}
+
+func (w *Walker) issue(now int64, wk *walk) {
+	lvl := wk.level
+	r := &memreq.Request{
+		ID:        w.idgen.Next(),
+		AppID:     wk.appID,
+		ASID:      wk.asid,
+		Kind:      memreq.Read,
+		Class:     memreq.Translation,
+		WalkLevel: uint8(lvl),
+		Addr:      wk.addrs[lvl-1],
+		Issue:     now,
+		Done: func(dnow int64, _ *memreq.Request) {
+			w.advance(dnow, wk)
+		},
+	}
+	if w.backend.Submit(now, r) {
+		wk.waiting = true
+	}
+	// On refusal the walk retries next tick.
+}
+
+func (w *Walker) advance(now int64, wk *walk) {
+	wk.waiting = false
+	wk.level++
+	if wk.level <= len(wk.addrs) {
+		return // next dependent access issues on the following tick
+	}
+	// Walk complete: resolve the frame from the radix table.
+	sp := w.spaces[wk.asid]
+	frame, ok := sp.TranslateVPN(wk.vpn)
+	if !ok {
+		panic("ptw: completed walk for unmapped page")
+	}
+	wk.finished = true
+	if wk.appID >= 0 && wk.appID < len(w.perAppActive) {
+		w.perAppActive[wk.appID]--
+	}
+	// Demand paging (§5.5): the walk found the PTE, but a non-resident page
+	// must be faulted in before the translation is usable.
+	if w.faults != nil {
+		if !w.faults.Touch(now, wk.asid, wk.vpn, func(fnow int64) {
+			w.Stats.Completed++
+			w.Stats.LatSum += uint64(fnow - wk.start)
+			wk.done(fnow, frame)
+		}) {
+			return
+		}
+	}
+	w.Stats.Completed++
+	w.Stats.LatSum += uint64(now - wk.start)
+	wk.done(now, frame)
+}
+
+// ActiveWalks returns the number of in-flight walks.
+func (w *Walker) ActiveWalks() int { return len(w.active) }
+
+// QueuedWalks returns the number of walks waiting for a slot.
+func (w *Walker) QueuedWalks() int { return len(w.pending) }
+
+// ActiveWalksForApp returns app's in-flight walk count; with the PWCache
+// design (no shared TLB) this provides the ConPTW pressure metric.
+func (w *Walker) ActiveWalksForApp(app int) int {
+	if app < 0 || app >= len(w.perAppActive) {
+		return 0
+	}
+	return w.perAppActive[app]
+}

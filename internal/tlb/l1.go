@@ -1,0 +1,222 @@
+// Package tlb implements the GPU's translation lookaside buffer hierarchy:
+// per-core L1 TLBs, the shared, ASID-tagged L2 TLB, MASK's TLB-Fill Tokens
+// with their bypass cache (§5.2), and the miss-status tracking that feeds
+// the Address-Space-Aware DRAM scheduler's pressure metrics (§5.4).
+package tlb
+
+import "masksim/internal/memreq"
+
+// TransBackend receives translation requests that miss in an L1 TLB — the
+// shared L2 TLB under the SharedTLB/MASK designs, or the page table walker
+// directly under the PWCache design.
+type TransBackend interface {
+	SubmitTrans(now int64, tr *memreq.TransReq) bool
+}
+
+// L1Stats aggregates per-core L1 TLB counters.
+type L1Stats struct {
+	Accesses uint64
+	Hits     uint64
+	Misses   uint64
+	// StalledWarpSamples records, for each completed miss, how many warps
+	// were blocked waiting on it (the Figure 6 metric).
+	StalledWarpSum   uint64
+	StalledWarpCount uint64
+}
+
+// MissRate returns Misses/Accesses, or 0 with no traffic.
+func (s L1Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// AvgStalledWarps returns the mean number of warps blocked per TLB miss.
+func (s L1Stats) AvgStalledWarps() float64 {
+	if s.StalledWarpCount == 0 {
+		return 0
+	}
+	return float64(s.StalledWarpSum) / float64(s.StalledWarpCount)
+}
+
+type l1entry struct {
+	vpn   uint64
+	frame uint64
+	stamp int64
+}
+
+type l1miss struct {
+	tr *memreq.TransReq
+	// waiting holds the completion callbacks of every warp blocked on this
+	// translation.
+	waiting []func(now int64, frame uint64)
+}
+
+// L1TLB is a private, per-core, fully-associative TLB (Table 1: 64 entries,
+// LRU, 1-cycle). The one-cycle latency is charged by the core model.
+type L1TLB struct {
+	coreID  int
+	appID   int
+	asid    uint8
+	size    int
+	entries map[uint64]*l1entry
+	stamp   int64
+	backend TransBackend
+
+	mshrs   map[uint64]*l1miss
+	pending []*memreq.TransReq
+
+	Stats L1Stats
+}
+
+// NewL1 builds an L1 TLB of the given size for one core.
+func NewL1(coreID, appID int, asid uint8, size int, backend TransBackend) *L1TLB {
+	return &L1TLB{
+		coreID:  coreID,
+		appID:   appID,
+		asid:    asid,
+		size:    size,
+		entries: make(map[uint64]*l1entry, size),
+		mshrs:   make(map[uint64]*l1miss),
+		backend: backend,
+	}
+}
+
+// Lookup translates vpn for warpID. On a hit, done is invoked immediately
+// (the core charges the 1-cycle access latency). On a miss the warp is
+// recorded against the miss and done fires when the translation returns.
+// hasToken is the warp's TLB-Fill Token state, propagated so the shared L2
+// TLB can apply MASK's fill policy.
+func (t *L1TLB) Lookup(now int64, vpn uint64, warpID int, hasToken bool, done func(now int64, frame uint64)) {
+	t.Stats.Accesses++
+	if e, ok := t.entries[vpn]; ok {
+		t.Stats.Hits++
+		t.stamp++
+		e.stamp = t.stamp
+		done(now, e.frame)
+		return
+	}
+	t.Stats.Misses++
+	if m, ok := t.mshrs[vpn]; ok {
+		m.waiting = append(m.waiting, done)
+		m.tr.StalledWarps++
+		return
+	}
+	tr := &memreq.TransReq{
+		AppID:        t.appID,
+		ASID:         t.asid,
+		CoreID:       t.coreID,
+		WarpID:       warpID,
+		VPN:          vpn,
+		HasToken:     hasToken,
+		Issue:        now,
+		StalledWarps: 1,
+	}
+	m := &l1miss{tr: tr, waiting: []func(int64, uint64){done}}
+	t.mshrs[vpn] = m
+	tr.Done = func(dnow int64, frame uint64) {
+		t.fill(dnow, vpn, frame)
+	}
+	if !t.backend.SubmitTrans(now, tr) {
+		t.pending = append(t.pending, tr)
+	}
+}
+
+// fill installs the translation, wakes every blocked warp, and records the
+// stalled-warp sample for the Figure 6 metric.
+func (t *L1TLB) fill(now int64, vpn uint64, frame uint64) {
+	m, ok := t.mshrs[vpn]
+	if !ok {
+		return // flushed while in flight
+	}
+	delete(t.mshrs, vpn)
+	t.insert(vpn, frame)
+	t.Stats.StalledWarpSum += uint64(len(m.waiting))
+	t.Stats.StalledWarpCount++
+	for _, cb := range m.waiting {
+		cb(now, frame)
+	}
+}
+
+func (t *L1TLB) insert(vpn, frame uint64) {
+	t.stamp++
+	if e, ok := t.entries[vpn]; ok {
+		e.frame = frame
+		e.stamp = t.stamp
+		return
+	}
+	if len(t.entries) >= t.size {
+		// Evict the LRU entry.
+		var victim uint64
+		var victimStamp int64 = 1<<63 - 1
+		for vpn, e := range t.entries {
+			if e.stamp < victimStamp {
+				victimStamp = e.stamp
+				victim = vpn
+			}
+		}
+		delete(t.entries, victim)
+	}
+	t.entries[vpn] = &l1entry{vpn: vpn, frame: frame, stamp: t.stamp}
+}
+
+// Tick retries backend submissions that were refused.
+func (t *L1TLB) Tick(now int64) {
+	if len(t.pending) == 0 {
+		return
+	}
+	nkeep := 0
+	for _, tr := range t.pending {
+		if !t.backend.SubmitTrans(now, tr) {
+			t.pending[nkeep] = tr
+			nkeep++
+		}
+	}
+	t.pending = t.pending[:nkeep]
+}
+
+// Flush empties the TLB (e.g. on an address-space switch). In-flight misses
+// are dropped; their warps are woken with the returned frame when the walk
+// completes via the stale MSHR map, so Flush also abandons the MSHRs after
+// waking waiters with the eventual translation. To keep the model simple and
+// live, Flush only clears cached entries; outstanding walks still complete
+// and wake their warps.
+func (t *L1TLB) Flush() {
+	t.entries = make(map[uint64]*l1entry, t.size)
+}
+
+// Entries returns the number of valid entries (test helper).
+func (t *L1TLB) Entries() int { return len(t.entries) }
+
+// OutstandingMisses returns the number of active miss entries.
+func (t *L1TLB) OutstandingMisses() int { return len(t.mshrs) }
+
+// Contains reports whether vpn is cached (test helper).
+func (t *L1TLB) Contains(vpn uint64) bool {
+	_, ok := t.entries[vpn]
+	return ok
+}
+
+// FlushFraction drops roughly the given fraction of cached entries
+// (deterministically), modelling partial eviction across a context switch.
+func (t *L1TLB) FlushFraction(fraction float64) {
+	if fraction <= 0 {
+		return
+	}
+	if fraction >= 1 {
+		t.Flush()
+		return
+	}
+	stride := int(1 / fraction)
+	if stride < 1 {
+		stride = 1
+	}
+	i := 0
+	for vpn := range t.entries {
+		if i%stride == 0 {
+			delete(t.entries, vpn)
+		}
+		i++
+	}
+}

@@ -1,0 +1,474 @@
+package tlb
+
+import (
+	"masksim/internal/engine"
+	"masksim/internal/memreq"
+)
+
+// WalkStarter begins a page table walk; the walker queues internally, so
+// StartWalk always succeeds. QueuedWalks exposes the backlog so the TLB can
+// apply back-pressure instead of queueing walks without bound.
+type WalkStarter interface {
+	StartWalk(now int64, asid uint8, appID int, vpn uint64, done func(now int64, frame uint64))
+	QueuedWalks() int
+}
+
+// walkBacklogLimit is the walker backlog beyond which the shared TLB stalls
+// its lookup ports. It models finite TLB MSHRs backing the walker: without
+// it, thousands of walks could queue while the paper's hardware would have
+// stalled the requesting warps much earlier.
+const walkBacklogLimit = 64
+
+// L2Config describes the shared L2 TLB (Table 1: 512 entries, 16-way, 2
+// ports, 10-cycle latency).
+type L2Config struct {
+	Entries    int
+	Ways       int
+	Ports      int
+	Latency    int64
+	QueueCap   int
+	BypassSize int // MASK TLB bypass cache entries (0 disables)
+	NumApps    int
+}
+
+// AppTLBStats holds per-application shared-TLB counters; epoch counters are
+// rolled by EpochRoll.
+type AppTLBStats struct {
+	Accesses uint64
+	Hits     uint64
+	Misses   uint64
+
+	epochAccesses uint64
+	epochMisses   uint64
+}
+
+// MissRate returns the cumulative miss rate.
+func (s AppTLBStats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+type l2key struct {
+	asid uint8
+	vpn  uint64
+}
+
+type l2entry struct {
+	key   l2key
+	frame uint64
+	valid bool
+	stamp int64
+	// prefetched marks entries installed by the prefetcher and not yet hit;
+	// a demand hit on one counts as a useful prefetch.
+	prefetched bool
+}
+
+type l2miss struct {
+	key   l2key
+	appID int
+	reqs  []*memreq.TransReq
+}
+
+// L2TLB is the shared, ASID-tagged second-level TLB. Under MASK it also owns
+// the TLB bypass cache and consults the TokenPolicy on fills.
+type L2TLB struct {
+	cfg    L2Config
+	sets   int
+	lines  []l2entry
+	stamp  int64
+	in     *engine.Pipe[*memreq.TransReq]
+	walker WalkStarter
+
+	mshrs map[l2key]*l2miss
+	// stalled holds lookups that missed while the walker backlog was full;
+	// they retry (and may meanwhile hit a newly filled entry or merge into a
+	// new MSHR) before fresh lookups are served.
+	stalled []*memreq.TransReq
+
+	tokens *TokenPolicy
+	bypass *bypassCache
+
+	// pf, when non-nil, predicts and prefetches translations (ext-prefetch).
+	pf         *Prefetcher
+	pfMapped   func(asid uint8, vpn uint64) bool
+	pfInFlight map[l2key]bool
+
+	apps []AppTLBStats
+	// wayMask restricts fills per app (Static partitioning); empty disables.
+	wayMask []uint64
+}
+
+// NewL2 builds the shared TLB. tokens may be nil (no token mechanism).
+func NewL2(cfg L2Config, walker WalkStarter, tokens *TokenPolicy) *L2TLB {
+	if cfg.Ways <= 0 || cfg.Entries < cfg.Ways {
+		panic("tlb: invalid L2 TLB geometry")
+	}
+	if cfg.Ports <= 0 {
+		cfg.Ports = 1
+	}
+	if cfg.QueueCap == 0 {
+		cfg.QueueCap = 64
+	}
+	t := &L2TLB{
+		cfg:    cfg,
+		sets:   cfg.Entries / cfg.Ways,
+		lines:  make([]l2entry, cfg.Entries),
+		in:     engine.NewPipe[*memreq.TransReq](cfg.Latency, cfg.QueueCap),
+		walker: walker,
+		mshrs:  make(map[l2key]*l2miss),
+		tokens: tokens,
+		apps:   make([]AppTLBStats, cfg.NumApps),
+	}
+	if cfg.BypassSize > 0 {
+		t.bypass = newBypassCache(cfg.BypassSize)
+	}
+	return t
+}
+
+// SetWayPartition restricts each app's fills to a subset of ways (Static).
+func (t *L2TLB) SetWayPartition(masks []uint64) { t.wayMask = masks }
+
+// SetPrefetcher enables stride prefetching. mapped reports whether a VPN is
+// mapped in the given address space (prefetching an unmapped page would
+// fault).
+func (t *L2TLB) SetPrefetcher(p *Prefetcher, mapped func(asid uint8, vpn uint64) bool) {
+	t.pf = p
+	t.pfMapped = mapped
+	t.pfInFlight = make(map[l2key]bool)
+}
+
+// Prefetcher returns the attached prefetcher (nil when disabled).
+func (t *L2TLB) Prefetcher() *Prefetcher { return t.pf }
+
+// maybePrefetch issues a prediction-driven walk when the walker is idle.
+func (t *L2TLB) maybePrefetch(now int64, asid uint8, appID int, vpn uint64) {
+	if t.pf == nil {
+		return
+	}
+	next, ok := t.pf.Observe(asid, vpn)
+	if !ok || !t.pfMapped(asid, next) {
+		return
+	}
+	key := l2key{asid, next}
+	if t.pfInFlight[key] {
+		return
+	}
+	if _, present := t.probe(key); present {
+		return
+	}
+	if _, miss := t.mshrs[key]; miss {
+		return
+	}
+	if t.walker.QueuedWalks() > 0 {
+		return // never delay demand walks
+	}
+	t.pf.Stats.Issued++
+	t.pfInFlight[key] = true
+	t.walker.StartWalk(now, asid, appID, next, func(dnow int64, frame uint64) {
+		delete(t.pfInFlight, key)
+		t.install(key, frame, appID)
+		t.markPrefetched(key)
+	})
+}
+
+func (t *L2TLB) markPrefetched(key l2key) {
+	base := t.setOf(key) * t.cfg.Ways
+	for w := 0; w < t.cfg.Ways; w++ {
+		e := &t.lines[base+w]
+		if e.valid && e.key == key {
+			e.prefetched = true
+			return
+		}
+	}
+}
+
+// SubmitTrans implements TransBackend for the L1 TLBs.
+func (t *L2TLB) SubmitTrans(now int64, tr *memreq.TransReq) bool {
+	return t.in.Push(now, tr)
+}
+
+// Tick services up to Ports lookups whose access latency has elapsed.
+// Lookups that missed while the walker backlog was full retry first; the
+// backlog bound models finite TLB MSHR/walker queue capacity, so warps
+// behind a full walker wait at the TLB rather than growing an unbounded
+// hardware queue.
+func (t *L2TLB) Tick(now int64) {
+	for len(t.stalled) > 0 && t.walker.QueuedWalks() < walkBacklogLimit {
+		tr := t.stalled[0]
+		copy(t.stalled, t.stalled[1:])
+		t.stalled = t.stalled[:len(t.stalled)-1]
+		t.lookup(now, tr, false)
+	}
+	for i := 0; i < t.cfg.Ports; i++ {
+		tr, ok := t.in.Pop(now)
+		if !ok {
+			return
+		}
+		t.lookup(now, tr, true)
+	}
+}
+
+// lookup resolves one translation request. Stats are recorded at resolution:
+// Accesses on first probe, Hits/Misses when the request hits, merges, or
+// starts a walk.
+func (t *L2TLB) lookup(now int64, tr *memreq.TransReq, first bool) {
+	app := tr.AppID
+	if first && app >= 0 && app < len(t.apps) {
+		t.apps[app].Accesses++
+		t.apps[app].epochAccesses++
+	}
+	key := l2key{tr.ASID, tr.VPN}
+	if first {
+		// The prefetcher observes the demand reference stream (hits and
+		// misses alike); observing only misses would break its own stride
+		// chain every time a prefetch becomes useful.
+		t.maybePrefetch(now, key.asid, app, key.vpn)
+	}
+
+	// Probe the main TLB and the bypass cache in parallel (§5.2: "a hit in
+	// either the TLB or the TLB bypass cache yields a TLB hit").
+	if frame, ok := t.probe(key); ok {
+		t.recordHit(app)
+		tr.Done(now, frame)
+		return
+	}
+	if t.bypass != nil {
+		if frame, ok := t.bypass.probe(key.asid, key.vpn); ok {
+			t.recordHit(app)
+			tr.Done(now, frame)
+			return
+		}
+	}
+
+	if m, ok := t.mshrs[key]; ok {
+		t.recordMiss(app)
+		m.reqs = append(m.reqs, tr)
+		return
+	}
+	if t.walker.QueuedWalks() >= walkBacklogLimit {
+		// No walk slot: park the request; it retries next tick.
+		t.stalled = append(t.stalled, tr)
+		return
+	}
+	t.recordMiss(app)
+	m := &l2miss{key: key, appID: app, reqs: []*memreq.TransReq{tr}}
+	t.mshrs[key] = m
+	t.walker.StartWalk(now, key.asid, app, key.vpn, func(dnow int64, frame uint64) {
+		t.fill(dnow, m, frame)
+	})
+}
+
+func (t *L2TLB) recordMiss(app int) {
+	if app >= 0 && app < len(t.apps) {
+		t.apps[app].Misses++
+		t.apps[app].epochMisses++
+	}
+}
+
+func (t *L2TLB) recordHit(app int) {
+	if app >= 0 && app < len(t.apps) {
+		t.apps[app].Hits++
+	}
+}
+
+func (t *L2TLB) probe(key l2key) (uint64, bool) {
+	base := t.setOf(key) * t.cfg.Ways
+	for w := 0; w < t.cfg.Ways; w++ {
+		e := &t.lines[base+w]
+		if e.valid && e.key == key {
+			t.stamp++
+			e.stamp = t.stamp
+			if e.prefetched {
+				e.prefetched = false
+				if t.pf != nil {
+					t.pf.Stats.Useful++
+				}
+			}
+			return e.frame, true
+		}
+	}
+	return 0, false
+}
+
+func (t *L2TLB) setOf(key l2key) int {
+	// Hash the VPN (and mix in the ASID) rather than indexing with its low
+	// bits: GPGPU heaps allocate large-stride regions whose VPNs share low
+	// bits, and a modulo index would collapse them onto a handful of sets.
+	h := (key.vpn ^ uint64(key.asid)<<56) * 0x9E3779B97F4A7C15
+	return int((h >> 32) % uint64(t.sets))
+}
+
+// fill completes a miss: install the translation (subject to TLB-Fill
+// Tokens), then wake every merged requester.
+func (t *L2TLB) fill(now int64, m *l2miss, frame uint64) {
+	delete(t.mshrs, m.key)
+
+	// The fill may enter the main TLB if any merged requester held a token;
+	// otherwise it is buffered only in the bypass cache (§5.2).
+	hasToken := t.tokens == nil || !t.tokens.Enabled()
+	if !hasToken {
+		for _, tr := range m.reqs {
+			if tr.HasToken {
+				hasToken = true
+				break
+			}
+		}
+	}
+	if hasToken {
+		t.install(m.key, frame, m.appID)
+	} else if t.bypass != nil {
+		t.bypass.fill(m.key.asid, m.key.vpn, frame)
+	}
+
+	for _, tr := range m.reqs {
+		tr.Done(now, frame)
+	}
+	m.reqs = nil
+}
+
+func (t *L2TLB) install(key l2key, frame uint64, appID int) {
+	base := t.setOf(key) * t.cfg.Ways
+	victim := -1
+	var victimStamp int64 = 1<<63 - 1
+	var mask uint64 = ^uint64(0)
+	if len(t.wayMask) > 0 && appID >= 0 && appID < len(t.wayMask) {
+		mask = t.wayMask[appID]
+	}
+	for w := 0; w < t.cfg.Ways; w++ {
+		if mask&(1<<uint(w)) == 0 {
+			continue
+		}
+		e := &t.lines[base+w]
+		if !e.valid {
+			victim = w
+			break
+		}
+		if e.stamp < victimStamp {
+			victimStamp = e.stamp
+			victim = w
+		}
+	}
+	if victim < 0 {
+		victim = 0
+	}
+	t.stamp++
+	t.lines[base+victim] = l2entry{key: key, frame: frame, valid: true, stamp: t.stamp}
+}
+
+// PrefetchStats returns the prefetcher counters (zero when disabled).
+func (t *L2TLB) PrefetchStats() PrefetchStats {
+	if t.pf == nil {
+		return PrefetchStats{}
+	}
+	return t.pf.Stats
+}
+
+// EpochRoll returns each app's shared-TLB miss rate over the epoch that just
+// ended and starts a new epoch. The simulator feeds the result to
+// TokenPolicy.Epoch.
+func (t *L2TLB) EpochRoll() []float64 {
+	rates := make([]float64, len(t.apps))
+	for i := range t.apps {
+		if t.apps[i].epochAccesses > 0 {
+			rates[i] = float64(t.apps[i].epochMisses) / float64(t.apps[i].epochAccesses)
+		}
+		t.apps[i].epochAccesses = 0
+		t.apps[i].epochMisses = 0
+	}
+	return rates
+}
+
+// Pressure implements the per-app metrics for the MASK DRAM scheduler
+// (§5.4): the number of concurrent page walks and the average number of
+// warps stalled per active miss. Both counters saturate at 63, matching the
+// paper's 6-bit hardware counters; saturation also keeps the Silver-Queue
+// quota split stable when both apps are far beyond the measurable range.
+func (t *L2TLB) Pressure(app int) (conPTW, warpsStalled float64) {
+	n := 0
+	stalled := 0
+	for _, m := range t.mshrs {
+		if m.appID != app {
+			continue
+		}
+		n++
+		for _, tr := range m.reqs {
+			stalled += tr.StalledWarps
+		}
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	avg := float64(stalled) / float64(n)
+	if n > 63 {
+		n = 63
+	}
+	if avg > 63 {
+		avg = 63
+	}
+	return float64(n), avg
+}
+
+// AppStats returns app's cumulative counters.
+func (t *L2TLB) AppStats(app int) AppTLBStats {
+	if app < 0 || app >= len(t.apps) {
+		return AppTLBStats{}
+	}
+	return t.apps[app]
+}
+
+// TotalStats sums counters across apps.
+func (t *L2TLB) TotalStats() AppTLBStats {
+	var total AppTLBStats
+	for _, s := range t.apps {
+		total.Accesses += s.Accesses
+		total.Hits += s.Hits
+		total.Misses += s.Misses
+	}
+	return total
+}
+
+// BypassHitRate returns the TLB bypass cache hit rate (0 when disabled).
+func (t *L2TLB) BypassHitRate() float64 {
+	if t.bypass == nil {
+		return 0
+	}
+	return t.bypass.hitRate()
+}
+
+// OutstandingMisses returns the number of active L2 TLB MSHRs.
+func (t *L2TLB) OutstandingMisses() int { return len(t.mshrs) }
+
+// FlushASID removes all entries belonging to asid from the main TLB and the
+// bypass cache (TLB shootdown support, §5.5).
+func (t *L2TLB) FlushASID(asid uint8) {
+	for i := range t.lines {
+		if t.lines[i].valid && t.lines[i].key.asid == asid {
+			t.lines[i].valid = false
+		}
+	}
+	if t.bypass != nil {
+		t.bypass.flushASID(asid)
+	}
+}
+
+// FlushFraction invalidates roughly the given fraction of entries
+// (deterministically), modelling partial eviction across a context switch.
+func (t *L2TLB) FlushFraction(fraction float64) {
+	if fraction <= 0 {
+		return
+	}
+	stride := 1
+	if fraction < 1 {
+		stride = int(1 / fraction)
+		if stride < 1 {
+			stride = 1
+		}
+	}
+	for i := range t.lines {
+		if i%stride == 0 {
+			t.lines[i].valid = false
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package tlb
+
+// TokenPolicy implements MASK's TLB-Fill Tokens (§5.2).
+//
+// Every warp may probe the shared L2 TLB, but only warps holding a token may
+// fill it; fills from token-less warps are redirected to the small bypass
+// cache. Tokens are assigned per application in units of warps per core, in
+// warp-ID order ("if there are n tokens, the n warps with the lowest warp ID
+// values receive tokens"). At each epoch boundary the per-application token
+// count adapts to the application's shared-TLB miss rate: a miss rate that
+// rose by more than 2% signals contention (shed tokens); one that fell by
+// more than 2% signals headroom (grant tokens).
+type TokenPolicy struct {
+	enabled      bool
+	warpsPerCore int
+	// tokensPerCore[app] is the number of token-holding warps on each of the
+	// app's cores.
+	tokensPerCore []int
+	prevMissRate  []float64
+	havePrev      []bool
+	// firstEpoch disables bypassing during the first epoch, per the paper
+	// (footnote 6).
+	firstEpoch bool
+	step       int
+	// dir is each app's current search direction (+1 grant, -1 shed), used
+	// when the miss rate is flat: the paper's ±2%-delta rule alone has no
+	// gradient to follow once the miss rate plateaus, so the policy keeps
+	// probing in its current direction and reverses when an adjustment made
+	// the miss rate worse. This converges to the same steady state the
+	// paper describes (§7.2) without manual tuning of InitialTokens.
+	dir []int
+}
+
+// NewTokenPolicy creates the policy for numApps applications with the given
+// warps per core. initialFraction is the paper's InitialTokens parameter
+// (evaluated at 80%). If enabled is false, HasToken always returns true and
+// Epoch is a no-op, which turns MASK-TLB off.
+func NewTokenPolicy(numApps, warpsPerCore int, initialFraction float64, enabled bool) *TokenPolicy {
+	p := &TokenPolicy{
+		enabled:       enabled,
+		warpsPerCore:  warpsPerCore,
+		tokensPerCore: make([]int, numApps),
+		prevMissRate:  make([]float64, numApps),
+		havePrev:      make([]bool, numApps),
+		firstEpoch:    true,
+		step:          warpsPerCore / 16,
+		dir:           make([]int, numApps),
+	}
+	for i := range p.dir {
+		p.dir[i] = -1 // start by probing downward: fewer fill sources
+	}
+	if p.step < 1 {
+		p.step = 1
+	}
+	init := int(initialFraction * float64(warpsPerCore))
+	if init < 1 {
+		init = 1
+	}
+	if init > warpsPerCore {
+		init = warpsPerCore
+	}
+	for i := range p.tokensPerCore {
+		p.tokensPerCore[i] = init
+	}
+	return p
+}
+
+// Enabled reports whether the token mechanism is active.
+func (p *TokenPolicy) Enabled() bool { return p.enabled }
+
+// HasToken reports whether the given warp of app currently holds a token.
+func (p *TokenPolicy) HasToken(app, warpID int) bool {
+	if !p.enabled || p.firstEpoch {
+		return true
+	}
+	if app < 0 || app >= len(p.tokensPerCore) {
+		return true
+	}
+	return warpID < p.tokensPerCore[app]
+}
+
+// Tokens returns app's per-core token count (test/introspection helper).
+func (p *TokenPolicy) Tokens(app int) int {
+	if app < 0 || app >= len(p.tokensPerCore) {
+		return p.warpsPerCore
+	}
+	return p.tokensPerCore[app]
+}
+
+// Epoch adapts token counts from the per-app shared-TLB miss rates measured
+// over the epoch that just ended.
+func (p *TokenPolicy) Epoch(missRate []float64) {
+	if !p.enabled {
+		return
+	}
+	p.firstEpoch = false
+	for app := 0; app < len(p.tokensPerCore) && app < len(missRate); app++ {
+		mr := missRate[app]
+		if p.havePrev[app] {
+			delta := mr - p.prevMissRate[app]
+			switch {
+			case delta > 0.02:
+				// The last adjustment made the miss rate worse: reverse
+				// course. (The paper reads a rising miss rate as "shed
+				// tokens"; as pure feedback control that diverges when the
+				// rise was caused by the policy's own previous decrease, so
+				// the policy hill-climbs instead — DESIGN.md §5.)
+				p.dir[app] = -p.dir[app]
+				p.tokensPerCore[app] += p.step * p.dir[app]
+			case delta < -0.02:
+				// Miss rate fell: keep whatever direction produced this.
+				p.tokensPerCore[app] += p.step * p.dir[app]
+			default:
+				// Flat miss rate: keep probing in the current direction,
+				// but only while the TLB is clearly struggling — in the
+				// comfortable region (low miss rate) leave tokens alone.
+				if mr > 0.5 {
+					p.tokensPerCore[app] += p.step * p.dir[app]
+				}
+			}
+			if p.tokensPerCore[app] <= 1 {
+				p.tokensPerCore[app] = 1
+				p.dir[app] = 1 // bounce off the floor
+			}
+			if p.tokensPerCore[app] >= p.warpsPerCore {
+				p.tokensPerCore[app] = p.warpsPerCore
+				p.dir[app] = -1 // and off the ceiling
+			}
+		}
+		p.prevMissRate[app] = mr
+		p.havePrev[app] = true
+	}
+}

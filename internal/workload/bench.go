@@ -1,0 +1,176 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+)
+
+// The 30 benchmarks of the paper's Figures 5/6 (drawn from the CUDA SDK,
+// Rodinia, Parboil, LULESH and SHOC suites), reproduced as synthetic
+// profiles. Each profile's L1Class/L2Class matches the paper's Table 2
+// categorisation; the three benchmarks absent from Table 2 (JPEG, LIB, SPMV)
+// are classified from their Figure 5/6 behaviour.
+//
+// Calibration logic (see DESIGN.md):
+//   - low L1 / low L2: small shared hot set, high within-page locality;
+//   - low L1 / high L2: per-warp streaming over a large footprint — each
+//     page is reused many times by its warp (L1 hits) but the aggregate
+//     active set across 30 cores × 64 warps far exceeds 512 L2 TLB entries;
+//   - high L1 / low L2: random jumps over a shared footprint that exceeds a
+//     64-entry L1 TLB but fits the 512-entry L2 TLB when run alone — the
+//     profiles that thrash once a co-runner appears (Figure 7);
+//   - high L1 / high L2: random jumps over a large footprint.
+var profiles = map[string]Profile{
+	// ---- low L1 / low L2: small shared hot sets, strong locality ---------
+	"LUD": {Name: "LUD", HotBytes: 448 << 10, PrivateBytes: 1 << 20, HotProb: 0.95,
+		PageStayProb: 0.90, SeqProb: 0.8, ComputePerMem: 24, Divergence: 1, LinesPerInst: 8, WriteFrac: 0.20,
+		WarpsPerGroup: 4, L1Class: Low, L2Class: Low},
+	"NN": {Name: "NN", HotBytes: 384 << 10, PrivateBytes: 1 << 20, HotProb: 0.95,
+		PageStayProb: 0.92, SeqProb: 0.9, ComputePerMem: 30, Divergence: 1, LinesPerInst: 4, WriteFrac: 0.10,
+		WarpsPerGroup: 4, L1Class: Low, L2Class: Low},
+
+	// ---- low L1 / high L2: grouped streaming over large footprints -------
+	"BFS2": {Name: "BFS2", HotBytes: 64 << 10, PrivateBytes: 48 << 20, HotProb: 0.08,
+		PageStayProb: 0.93, SeqProb: 0.55, ComputePerMem: 6, Divergence: 2, DivergeProb: 0.08, ScatterHotFrac: 0.70, LinesPerInst: 2, WriteFrac: 0.15,
+		RandomLines: true, VAStridePages: 64, WarpsPerGroup: 8, L1Class: Low, L2Class: High},
+	"FFT": {Name: "FFT", HotBytes: 64 << 10, PrivateBytes: 64 << 20, HotProb: 0.05,
+		PageStayProb: 0.93, SeqProb: 0.85, ComputePerMem: 8, Divergence: 2, DivergeProb: 0.08, ScatterHotFrac: 0.70, LinesPerInst: 16, WriteFrac: 0.40,
+		VAStridePages: 64, WarpsPerGroup: 8, L1Class: Low, L2Class: High},
+	"HISTO": {Name: "HISTO", HotBytes: 96 << 10, PrivateBytes: 48 << 20, HotProb: 0.10,
+		PageStayProb: 0.93, SeqProb: 0.9, ComputePerMem: 6, Divergence: 2, DivergeProb: 0.08, ScatterHotFrac: 0.70, LinesPerInst: 12, WriteFrac: 0.30,
+		VAStridePages: 64, WarpsPerGroup: 8, L1Class: Low, L2Class: High},
+	"NW": {Name: "NW", HotBytes: 64 << 10, PrivateBytes: 56 << 20, HotProb: 0.05,
+		PageStayProb: 0.93, SeqProb: 0.95, ComputePerMem: 10, Divergence: 2, DivergeProb: 0.08, ScatterHotFrac: 0.70, LinesPerInst: 16, WriteFrac: 0.25,
+		VAStridePages: 64, WarpsPerGroup: 8, L1Class: Low, L2Class: High},
+	"QTC": {Name: "QTC", HotBytes: 96 << 10, PrivateBytes: 40 << 20, HotProb: 0.08,
+		PageStayProb: 0.93, SeqProb: 0.7, ComputePerMem: 12, Divergence: 2, DivergeProb: 0.08, ScatterHotFrac: 0.70, LinesPerInst: 8, WriteFrac: 0.10,
+		VAStridePages: 64, WarpsPerGroup: 8, L1Class: Low, L2Class: High},
+	"RAY": {Name: "RAY", HotBytes: 128 << 10, PrivateBytes: 64 << 20, HotProb: 0.10,
+		PageStayProb: 0.93, SeqProb: 0.6, ComputePerMem: 12, Divergence: 2, DivergeProb: 0.08, ScatterHotFrac: 0.70, LinesPerInst: 2, WriteFrac: 0.05,
+		VAStridePages: 64, WarpsPerGroup: 8, L1Class: Low, L2Class: High},
+	"SAD": {Name: "SAD", HotBytes: 64 << 10, PrivateBytes: 48 << 20, HotProb: 0.05,
+		PageStayProb: 0.93, SeqProb: 0.9, ComputePerMem: 6, Divergence: 2, DivergeProb: 0.08, ScatterHotFrac: 0.70, LinesPerInst: 12, WriteFrac: 0.20,
+		VAStridePages: 64, WarpsPerGroup: 8, L1Class: Low, L2Class: High},
+	"SCP": {Name: "SCP", HotBytes: 64 << 10, PrivateBytes: 56 << 20, HotProb: 0.05,
+		PageStayProb: 0.93, SeqProb: 0.95, ComputePerMem: 8, Divergence: 2, DivergeProb: 0.08, ScatterHotFrac: 0.70, LinesPerInst: 16, WriteFrac: 0.30,
+		VAStridePages: 64, WarpsPerGroup: 8, L1Class: Low, L2Class: High},
+	"LIB": {Name: "LIB", HotBytes: 96 << 10, PrivateBytes: 40 << 20, HotProb: 0.08,
+		PageStayProb: 0.93, SeqProb: 0.8, ComputePerMem: 10, Divergence: 2, DivergeProb: 0.08, ScatterHotFrac: 0.70, LinesPerInst: 8, WriteFrac: 0.15,
+		VAStridePages: 64, WarpsPerGroup: 8, L1Class: Low, L2Class: High},
+
+	// ---- high L1 / low L2: random jumps over shared medium footprints ----
+	// Footprints exceed the 64-entry L1 TLB but fit the 512-entry shared L2
+	// TLB when run alone; two co-runners overflow it (the Figure 7 story).
+	"BP": {Name: "BP", HotBytes: 1280 << 10, PrivateBytes: 1 << 20, HotProb: 0.93,
+		PageStayProb: 0.35, SeqProb: 0.5, ComputePerMem: 8, Divergence: 1, LinesPerInst: 4, WriteFrac: 0.25,
+		VAStridePages: 64, WarpsPerGroup: 8, L1Class: High, L2Class: Low},
+	"GUP": {Name: "GUP", HotBytes: 1408 << 10, PrivateBytes: 1 << 20, HotProb: 0.96,
+		PageStayProb: 0.15, SeqProb: 0.2, ComputePerMem: 2, Divergence: 2, DivergeProb: 0.50, ScatterHotFrac: 0.70, LinesPerInst: 1, WriteFrac: 0.50,
+		RandomLines: true, VAStridePages: 64, WarpsPerGroup: 8, L1Class: High, L2Class: Low},
+	"HS": {Name: "HS", HotBytes: 1024 << 10, PrivateBytes: 1 << 20, HotProb: 0.92,
+		PageStayProb: 0.40, SeqProb: 0.6, ComputePerMem: 16, Divergence: 1, LinesPerInst: 8, WriteFrac: 0.20,
+		VAStridePages: 64, WarpsPerGroup: 8, L1Class: High, L2Class: Low},
+	"LPS": {Name: "LPS", HotBytes: 1152 << 10, PrivateBytes: 1 << 20, HotProb: 0.93,
+		PageStayProb: 0.35, SeqProb: 0.7, ComputePerMem: 10, Divergence: 1, LinesPerInst: 8, WriteFrac: 0.25,
+		VAStridePages: 64, WarpsPerGroup: 8, L1Class: High, L2Class: Low},
+
+	// ---- high L1 / high L2: frequent jumps between a hot region of a few
+	// hundred pages (L2-TLB-scale reuse, the thrashing that TLB-Fill Tokens
+	// attack) and a large streamed private region (compulsory misses whose
+	// leaf PTEs cache poorly, the opportunity for the L2 bypass). ----------
+	"3DS": {Name: "3DS", HotBytes: 4 << 20, PrivateBytes: 48 << 20, HotProb: 0.60,
+		PageStayProb: 0.40, SeqProb: 0.4, ComputePerMem: 6, Divergence: 2, DivergeProb: 0.25, ScatterHotFrac: 0.70, LinesPerInst: 12, WriteFrac: 0.20,
+		VAStridePages: 64, WarpsPerGroup: 32, L1Class: High, L2Class: High},
+	"BLK": {Name: "BLK", HotBytes: 3 << 20, PrivateBytes: 32 << 20, HotProb: 0.55,
+		PageStayProb: 0.45, SeqProb: 0.5, ComputePerMem: 10, Divergence: 2, DivergeProb: 0.25, ScatterHotFrac: 0.70, LinesPerInst: 8, WriteFrac: 0.30,
+		VAStridePages: 64, WarpsPerGroup: 32, L1Class: High, L2Class: High},
+	"CFD": {Name: "CFD", HotBytes: 4 << 20, PrivateBytes: 48 << 20, HotProb: 0.55,
+		PageStayProb: 0.40, SeqProb: 0.3, ComputePerMem: 8, Divergence: 3, DivergeProb: 0.35, ScatterHotFrac: 0.70, LinesPerInst: 8, WriteFrac: 0.25,
+		RandomLines: true, VAStridePages: 64, WarpsPerGroup: 16, L1Class: High, L2Class: High},
+	"CONS": {Name: "CONS", HotBytes: 3 << 20, PrivateBytes: 40 << 20, HotProb: 0.55,
+		PageStayProb: 0.35, SeqProb: 0.5, ComputePerMem: 4, Divergence: 2, DivergeProb: 0.25, ScatterHotFrac: 0.70, LinesPerInst: 12, WriteFrac: 0.35,
+		VAStridePages: 64, WarpsPerGroup: 32, L1Class: High, L2Class: High},
+	"FWT": {Name: "FWT", HotBytes: 3 << 20, PrivateBytes: 32 << 20, HotProb: 0.55,
+		PageStayProb: 0.45, SeqProb: 0.6, ComputePerMem: 6, Divergence: 2, DivergeProb: 0.25, ScatterHotFrac: 0.70, LinesPerInst: 12, WriteFrac: 0.40,
+		VAStridePages: 64, WarpsPerGroup: 32, L1Class: High, L2Class: High},
+	"LUH": {Name: "LUH", HotBytes: 4 << 20, PrivateBytes: 48 << 20, HotProb: 0.60,
+		PageStayProb: 0.40, SeqProb: 0.4, ComputePerMem: 12, Divergence: 3, DivergeProb: 0.35, ScatterHotFrac: 0.70, LinesPerInst: 8, WriteFrac: 0.30,
+		VAStridePages: 64, WarpsPerGroup: 16, L1Class: High, L2Class: High},
+	"MM": {Name: "MM", HotBytes: 4 << 20, PrivateBytes: 40 << 20, HotProb: 0.60,
+		PageStayProb: 0.50, SeqProb: 0.7, ComputePerMem: 6, Divergence: 2, DivergeProb: 0.25, ScatterHotFrac: 0.70, LinesPerInst: 16, WriteFrac: 0.15,
+		VAStridePages: 64, WarpsPerGroup: 32, L1Class: High, L2Class: High},
+	"MUM": {Name: "MUM", HotBytes: 4 << 20, PrivateBytes: 48 << 20, HotProb: 0.50,
+		PageStayProb: 0.30, SeqProb: 0.2, ComputePerMem: 4, Divergence: 4, DivergeProb: 0.40, ScatterHotFrac: 0.70, LinesPerInst: 1, WriteFrac: 0.10,
+		RandomLines: true, VAStridePages: 64, WarpsPerGroup: 16, L1Class: High, L2Class: High},
+	"RED": {Name: "RED", HotBytes: 3 << 20, PrivateBytes: 40 << 20, HotProb: 0.55,
+		PageStayProb: 0.40, SeqProb: 0.8, ComputePerMem: 2, Divergence: 2, DivergeProb: 0.25, ScatterHotFrac: 0.70, LinesPerInst: 16, WriteFrac: 0.45,
+		VAStridePages: 64, WarpsPerGroup: 32, L1Class: High, L2Class: High},
+	"SC": {Name: "SC", HotBytes: 3 << 20, PrivateBytes: 32 << 20, HotProb: 0.55,
+		PageStayProb: 0.40, SeqProb: 0.5, ComputePerMem: 6, Divergence: 2, DivergeProb: 0.25, ScatterHotFrac: 0.70, LinesPerInst: 12, WriteFrac: 0.35,
+		VAStridePages: 64, WarpsPerGroup: 32, L1Class: High, L2Class: High},
+	"SCAN": {Name: "SCAN", HotBytes: 3 << 20, PrivateBytes: 40 << 20, HotProb: 0.55,
+		PageStayProb: 0.35, SeqProb: 0.85, ComputePerMem: 2, Divergence: 2, DivergeProb: 0.25, ScatterHotFrac: 0.70, LinesPerInst: 16, WriteFrac: 0.45,
+		VAStridePages: 64, WarpsPerGroup: 32, L1Class: High, L2Class: High},
+	"SRAD": {Name: "SRAD", HotBytes: 3 << 20, PrivateBytes: 32 << 20, HotProb: 0.55,
+		PageStayProb: 0.45, SeqProb: 0.6, ComputePerMem: 6, Divergence: 2, DivergeProb: 0.25, ScatterHotFrac: 0.70, LinesPerInst: 12, WriteFrac: 0.30,
+		VAStridePages: 64, WarpsPerGroup: 32, L1Class: High, L2Class: High},
+	"TRD": {Name: "TRD", HotBytes: 4 << 20, PrivateBytes: 40 << 20, HotProb: 0.60,
+		PageStayProb: 0.40, SeqProb: 0.5, ComputePerMem: 8, Divergence: 2, DivergeProb: 0.25, ScatterHotFrac: 0.70, LinesPerInst: 8, WriteFrac: 0.25,
+		VAStridePages: 64, WarpsPerGroup: 32, L1Class: High, L2Class: High},
+	"JPEG": {Name: "JPEG", HotBytes: 3 << 20, PrivateBytes: 32 << 20, HotProb: 0.55,
+		PageStayProb: 0.45, SeqProb: 0.75, ComputePerMem: 8, Divergence: 2, DivergeProb: 0.25, ScatterHotFrac: 0.70, LinesPerInst: 12, WriteFrac: 0.30,
+		VAStridePages: 64, WarpsPerGroup: 32, L1Class: High, L2Class: High},
+	"SPMV": {Name: "SPMV", HotBytes: 3 << 20, PrivateBytes: 40 << 20, HotProb: 0.50,
+		PageStayProb: 0.30, SeqProb: 0.3, ComputePerMem: 4, Divergence: 4, DivergeProb: 0.40, ScatterHotFrac: 0.70, LinesPerInst: 2, WriteFrac: 0.15,
+		RandomLines: true, VAStridePages: 64, WarpsPerGroup: 16, L1Class: High, L2Class: High},
+}
+
+// ByName returns the named benchmark profile.
+func ByName(name string) (Profile, error) {
+	p, ok := profiles[name]
+	if !ok {
+		return Profile{}, fmt.Errorf("workload: unknown benchmark %q", name)
+	}
+	return p, nil
+}
+
+// MustByName is ByName for static names; it panics on unknown names.
+func MustByName(name string) Profile {
+	p, err := ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Names returns all benchmark names in sorted order.
+func Names() []string {
+	names := make([]string, 0, len(profiles))
+	for n := range profiles {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// App is one application instance in a multi-programmed workload. Exactly
+// one of Profile (synthetic) or Trace (external replay) drives its warps;
+// Trace wins when both are set.
+type App struct {
+	ID      int
+	Profile Profile
+	Seed    uint64
+	// Trace, when non-nil, replays an external address trace.
+	Trace *TraceSet
+}
+
+// NewApp builds an app with a seed derived from its name and slot.
+func NewApp(id int, name string) App {
+	p := MustByName(name)
+	var seed uint64 = 0xA5A5A5A5
+	for _, c := range name {
+		seed = seed*131 + uint64(c)
+	}
+	seed ^= uint64(id+1) * 0x9E3779B97F4A7C15
+	return App{ID: id, Profile: p, Seed: seed}
+}

@@ -1,0 +1,105 @@
+package workload
+
+// GroupSync keeps the warps of one group loosely in phase, modelling the
+// barrier-synchronised thread blocks of real GPGPU kernels. Without it the
+// members of a group drift apart over time until their "shared" pages are
+// never live simultaneously — with it, a page fetched for one member is hot
+// when its peers need it, which is what makes a single TLB miss stall many
+// warps (§4.1) and gives the shared TLB its reuse.
+type GroupSync struct {
+	steps []int64
+	min   int64
+	// window is the maximum number of memory instructions a member may run
+	// ahead of the slowest member.
+	window int64
+}
+
+// NewGroupSync creates sync state for n members with the given window.
+func NewGroupSync(n int, window int64) *GroupSync {
+	if window < 1 {
+		window = 1
+	}
+	return &GroupSync{steps: make([]int64, n), window: window}
+}
+
+// Stalled reports whether member m must wait for slower members.
+func (g *GroupSync) Stalled(m int) bool {
+	return g.steps[m]-g.min >= g.window
+}
+
+// Advance records one memory instruction by member m.
+func (g *GroupSync) Advance(m int) {
+	g.steps[m]++
+	if g.steps[m]-1 == g.min {
+		// m may have been (one of) the slowest; recompute the floor.
+		min := g.steps[0]
+		for _, s := range g.steps[1:] {
+			if s < min {
+				min = s
+			}
+		}
+		g.min = min
+	}
+}
+
+// Lag returns how far member m is ahead of the slowest member.
+func (g *GroupSync) Lag(m int) int64 {
+	return g.steps[m] - g.min
+}
+
+// StreamFactory builds all of one application's warp streams, wiring group
+// members to shared GroupSync state.
+type StreamFactory struct {
+	p        Profile
+	base     uint64
+	pageSize int
+	lineSize int
+	numWarps int
+	seed     uint64
+	syncs    map[int]*GroupSync
+}
+
+// defaultSyncWindow bounds intra-group drift in memory instructions. Roughly
+// two pages' worth of instructions for typical LinesPerInst values: close
+// enough that peers reuse each other's translations, loose enough that the
+// group is not lock-stepped.
+const defaultSyncWindow = 24
+
+// NewStreamFactory prepares stream construction for an app with numWarps
+// warps.
+func NewStreamFactory(p Profile, base uint64, pageSize, lineSize, numWarps int, seed uint64) *StreamFactory {
+	return &StreamFactory{
+		p: p, base: base, pageSize: pageSize, lineSize: lineSize,
+		numWarps: numWarps, seed: seed,
+		syncs: make(map[int]*GroupSync),
+	}
+}
+
+// New builds the stream for one warp, sharing GroupSync among group members.
+func (f *StreamFactory) New(warpIndex int) *Stream {
+	s := f.p.NewStream(StreamConfig{
+		Base:      f.base,
+		PageSize:  f.pageSize,
+		LineSize:  f.lineSize,
+		WarpIndex: warpIndex,
+		NumWarps:  f.numWarps,
+		Seed:      f.seed,
+	})
+	g := f.p.WarpsPerGroup
+	if g <= 1 {
+		return s // ungrouped profiles need no sync
+	}
+	group := warpIndex / g
+	sync, ok := f.syncs[group]
+	if !ok {
+		members := g
+		if rem := f.numWarps - group*g; rem < members {
+			members = rem
+		}
+		sync = NewGroupSync(members, defaultSyncWindow)
+		f.syncs[group] = sync
+	}
+	s.sync = sync
+	s.syncMember = warpIndex % g
+	return s
+}

@@ -1,0 +1,149 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// TraceEntry is one warp-level memory instruction in an external trace.
+type TraceEntry struct {
+	// Addrs holds one or more virtual byte addresses (distinct pages become
+	// distinct translations, like MemInst).
+	Addrs []uint64
+	Write bool
+	// ComputeGap is the number of compute instructions issued after this
+	// access before the next one.
+	ComputeGap int
+}
+
+// TraceSet is a parsed external workload: per-warp instruction traces that
+// can drive the simulator in place of a synthetic Profile. Warps replay
+// their traces cyclically, matching the paper's methodology of relaunching
+// an application that finishes early to keep contention alive (§6).
+type TraceSet struct {
+	// Name labels the workload in results.
+	Name string
+	// Warps holds one trace per warp; warp w uses Warps[w % len(Warps)].
+	Warps [][]TraceEntry
+}
+
+// ParseTrace reads the textual trace format:
+//
+//	# comment
+//	warp <n>                 — start of warp n's trace (required before entries)
+//	r <hexaddr> [hexaddr...] — read touching the given addresses
+//	w <hexaddr> [hexaddr...] — write
+//	c <n>                    — compute gap after the previous access
+//
+// Addresses are hexadecimal with or without 0x. The format is deliberately
+// trivial so traces can be produced by any profiler or generator.
+func ParseTrace(name string, r io.Reader) (*TraceSet, error) {
+	ts := &TraceSet{Name: name}
+	var cur []TraceEntry
+	flush := func() {
+		if cur != nil {
+			ts.Warps = append(ts.Warps, cur)
+			cur = nil
+		}
+	}
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "warp":
+			flush()
+			cur = []TraceEntry{}
+		case "r", "w":
+			if cur == nil {
+				return nil, fmt.Errorf("trace %s:%d: access before any 'warp' header", name, lineNo)
+			}
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("trace %s:%d: access with no address", name, lineNo)
+			}
+			e := TraceEntry{Write: fields[0] == "w"}
+			for _, f := range fields[1:] {
+				addr, err := strconv.ParseUint(strings.TrimPrefix(f, "0x"), 16, 64)
+				if err != nil {
+					return nil, fmt.Errorf("trace %s:%d: bad address %q: %v", name, lineNo, f, err)
+				}
+				e.Addrs = append(e.Addrs, addr)
+			}
+			cur = append(cur, e)
+		case "c":
+			if cur == nil || len(cur) == 0 {
+				return nil, fmt.Errorf("trace %s:%d: compute gap before any access", name, lineNo)
+			}
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("trace %s:%d: malformed compute gap", name, lineNo)
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("trace %s:%d: bad compute gap %q", name, lineNo, fields[1])
+			}
+			cur[len(cur)-1].ComputeGap = n
+		default:
+			return nil, fmt.Errorf("trace %s:%d: unknown directive %q", name, lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	flush()
+	if len(ts.Warps) == 0 {
+		return nil, fmt.Errorf("trace %s: no warps", name)
+	}
+	for i, w := range ts.Warps {
+		if len(w) == 0 {
+			return nil, fmt.Errorf("trace %s: warp %d has no accesses", name, i)
+		}
+	}
+	return ts, nil
+}
+
+// Pages enumerates every distinct page address touched by the trace, for
+// page-table pre-population.
+func (ts *TraceSet) Pages(pageSize int) []uint64 {
+	shift := uint(0)
+	for 1<<shift < pageSize {
+		shift++
+	}
+	seen := map[uint64]bool{}
+	var out []uint64
+	for _, warp := range ts.Warps {
+		for _, e := range warp {
+			for _, a := range e.Addrs {
+				page := (a >> shift) << shift
+				if !seen[page] {
+					seen[page] = true
+					out = append(out, page)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// NewStream builds a replaying Stream for one warp of the trace. The
+// returned Stream satisfies the same contract as Profile.NewStream; group
+// sync does not apply to traces (the trace itself encodes inter-warp
+// timing).
+func (ts *TraceSet) NewStream(warpIndex, pageSize, lineSize int) *Stream {
+	shift := uint(0)
+	for 1<<shift < pageSize {
+		shift++
+	}
+	return &Stream{
+		pageShift: shift,
+		lineSize:  uint64(lineSize),
+		replay:    ts.Warps[warpIndex%len(ts.Warps)],
+	}
+}

@@ -1,0 +1,110 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleTrace = `
+# two-warp demo trace
+warp 0
+r 0x10000 0x10040
+c 4
+w 0x20000
+r 0x10080
+warp 1
+r 0x30000
+c 2
+`
+
+func TestParseTrace(t *testing.T) {
+	ts, err := ParseTrace("demo", strings.NewReader(sampleTrace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts.Warps) != 2 {
+		t.Fatalf("%d warps, want 2", len(ts.Warps))
+	}
+	w0 := ts.Warps[0]
+	if len(w0) != 3 {
+		t.Fatalf("warp 0 has %d entries, want 3", len(w0))
+	}
+	if w0[0].ComputeGap != 4 || w0[0].Write {
+		t.Fatalf("entry 0 parsed wrong: %+v", w0[0])
+	}
+	if !w0[1].Write {
+		t.Fatal("write entry not marked")
+	}
+	if len(w0[0].Addrs) != 2 {
+		t.Fatal("multi-address access not parsed")
+	}
+}
+
+func TestParseTraceErrors(t *testing.T) {
+	cases := []string{
+		"r 0x1000",          // access before warp header
+		"warp 0\nr zz",      // bad address
+		"warp 0\nc 4",       // gap before access
+		"warp 0\nx 1",       // unknown directive
+		"",                  // empty
+		"warp 0",            // warp with no accesses
+		"warp 0\nr",         // access with no address
+		"warp 0\nr 1\nc -2", // negative gap
+	}
+	for i, c := range cases {
+		if _, err := ParseTrace("bad", strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted: %q", i, c)
+		}
+	}
+}
+
+func TestTracePages(t *testing.T) {
+	ts, err := ParseTrace("demo", strings.NewReader(sampleTrace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pages := ts.Pages(4096)
+	if len(pages) != 3 { // 0x10000, 0x20000, 0x30000
+		t.Fatalf("%d distinct pages, want 3: %#x", len(pages), pages)
+	}
+}
+
+func TestTraceStreamReplaysCyclically(t *testing.T) {
+	ts, err := ParseTrace("demo", strings.NewReader(sampleTrace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ts.NewStream(0, 4096, 64)
+	first := s.NextMem()
+	if len(first.Pages) != 1 || len(first.Pages[0].Lines) != 2 {
+		t.Fatalf("first inst shape wrong: %+v", first)
+	}
+	if s.NextComputeGap() != 4 {
+		t.Fatal("compute gap not replayed")
+	}
+	s.NextMem() // write
+	s.NextMem() // third
+	again := s.NextMem()
+	if again.Pages[0].Lines[0] != first.Pages[0].Lines[0] {
+		t.Fatal("trace did not wrap around")
+	}
+	// Warp index beyond the trace's warps wraps.
+	s2 := ts.NewStream(5, 4096, 64)
+	if s2.NextMem().Pages[0].Lines[0] != ts.Warps[1][0].Addrs[0] {
+		t.Fatal("warp-index wrapping broken")
+	}
+}
+
+func TestTraceStreamGroupsPages(t *testing.T) {
+	ts, err := ParseTrace("multi", strings.NewReader("warp 0\nr 0x1000 0x1040 0x5000\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := ts.NewStream(0, 4096, 64).NextMem()
+	if len(inst.Pages) != 2 {
+		t.Fatalf("%d page groups, want 2", len(inst.Pages))
+	}
+	if len(inst.Pages[0].Lines) != 2 || len(inst.Pages[1].Lines) != 1 {
+		t.Fatalf("page grouping wrong: %+v", inst.Pages)
+	}
+}

@@ -1,0 +1,58 @@
+// Package masksim is a from-scratch reproduction of MASK (Ausavarungnirun
+// et al., ASPLOS 2018): a cycle-level simulator of a multi-application GPU
+// and its virtual-memory hierarchy, together with the paper's three
+// address-translation-aware mechanisms — TLB-Fill Tokens, the
+// Address-Translation-Aware L2 Bypass, and the Address-Space-Aware DRAM
+// scheduler.
+//
+// The public API lives in masksim/sim; this package re-exports the common
+// entry points so a downstream user can write:
+//
+//	cfg := masksim.MASKConfig()
+//	res, err := masksim.Run(cfg, []string{"3DS", "HISTO"}, 100_000)
+//
+// See README.md for a tour and DESIGN.md for the system inventory.
+package masksim
+
+import "masksim/sim"
+
+// Re-exported core types.
+type (
+	// Config describes the simulated GPU (see sim.Config).
+	Config = sim.Config
+	// Results holds a run's measurements (see sim.Results).
+	Results = sim.Results
+	// Simulator is a wired simulated GPU (see sim.Simulator).
+	Simulator = sim.Simulator
+	// Mechanisms toggles MASK's three components.
+	Mechanisms = sim.Mechanisms
+	// PairMetrics bundles weighted speedup, IPC throughput and unfairness.
+	PairMetrics = sim.PairMetrics
+)
+
+// Re-exported constructors and helpers.
+var (
+	// New wires a simulator for explicit applications and core assignments.
+	New = sim.New
+	// Run simulates the named benchmarks with an even core split.
+	Run = sim.Run
+	// RunAlone measures one app with uncontended resources (IPC_alone).
+	RunAlone = sim.RunAlone
+	// EvenSplit divides cores across n applications.
+	EvenSplit = sim.EvenSplit
+	// ConfigByName resolves a standard configuration name.
+	ConfigByName = sim.ConfigByName
+	// ConfigNames lists the standard configurations in evaluation order.
+	ConfigNames = sim.ConfigNames
+
+	// Standard configurations (paper §7).
+	SharedTLBConfig = sim.SharedTLBConfig
+	PWCacheConfig   = sim.PWCacheConfig
+	StaticConfig    = sim.StaticConfig
+	IdealConfig     = sim.IdealConfig
+	MASKConfig      = sim.MASKConfig
+	MASKTLBConfig   = sim.MASKTLBConfig
+	MASKCacheConfig = sim.MASKCacheConfig
+	MASKDRAMConfig  = sim.MASKDRAMConfig
+	FermiConfig     = sim.FermiConfig
+)

@@ -1,0 +1,52 @@
+package masksim
+
+import "testing"
+
+func TestFacadeRoundTrip(t *testing.T) {
+	cfg := SharedTLBConfig()
+	cfg.Cores = 4
+	cfg.WarpsPerCore = 8
+	res, err := Run(cfg, []string{"NN", "LUD"}, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalIPC <= 0 || len(res.Apps) != 2 {
+		t.Fatalf("facade run broken: %+v", res)
+	}
+}
+
+func TestFacadeConfigNames(t *testing.T) {
+	names := ConfigNames()
+	if len(names) != 8 {
+		t.Fatalf("%d standard configs, want 8 (Figure 11)", len(names))
+	}
+	for _, n := range names {
+		if _, err := ConfigByName(n); err != nil {
+			t.Fatalf("%s: %v", n, err)
+		}
+	}
+}
+
+// TestHeadlineShape is the repo's end-to-end oracle: on a contended 2-HMR
+// pair, Ideal must beat MASK, and MASK must beat the SharedTLB baseline —
+// the paper's central result (Figure 11), at reduced scale.
+func TestHeadlineShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-machine run")
+	}
+	const cycles = 20_000
+	run := func(mk func() Config) float64 {
+		res, err := Run(mk(), []string{"3DS", "CONS"}, cycles)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.TotalIPC
+	}
+	base := run(SharedTLBConfig)
+	mask := run(MASKConfig)
+	ideal := run(IdealConfig)
+	if !(ideal > mask && mask > base) {
+		t.Fatalf("headline ordering violated: ideal=%.2f mask=%.2f sharedTLB=%.2f",
+			ideal, mask, base)
+	}
+}

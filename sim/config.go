@@ -1,0 +1,326 @@
+// Package sim is the public API of masksim: it wires the simulated GPU
+// (cores, TLBs, page table walker, caches, DRAM) according to a Config,
+// runs multiprogrammed workloads, and reports the paper's metrics.
+//
+// The standard configurations mirror the designs evaluated in the paper:
+//
+//	Static     — statically partitioned L2 cache ways, L2 TLB ways and DRAM
+//	             channels (models NVIDIA GRID / AMD FirePro, §2.2)
+//	PWCache    — private L1 TLBs + shared page walk cache (Power et al.)
+//	SharedTLB  — private L1 TLBs + shared L2 TLB
+//	MASK       — SharedTLB + TLB-Fill Tokens + Address-Translation-Aware L2
+//	             Bypass + Address-Space-Aware DRAM scheduler (§5)
+//	MASK-TLB / MASK-Cache / MASK-DRAM — each mechanism alone (§7.2)
+//	Ideal      — every L1 TLB access hits; zero translation overhead
+package sim
+
+import (
+	"fmt"
+
+	"masksim/internal/dram"
+	"masksim/internal/pagetable"
+)
+
+// Design selects the baseline translation hierarchy of Figure 2.
+type Design uint8
+
+// Translation hierarchy designs.
+const (
+	// DesignSharedTLB places a shared L2 TLB between the L1 TLBs and the
+	// page table walker (Figure 2b). MASK builds on this design.
+	DesignSharedTLB Design = iota
+	// DesignPWCache routes L1 TLB misses directly to the walker, which
+	// probes a shared page walk cache (Figure 2a).
+	DesignPWCache
+)
+
+// String names the design.
+func (d Design) String() string {
+	if d == DesignPWCache {
+		return "PWCache"
+	}
+	return "SharedTLB"
+}
+
+// Mechanisms toggles MASK's three components independently (§7.2 evaluates
+// each in isolation as MASK-TLB, MASK-Cache and MASK-DRAM).
+type Mechanisms struct {
+	Tokens    bool // TLB-Fill Tokens + TLB bypass cache (§5.2)
+	L2Bypass  bool // Address-Translation-Aware L2 Bypass (§5.3)
+	DRAMSched bool // Address-Space-Aware DRAM scheduler (§5.4)
+}
+
+// Any reports whether at least one mechanism is enabled.
+func (m Mechanisms) Any() bool { return m.Tokens || m.L2Bypass || m.DRAMSched }
+
+// CacheParams configures one cache instance.
+type CacheParams struct {
+	SizeBytes    int
+	Ways         int
+	LineSize     int
+	Banks        int
+	PortsPerBank int
+	Latency      int64
+	QueueCap     int
+	MSHRs        int
+	// WriteCombineWindow enables store combining in write-through caches
+	// (see cache.Config.WriteCombineWindow).
+	WriteCombineWindow int64
+}
+
+// Config is the full simulated-system description (paper Table 1 defaults).
+type Config struct {
+	Name string
+
+	Cores        int
+	WarpsPerCore int
+
+	L1TLBEntries int
+
+	L2TLBEntries  int
+	L2TLBWays     int
+	L2TLBPorts    int
+	L2TLBLatency  int64
+	L2TLBQueueCap int
+	// BypassCacheEntries sizes the MASK TLB bypass cache (§5.2).
+	BypassCacheEntries int
+
+	L1Cache CacheParams
+	L2Cache CacheParams
+	// PWCache is the page walk cache used by DesignPWCache.
+	PWCache CacheParams
+
+	WalkerConcurrency int
+	PageSize          int
+
+	DRAM dram.Config
+
+	Design Design
+	// Ideal makes every translation free (hypothetical perfect TLB).
+	Ideal bool
+	// Static partitions L2 cache ways, L2 TLB ways and DRAM channels evenly
+	// across applications.
+	Static bool
+	Mask   Mechanisms
+
+	// EpochCycles is the adaptation epoch for tokens and the L2 bypass
+	// policy; the paper uses 100K cycles. Run scales it down for short runs.
+	EpochCycles int64
+	// TokenInitFraction is InitialTokens (§6: 80%).
+	TokenInitFraction float64
+	// ThreshMax is the Silver Queue quota ceiling (§6: 500).
+	ThreshMax int
+
+	// FCFSSched replaces the baseline FR-FCFS with plain FCFS (the §7.3
+	// memory-scheduler sensitivity study). Ignored when Mask.DRAMSched is
+	// enabled.
+	FCFSSched bool
+
+	// TimeMuxQuantum, when positive, models coarse time multiplexing: every
+	// quantum the GPU's TLBs and caches lose TimeMuxEvict of their contents,
+	// as if other processes ran in between (Figure 1's experiment).
+	TimeMuxQuantum int64
+	TimeMuxEvict   float64
+
+	// DemandPaging enables the §5.5 extension: a page's first touch raises
+	// a major fault serviced at FaultLatency cycles with FaultConcurrency
+	// parallel handlers. Ignored under Ideal.
+	DemandPaging     bool
+	FaultLatency     int64
+	FaultConcurrency int
+
+	// RoundRobinSched replaces the GTO warp scheduler with round-robin
+	// (warp-scheduler sensitivity; the paper's baseline is GTO).
+	RoundRobinSched bool
+
+	// TLBPrefetch enables the stride TLB prefetcher at the shared L2 TLB
+	// (related-work comparison, §8.2). Requires the SharedTLB design.
+	TLBPrefetch bool
+
+	// TraceInterval, when positive, samples a time series of system state
+	// every TraceInterval cycles into Results.Trace.
+	TraceInterval int64
+}
+
+// Baseline returns the paper's Table 1 system with the SharedTLB design and
+// no MASK mechanisms.
+func Baseline() Config {
+	return Config{
+		Name:         "SharedTLB",
+		Cores:        30,
+		WarpsPerCore: 64,
+
+		L1TLBEntries: 64,
+
+		L2TLBEntries:       512,
+		L2TLBWays:          16,
+		L2TLBPorts:         2,
+		L2TLBLatency:       10,
+		L2TLBQueueCap:      64,
+		BypassCacheEntries: 32,
+
+		L1Cache: CacheParams{
+			SizeBytes: 16 << 10, Ways: 4, LineSize: 64,
+			Banks: 1, PortsPerBank: 2, Latency: 1, QueueCap: 32, MSHRs: 32,
+			WriteCombineWindow: 128,
+		},
+		L2Cache: CacheParams{
+			SizeBytes: 2 << 20, Ways: 16, LineSize: 64,
+			Banks: 16, PortsPerBank: 2, Latency: 10, QueueCap: 32, MSHRs: 128,
+		},
+		PWCache: CacheParams{
+			SizeBytes: 8 << 10, Ways: 16, LineSize: 64,
+			Banks: 1, PortsPerBank: 2, Latency: 10, QueueCap: 32, MSHRs: 32,
+		},
+
+		WalkerConcurrency: 64,
+		PageSize:          pagetable.PageSize4K,
+
+		DRAM: dram.DefaultConfig(),
+
+		Design: DesignSharedTLB,
+
+		EpochCycles:       100_000,
+		TokenInitFraction: 0.80,
+		ThreshMax:         500,
+
+		FaultLatency:     20_000,
+		FaultConcurrency: 16,
+	}
+}
+
+// SharedTLBConfig is the best-performing state-of-the-art baseline.
+func SharedTLBConfig() Config { return Baseline() }
+
+// PWCacheConfig is the page-walk-cache baseline (Power et al.).
+func PWCacheConfig() Config {
+	c := Baseline()
+	c.Name = "PWCache"
+	c.Design = DesignPWCache
+	return c
+}
+
+// StaticConfig models static hardware partitioning (NVIDIA GRID-style).
+func StaticConfig() Config {
+	c := Baseline()
+	c.Name = "Static"
+	c.Static = true
+	return c
+}
+
+// IdealConfig is the perfect-TLB upper bound.
+func IdealConfig() Config {
+	c := Baseline()
+	c.Name = "Ideal"
+	c.Ideal = true
+	return c
+}
+
+// MASKConfig enables all three MASK mechanisms.
+func MASKConfig() Config {
+	c := Baseline()
+	c.Name = "MASK"
+	c.Mask = Mechanisms{Tokens: true, L2Bypass: true, DRAMSched: true}
+	return c
+}
+
+// MASKTLBConfig enables only TLB-Fill Tokens (§7.2's MASK-TLB).
+func MASKTLBConfig() Config {
+	c := Baseline()
+	c.Name = "MASK-TLB"
+	c.Mask = Mechanisms{Tokens: true}
+	return c
+}
+
+// MASKCacheConfig enables only the L2 bypass (§7.2's MASK-Cache).
+func MASKCacheConfig() Config {
+	c := Baseline()
+	c.Name = "MASK-Cache"
+	c.Mask = Mechanisms{L2Bypass: true}
+	return c
+}
+
+// MASKDRAMConfig enables only the DRAM scheduler (§7.2's MASK-DRAM).
+func MASKDRAMConfig() Config {
+	c := Baseline()
+	c.Name = "MASK-DRAM"
+	c.Mask = Mechanisms{DRAMSched: true}
+	return c
+}
+
+// FermiConfig approximates the GTX480 (Fermi) platform of the generality
+// study (§7.3, Table 4): 15 cores, smaller shared L2, narrower memory
+// system.
+func FermiConfig() Config {
+	c := Baseline()
+	c.Name = "Fermi"
+	c.Cores = 16
+	c.L2Cache.SizeBytes = 768 << 10
+	c.L2Cache.Banks = 8
+	c.DRAM.Channels = 6
+	return c
+}
+
+// IntegratedConfig approximates the integrated-GPU platform of the
+// generality study (§7.3, Table 4): fewer cores sharing a low-bandwidth
+// memory system with slower DRAM.
+func IntegratedConfig() Config {
+	c := Baseline()
+	c.Name = "Integrated"
+	c.Cores = 8
+	c.L2Cache.SizeBytes = 1 << 20
+	c.L2Cache.Banks = 8
+	c.DRAM.Channels = 2
+	c.DRAM.RowHitLatency = 60
+	c.DRAM.RowClosedLatency = 120
+	c.DRAM.RowConflictLat = 180
+	return c
+}
+
+// standardConfigs maps CLI names to constructors; ConfigByName resolves
+// the set evaluated in Figures 11–15.
+var standardConfigs = map[string]func() Config{
+	"Static":     StaticConfig,
+	"PWCache":    PWCacheConfig,
+	"SharedTLB":  SharedTLBConfig,
+	"MASK-TLB":   MASKTLBConfig,
+	"MASK-Cache": MASKCacheConfig,
+	"MASK-DRAM":  MASKDRAMConfig,
+	"MASK":       MASKConfig,
+	"Ideal":      IdealConfig,
+	"Fermi":      FermiConfig,
+	"Integrated": IntegratedConfig,
+}
+
+// ConfigByName returns the named standard configuration.
+func ConfigByName(name string) (Config, error) {
+	f, ok := standardConfigs[name]
+	if !ok {
+		return Config{}, fmt.Errorf("sim: unknown configuration %q", name)
+	}
+	return f(), nil
+}
+
+// ConfigNames lists the standard configuration names in evaluation order.
+func ConfigNames() []string {
+	return []string{"Static", "PWCache", "SharedTLB", "MASK-TLB", "MASK-Cache", "MASK-DRAM", "MASK", "Ideal"}
+}
+
+// Validate reports configuration errors early and clearly.
+func (c Config) Validate() error {
+	switch {
+	case c.Cores < 1:
+		return fmt.Errorf("sim: Cores must be >= 1, got %d", c.Cores)
+	case c.WarpsPerCore < 1:
+		return fmt.Errorf("sim: WarpsPerCore must be >= 1, got %d", c.WarpsPerCore)
+	case c.L1TLBEntries < 1:
+		return fmt.Errorf("sim: L1TLBEntries must be >= 1, got %d", c.L1TLBEntries)
+	case c.L2TLBEntries < c.L2TLBWays || c.L2TLBWays < 1:
+		return fmt.Errorf("sim: invalid L2 TLB geometry %d entries / %d ways", c.L2TLBEntries, c.L2TLBWays)
+	case c.PageSize != pagetable.PageSize4K && c.PageSize != pagetable.PageSize2M:
+		return fmt.Errorf("sim: unsupported page size %d", c.PageSize)
+	case c.DRAM.Channels < 1 || c.DRAM.BanksPerChannel < 1:
+		return fmt.Errorf("sim: invalid DRAM geometry %+v", c.DRAM)
+	}
+	return nil
+}

@@ -1,0 +1,40 @@
+package sim_test
+
+import (
+	"fmt"
+
+	"masksim/sim"
+)
+
+// Example demonstrates the basic run-and-compare workflow. (No expected
+// output is declared because simulation results depend on configuration
+// constants that evolve with the model.)
+func Example() {
+	cfg := sim.MASKConfig()
+	res, err := sim.Run(cfg, []string{"3DS", "HISTO"}, 50_000)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("total IPC %.2f across %d apps\n", res.TotalIPC, len(res.Apps))
+}
+
+// ExampleResults_Metrics shows how to compute the paper's multiprogramming
+// metrics from a shared run and per-app alone runs.
+func ExampleResults_Metrics() {
+	cfg := sim.SharedTLBConfig()
+	shared, err := sim.Run(cfg, []string{"RED", "BP"}, 50_000)
+	if err != nil {
+		panic(err)
+	}
+	split := sim.EvenSplit(cfg.Cores, 2)
+	var alone []float64
+	for i, name := range []string{"RED", "BP"} {
+		r, err := sim.RunAlone(cfg, name, split[i], 50_000)
+		if err != nil {
+			panic(err)
+		}
+		alone = append(alone, r.Apps[0].IPC)
+	}
+	m := shared.Metrics(alone)
+	fmt.Printf("weighted speedup %.2f, unfairness %.2f\n", m.WeightedSpeedup, m.Unfairness)
+}

@@ -1,0 +1,104 @@
+package sim
+
+import (
+	"fmt"
+
+	"masksim/internal/metrics"
+	"masksim/internal/workload"
+)
+
+// EvenSplit divides cores evenly across n apps (remainder to the first
+// apps). The paper's oracle searches all static splits; the even split is
+// the default and SearchPartition refines it when asked.
+func EvenSplit(cores, n int) []int {
+	out := make([]int, n)
+	base := cores / n
+	rem := cores % n
+	for i := range out {
+		out[i] = base
+		if i < rem {
+			out[i]++
+		}
+	}
+	return out
+}
+
+// Run builds a simulator for the named benchmarks (evenly splitting cores)
+// and runs it for the given cycles.
+func Run(cfg Config, names []string, cycles int64) (*Results, error) {
+	apps := make([]workload.App, len(names))
+	for i, n := range names {
+		if _, err := workload.ByName(n); err != nil {
+			return nil, err
+		}
+		apps[i] = workload.NewApp(i, n)
+	}
+	s, err := New(cfg, apps, EvenSplit(cfg.Cores, len(apps)))
+	if err != nil {
+		return nil, err
+	}
+	return s.Run(cycles), nil
+}
+
+// RunAlone measures one app running by itself on cores cores with the whole
+// uncontended memory system — the paper's IPC_alone condition ("runs on the
+// same number of GPU cores, but does not share GPU resources", §6).
+func RunAlone(cfg Config, name string, cores int, cycles int64) (*Results, error) {
+	if cores < 1 || cores > cfg.Cores {
+		return nil, fmt.Errorf("sim: invalid alone core count %d", cores)
+	}
+	// Alone runs never partition resources.
+	cfg.Static = false
+	app := workload.NewApp(0, name)
+	s, err := New(cfg, []workload.App{app}, []int{cores})
+	if err != nil {
+		return nil, err
+	}
+	return s.Run(cycles), nil
+}
+
+// PairMetrics bundles the paper's three headline metrics for one shared run.
+type PairMetrics struct {
+	WeightedSpeedup float64
+	IPCThroughput   float64
+	Unfairness      float64 // maximum slowdown
+}
+
+// Metrics computes the paper's metrics for a shared run given the matching
+// alone IPCs (in app order).
+func (r *Results) Metrics(aloneIPC []float64) PairMetrics {
+	shared := r.IPCs()
+	return PairMetrics{
+		WeightedSpeedup: metrics.WeightedSpeedup(shared, aloneIPC),
+		IPCThroughput:   metrics.IPCThroughput(shared),
+		Unfairness:      metrics.MaxSlowdown(shared, aloneIPC),
+	}
+}
+
+// SearchPartition approximates the paper's oracle core scheduler (§6): it
+// tries each static split of cores between the two apps of pair (at the
+// given granularity), returning the split with the best weighted speedup
+// under cfg. It is exhaustive-but-coarse to stay affordable; experiments use
+// the even split by default.
+func SearchPartition(cfg Config, pair workload.Pair, cycles int64, step int, aloneIPC map[string]float64) ([]int, float64, error) {
+	if step < 1 {
+		step = 1
+	}
+	best := []int{cfg.Cores / 2, cfg.Cores - cfg.Cores/2}
+	bestWS := -1.0
+	for a := step; a < cfg.Cores; a += step {
+		split := []int{a, cfg.Cores - a}
+		apps := []workload.App{workload.NewApp(0, pair.A), workload.NewApp(1, pair.B)}
+		s, err := New(cfg, apps, split)
+		if err != nil {
+			return nil, 0, err
+		}
+		res := s.Run(cycles)
+		ws := res.Metrics([]float64{aloneIPC[pair.A], aloneIPC[pair.B]}).WeightedSpeedup
+		if ws > bestWS {
+			bestWS = ws
+			best = split
+		}
+	}
+	return best, bestWS, nil
+}

@@ -1,0 +1,429 @@
+package sim
+
+import (
+	"fmt"
+
+	"masksim/internal/cache"
+	"masksim/internal/dram"
+	"masksim/internal/engine"
+	"masksim/internal/gpu"
+	"masksim/internal/memreq"
+	"masksim/internal/pagetable"
+	"masksim/internal/ptw"
+	"masksim/internal/tlb"
+	"masksim/internal/workload"
+)
+
+// heapBase is the virtual address where each application's footprint starts.
+// Address spaces are independent (per-ASID page tables), so all apps share
+// the same base.
+const heapBase = uint64(2) << 32
+
+// Simulator is a fully wired simulated GPU running one or more applications.
+// Build with New, run once with Run.
+type Simulator struct {
+	cfg         Config
+	eng         *engine.Engine
+	apps        []workload.App
+	coresPerApp []int
+
+	alloc  *pagetable.Allocator
+	spaces []*pagetable.Space
+
+	cores  []*gpu.Core
+	l1tlbs []*tlb.L1TLB
+	l1ds   []*cache.Cache
+
+	l2tlb  *tlb.L2TLB
+	walker *ptw.Walker
+	faults *ptw.FaultUnit
+	pwc    *cache.Cache
+	l2c    *cache.Cache
+	mem    *dram.DRAM
+
+	ata    *cache.ATABypass
+	tokens *tlb.TokenPolicy
+
+	idgen memreq.IDGen
+
+	maskScheds []*dram.MASKSched
+
+	trace traceState
+
+	epoch int64
+	ran   bool
+}
+
+// New wires a simulator for the given applications. coresPerApp[i] cores are
+// dedicated to apps[i]; the total must not exceed cfg.Cores. (The paper
+// spatially partitions cores between address spaces; §6 describes an oracle
+// partitioning, which the experiments package approximates.)
+func New(cfg Config, apps []workload.App, coresPerApp []int) (*Simulator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(apps) == 0 {
+		return nil, fmt.Errorf("sim: at least one application required")
+	}
+	if len(apps) != len(coresPerApp) {
+		return nil, fmt.Errorf("sim: %d apps but %d core assignments", len(apps), len(coresPerApp))
+	}
+	total := 0
+	for i, n := range coresPerApp {
+		if n < 1 {
+			return nil, fmt.Errorf("sim: app %d assigned %d cores", i, n)
+		}
+		total += n
+	}
+	if total > cfg.Cores {
+		return nil, fmt.Errorf("sim: %d cores assigned but only %d exist", total, cfg.Cores)
+	}
+	if cfg.Mask.Any() && cfg.Design != DesignSharedTLB {
+		return nil, fmt.Errorf("sim: MASK mechanisms require the SharedTLB design")
+	}
+
+	s := &Simulator{
+		cfg:         cfg,
+		eng:         engine.New(),
+		apps:        apps,
+		coresPerApp: coresPerApp,
+		alloc:       pagetable.NewAllocator(),
+	}
+	s.build()
+	return s, nil
+}
+
+func (s *Simulator) build() {
+	cfg := s.cfg
+	numApps := len(s.apps)
+
+	// --- DRAM -----------------------------------------------------------
+	mkSched := func(chanIdx int) dram.Scheduler {
+		if cfg.Mask.DRAMSched {
+			ms := dram.NewMASKSched(numApps, cfg.ThreshMax, func(app int) (float64, float64) {
+				// Pressure metrics come from the shared TLB's MSHRs (§5.4);
+				// the closure resolves lazily because the L2 TLB is built
+				// after DRAM.
+				if s.l2tlb == nil {
+					return 0, 0
+				}
+				return s.l2tlb.Pressure(app)
+			})
+			s.maskScheds = append(s.maskScheds, ms)
+			return ms
+		}
+		if cfg.FCFSSched {
+			return dram.NewFCFS(cfg.DRAM.QueueCap)
+		}
+		return dram.NewFRFCFS(cfg.DRAM.QueueCap)
+	}
+	s.mem = dram.New(cfg.DRAM, mkSched)
+
+	// --- shared L2 data cache --------------------------------------------
+	s.l2c = cache.New(cache.Config{
+		Name:         "L2",
+		SizeBytes:    cfg.L2Cache.SizeBytes,
+		Ways:         cfg.L2Cache.Ways,
+		LineSize:     cfg.L2Cache.LineSize,
+		Banks:        cfg.L2Cache.Banks,
+		PortsPerBank: cfg.L2Cache.PortsPerBank,
+		Latency:      cfg.L2Cache.Latency,
+		QueueCap:     cfg.L2Cache.QueueCap,
+		MSHRs:        cfg.L2Cache.MSHRs,
+		WriteBack:    true,
+	}, s.mem)
+	if cfg.Static {
+		s.l2c.SetWayPartition(wayMasks(cfg.L2Cache.Ways, numApps))
+	}
+	if cfg.Mask.L2Bypass {
+		s.ata = cache.NewATABypass(s.l2c)
+	}
+
+	// --- page walk cache (PWCache design only) ---------------------------
+	walkBackend := cache.Backend(s.l2c)
+	if cfg.Design == DesignPWCache && !cfg.Ideal {
+		s.pwc = cache.New(cache.Config{
+			Name:         "PWCache",
+			SizeBytes:    cfg.PWCache.SizeBytes,
+			Ways:         cfg.PWCache.Ways,
+			LineSize:     cfg.PWCache.LineSize,
+			Banks:        cfg.PWCache.Banks,
+			PortsPerBank: cfg.PWCache.PortsPerBank,
+			Latency:      cfg.PWCache.Latency,
+			QueueCap:     cfg.PWCache.QueueCap,
+			MSHRs:        cfg.PWCache.MSHRs,
+		}, s.l2c)
+		walkBackend = s.pwc
+	}
+
+	// --- walker and shared L2 TLB ----------------------------------------
+	s.walker = ptw.New(cfg.WalkerConcurrency, walkBackend, numApps)
+	if cfg.DemandPaging && !cfg.Ideal {
+		s.faults = ptw.NewFaultUnit(cfg.FaultLatency, cfg.FaultConcurrency)
+		s.walker.SetFaultUnit(s.faults)
+	}
+	s.tokens = tlb.NewTokenPolicy(numApps, cfg.WarpsPerCore, cfg.TokenInitFraction, cfg.Mask.Tokens)
+	if cfg.Design == DesignSharedTLB && !cfg.Ideal {
+		bypassSize := 0
+		if cfg.Mask.Tokens {
+			bypassSize = cfg.BypassCacheEntries
+		}
+		s.l2tlb = tlb.NewL2(tlb.L2Config{
+			Entries:    cfg.L2TLBEntries,
+			Ways:       cfg.L2TLBWays,
+			Ports:      cfg.L2TLBPorts,
+			Latency:    cfg.L2TLBLatency,
+			QueueCap:   cfg.L2TLBQueueCap,
+			BypassSize: bypassSize,
+			NumApps:    numApps,
+		}, s.walker, s.tokens)
+		if cfg.Static {
+			s.l2tlb.SetWayPartition(wayMasks(cfg.L2TLBWays, numApps))
+		}
+		if cfg.TLBPrefetch {
+			s.l2tlb.SetPrefetcher(tlb.NewPrefetcher(), func(asid uint8, vpn uint64) bool {
+				idx := int(asid) - 1
+				if idx < 0 || idx >= len(s.spaces) {
+					return false
+				}
+				_, ok := s.spaces[idx].TranslateVPN(vpn)
+				return ok
+			})
+		}
+	}
+
+	// --- address spaces ---------------------------------------------------
+	s.spaces = make([]*pagetable.Space, numApps)
+	for i, app := range s.apps {
+		if cfg.Static {
+			// Confine the app's frames (data and page-table nodes) to its
+			// DRAM channel partition.
+			chans := channelPartition(cfg.DRAM.Channels, numApps, i)
+			s.alloc.SetConstraint(func(frame uint64) bool {
+				return chans[s.mem.ChannelOfFrame(frame)]
+			})
+		}
+		sp := pagetable.NewSpace(uint8(i+1), cfg.PageSize, s.alloc)
+		s.spaces[i] = sp
+		appWarps := s.coresPerApp[i] * cfg.WarpsPerCore
+		if app.Trace != nil {
+			for _, va := range app.Trace.Pages(cfg.PageSize) {
+				sp.EnsureMapped(va)
+			}
+		} else {
+			for _, va := range app.Profile.PagesToMap(heapBase, cfg.PageSize, appWarps) {
+				sp.EnsureMapped(va)
+			}
+		}
+		s.walker.AddSpace(sp)
+	}
+	s.alloc.SetConstraint(nil)
+
+	// --- cores ------------------------------------------------------------
+	pageShift := s.spaces[0].PageShift()
+	coreID := 0
+	for appIdx, app := range s.apps {
+		appWarps := s.coresPerApp[appIdx] * cfg.WarpsPerCore
+		space := s.spaces[appIdx]
+		factory := workload.NewStreamFactory(app.Profile, heapBase, cfg.PageSize,
+			cfg.L1Cache.LineSize, appWarps, app.Seed)
+		for local := 0; local < s.coresPerApp[appIdx]; local++ {
+			l1d := cache.New(cache.Config{
+				Name:               fmt.Sprintf("L1D.%d", coreID),
+				SizeBytes:          cfg.L1Cache.SizeBytes,
+				Ways:               cfg.L1Cache.Ways,
+				LineSize:           cfg.L1Cache.LineSize,
+				Banks:              cfg.L1Cache.Banks,
+				PortsPerBank:       cfg.L1Cache.PortsPerBank,
+				Latency:            cfg.L1Cache.Latency,
+				QueueCap:           cfg.L1Cache.QueueCap,
+				MSHRs:              cfg.L1Cache.MSHRs,
+				WriteCombineWindow: cfg.L1Cache.WriteCombineWindow,
+			}, s.l2c)
+			s.l1ds = append(s.l1ds, l1d)
+
+			var translate gpu.TranslateFn
+			if cfg.Ideal {
+				translate = func(now int64, vpn uint64, warpID int, done func(int64, uint64)) {
+					frame, ok := space.TranslateVPN(vpn)
+					if !ok {
+						panic("sim: ideal translation of unmapped page")
+					}
+					done(now, frame)
+				}
+			} else {
+				var transBackend tlb.TransBackend = s.walker
+				if s.l2tlb != nil {
+					transBackend = s.l2tlb
+				}
+				l1 := tlb.NewL1(coreID, appIdx, space.ASID(), cfg.L1TLBEntries, transBackend)
+				s.l1tlbs = append(s.l1tlbs, l1)
+				app := appIdx
+				translate = func(now int64, vpn uint64, warpID int, done func(int64, uint64)) {
+					l1.Lookup(now, vpn, warpID, s.tokens.HasToken(app, warpID), done)
+				}
+			}
+
+			streams := make([]*workload.Stream, cfg.WarpsPerCore)
+			for w := 0; w < cfg.WarpsPerCore; w++ {
+				if app.Trace != nil {
+					streams[w] = app.Trace.NewStream(local*cfg.WarpsPerCore+w,
+						cfg.PageSize, cfg.L1Cache.LineSize)
+				} else {
+					streams[w] = factory.New(local*cfg.WarpsPerCore + w)
+				}
+			}
+			core := gpu.New(coreID, appIdx, gpu.Config{
+				WarpsPerCore: cfg.WarpsPerCore,
+				PageShift:    pageShift,
+				FrameSize:    pagetable.FrameSize,
+				LineSize:     uint64(cfg.L1Cache.LineSize),
+				RoundRobin:   cfg.RoundRobinSched,
+			}, streams, translate, l1d, &s.idgen)
+			s.cores = append(s.cores, core)
+			coreID++
+		}
+	}
+
+	// --- tick order --------------------------------------------------------
+	for _, c := range s.cores {
+		s.eng.Register(c)
+	}
+	for _, t := range s.l1tlbs {
+		s.eng.Register(t)
+	}
+	if s.l2tlb != nil {
+		s.eng.Register(s.l2tlb)
+	}
+	if !cfg.Ideal {
+		s.eng.Register(s.walker)
+	}
+	if s.faults != nil {
+		s.eng.Register(s.faults)
+	}
+	if s.pwc != nil {
+		s.eng.Register(s.pwc)
+	}
+	for _, d := range s.l1ds {
+		s.eng.Register(d)
+	}
+	s.eng.Register(s.l2c)
+	s.eng.Register(s.mem)
+	s.eng.Register(engine.TickFunc(s.epochTick))
+	if cfg.TimeMuxQuantum > 0 {
+		s.eng.Register(engine.TickFunc(s.timeMuxTick))
+	}
+	if cfg.TraceInterval > 0 {
+		s.eng.Register(engine.TickFunc(s.traceTick))
+	}
+}
+
+// timeMuxTick models the state loss of coarse time multiplexing: every
+// quantum, a fraction of TLB and cache state is evicted as if other
+// processes had run in between (Figure 1).
+func (s *Simulator) timeMuxTick(now int64) {
+	if now == 0 || now%s.cfg.TimeMuxQuantum != 0 {
+		return
+	}
+	f := s.cfg.TimeMuxEvict
+	for _, t := range s.l1tlbs {
+		t.FlushFraction(f)
+	}
+	if s.l2tlb != nil {
+		s.l2tlb.FlushFraction(f)
+	}
+	for _, d := range s.l1ds {
+		d.FlushFraction(now, f)
+	}
+	s.l2c.FlushFraction(now, f)
+	if s.pwc != nil {
+		s.pwc.FlushFraction(now, f)
+	}
+}
+
+// epochTick rolls the adaptive policies on epoch boundaries.
+func (s *Simulator) epochTick(now int64) {
+	if s.epoch <= 0 || now == 0 || now%s.epoch != 0 {
+		return
+	}
+	if s.l2tlb != nil {
+		rates := s.l2tlb.EpochRoll()
+		s.tokens.Epoch(rates)
+	}
+	if s.ata != nil {
+		s.ata.Roll()
+	}
+	for _, ms := range s.maskScheds {
+		ms.Epoch()
+	}
+}
+
+// wayMasks splits ways evenly across apps, assigning the remainder to the
+// first apps.
+func wayMasks(ways, numApps int) []uint64 {
+	masks := make([]uint64, numApps)
+	per := ways / numApps
+	if per < 1 {
+		per = 1
+	}
+	w := 0
+	for i := range masks {
+		for j := 0; j < per && w < ways; j++ {
+			masks[i] |= 1 << uint(w)
+			w++
+		}
+		if masks[i] == 0 {
+			// More apps than ways: share the last way.
+			masks[i] = 1 << uint(ways-1)
+		}
+	}
+	// Distribute leftover ways to the first apps.
+	for i := 0; w < ways; i, w = (i+1)%numApps, w+1 {
+		masks[i] |= 1 << uint(w)
+	}
+	return masks
+}
+
+// channelPartition returns the channel-membership set for app i of numApps.
+func channelPartition(channels, numApps, i int) []bool {
+	set := make([]bool, channels)
+	per := channels / numApps
+	if per < 1 {
+		per = 1
+	}
+	start := (i * per) % channels
+	for j := 0; j < per; j++ {
+		set[(start+j)%channels] = true
+	}
+	// When channels don't divide evenly, give the spare channels to the
+	// first apps.
+	if channels >= numApps && i < channels%numApps {
+		set[numApps*per+i] = true
+	}
+	return set
+}
+
+// Run advances the simulation by cycles and returns the collected results.
+// A Simulator is single-use.
+func (s *Simulator) Run(cycles int64) *Results {
+	if s.ran {
+		panic("sim: Simulator is single-use; build a new one per run")
+	}
+	s.ran = true
+
+	// Scale the adaptation epoch for short runs so tokens and the bypass
+	// policy still adapt several times (DESIGN.md §5).
+	s.epoch = s.cfg.EpochCycles
+	if e := cycles / 8; e < s.epoch {
+		s.epoch = e
+	}
+	if s.epoch < 1 {
+		s.epoch = 1
+	}
+
+	s.eng.Run(cycles)
+	return s.collect(cycles)
+}
+
+// Engine exposes the clock for tests that need finer stepping.
+func (s *Simulator) Engine() *engine.Engine { return s.eng }
