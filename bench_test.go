@@ -5,6 +5,7 @@
 package masksim
 
 import (
+	"context"
 	"testing"
 
 	"masksim/internal/experiments"
@@ -63,7 +64,7 @@ func BenchmarkSimulatorKernel(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		cfg := MASKConfig()
-		if _, err := Run(cfg, []string{"3DS", "CONS"}, benchCycles); err != nil {
+		if _, err := Run(context.Background(), cfg, []string{"3DS", "CONS"}, benchCycles); err != nil {
 			b.Fatal(err)
 		}
 	}

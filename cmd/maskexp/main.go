@@ -2,30 +2,42 @@
 //
 // Usage:
 //
-//	maskexp [-cycles N] [-full] <experiment-id>...
+//	maskexp [-cycles N] [-full] [-timeout D] [-max-fail-frac F] <experiment-id>...
 //	maskexp -list
 //	maskexp all
 //
 // Experiment IDs follow DESIGN.md's per-experiment index (fig1, fig3, ...,
 // tab3, tab4, comp-*, sens-*). Without -full, figure-11-class experiments
 // use the representative pair subset to stay fast; -full runs all 35 pairs.
+//
+// Individual simulation failures (panics, watchdog aborts, per-run timeouts)
+// do not kill the campaign: the failed cell is recorded, means are computed
+// over the surviving cells, and a failure summary is printed at the end.
+// The exit status is non-zero only when the failed fraction of runs exceeds
+// -max-fail-frac (default 0: any failure fails the command).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 
 	"masksim/internal/experiments"
+	"masksim/internal/metrics"
 )
 
 func main() {
 	var (
-		cycles = flag.Int64("cycles", 50_000, "simulated cycles per run")
-		full   = flag.Bool("full", false, "use all 35 workload pairs (slower)")
-		list   = flag.Bool("list", false, "list experiment IDs and exit")
-		csvDir = flag.String("csv", "", "also write each table as CSV into this directory")
+		cycles      = flag.Int64("cycles", 50_000, "simulated cycles per run")
+		full        = flag.Bool("full", false, "use all 35 workload pairs (slower)")
+		list        = flag.Bool("list", false, "list experiment IDs and exit")
+		csvDir      = flag.String("csv", "", "also write each table as CSV into this directory")
+		workers     = flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
+		timeout     = flag.Duration("timeout", 0, "wall-clock budget per simulation run (0 = none)")
+		maxFailFrac = flag.Float64("max-fail-frac", 0, "tolerated fraction of failed runs before exiting non-zero")
 	)
 	flag.Parse()
 
@@ -43,13 +55,36 @@ func main() {
 	if len(args) == 1 && args[0] == "all" {
 		args = experiments.IDs()
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	var (
+		total       metrics.RunStats
+		allFailures []*experiments.RunError
+		broken      []string
+	)
 	for _, id := range args {
-		tables, err := experiments.Run(id, *cycles, *full)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "maskexp:", err)
-			os.Exit(1)
+		rep, err := experiments.RunReport(id, experiments.Options{
+			Cycles:     *cycles,
+			Full:       *full,
+			Workers:    *workers,
+			Ctx:        ctx,
+			RunTimeout: *timeout,
+		})
+		if rep != nil {
+			total.Merge(rep.Stats)
+			allFailures = append(allFailures, rep.Failures...)
 		}
-		for _, t := range tables {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "maskexp: %s: %v\n", id, err)
+			broken = append(broken, id)
+			if ctx.Err() != nil {
+				break
+			}
+			continue
+		}
+		for _, t := range rep.Tables {
 			fmt.Println(t)
 			if *csvDir != "" {
 				path := filepath.Join(*csvDir, t.ID+".csv")
@@ -59,5 +94,21 @@ func main() {
 				}
 			}
 		}
+	}
+
+	if total.Failed > 0 || len(broken) > 0 {
+		fmt.Fprintf(os.Stderr, "maskexp: %s\n", total.String())
+		for _, f := range allFailures {
+			fmt.Fprintf(os.Stderr, "maskexp:   %v\n", f)
+		}
+		for _, id := range broken {
+			fmt.Fprintf(os.Stderr, "maskexp: experiment %s did not produce tables\n", id)
+		}
+	}
+	if frac := total.FailureFrac(); len(broken) > 0 || frac > *maxFailFrac {
+		if frac > *maxFailFrac {
+			fmt.Fprintf(os.Stderr, "maskexp: failure fraction %.3f exceeds -max-fail-frac %.3f\n", frac, *maxFailFrac)
+		}
+		os.Exit(1)
 	}
 }

@@ -13,9 +13,11 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"masksim/internal/workload"
@@ -32,6 +34,7 @@ func main() {
 		trace      = flag.String("trace", "", "write a CSV time series (IPC, TLB miss rate, walks, tokens) to this file")
 		traceEvery = flag.Int64("trace-interval", 1000, "trace sampling interval in cycles")
 		paging     = flag.Bool("paging", false, "enable the demand-paging extension (paper §5.5)")
+		timeout    = flag.Duration("timeout", 0, "wall-clock budget for the run (0 = none); partial results are printed on expiry")
 		traceFiles = flag.String("tracefiles", "", "comma-separated trace files to run instead of -apps (see workload.ParseTrace for the format)")
 	)
 	flag.Parse()
@@ -57,17 +60,32 @@ func main() {
 	if *paging {
 		cfg.DemandPaging = true
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	var res *sim.Results
 	var err2 error
 	if *traceFiles != "" {
-		res, err2 = runTraceFiles(cfg, strings.Split(*traceFiles, ","), *cycles)
+		res, err2 = runTraceFiles(ctx, cfg, strings.Split(*traceFiles, ","), *cycles)
 	} else {
-		res, err2 = sim.Run(cfg, names, *cycles)
+		res, err2 = sim.Run(ctx, cfg, names, *cycles)
 	}
-	if err2 != nil {
+	if err2 != nil && res == nil {
+		// Config/build errors: report cleanly, no stack trace.
 		fatal(err2)
 	}
 	fmt.Print(res)
+	if err2 != nil {
+		// Aborted run (watchdog, timeout, interrupt): the partial results
+		// above are still useful; report why and exit non-zero.
+		fmt.Fprintln(os.Stderr, "masksim:", err2)
+		os.Exit(1)
+	}
 	if *trace != "" {
 		if err := writeTraceCSV(*trace, res); err != nil {
 			fatal(err)
@@ -87,7 +105,7 @@ func main() {
 		split := sim.EvenSplit(cfg.Cores, len(names))
 		alone := make([]float64, len(names))
 		for i, n := range names {
-			ar, err := sim.RunAlone(aloneCfg, n, split[i], *cycles)
+			ar, err := sim.RunAlone(ctx, aloneCfg, n, split[i], *cycles)
 			if err != nil {
 				fatal(err)
 			}
@@ -111,7 +129,7 @@ func fatal(err error) {
 }
 
 // runTraceFiles loads external traces and runs them as the workload.
-func runTraceFiles(cfg sim.Config, paths []string, cycles int64) (*sim.Results, error) {
+func runTraceFiles(ctx context.Context, cfg sim.Config, paths []string, cycles int64) (*sim.Results, error) {
 	var apps []workload.App
 	for i, path := range paths {
 		f, err := os.Open(strings.TrimSpace(path))
@@ -129,7 +147,7 @@ func runTraceFiles(cfg sim.Config, paths []string, cycles int64) (*sim.Results, 
 	if err != nil {
 		return nil, err
 	}
-	return s.Run(cycles), nil
+	return s.Run(ctx, cycles)
 }
 
 // writeTraceCSV dumps the sampled time series for plotting.

@@ -6,8 +6,10 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"os"
 	"sync"
 
 	"masksim/internal/workload"
@@ -32,16 +34,16 @@ func mutate(p workload.Profile, s scale) workload.Profile {
 	return p
 }
 
-func run(cfg sim.Config, pair [2]string, s scale, cycles int64) *sim.Results {
+func run(cfg sim.Config, pair [2]string, s scale, cycles int64) (*sim.Results, error) {
 	apps := []workload.App{workload.NewApp(0, pair[0]), workload.NewApp(1, pair[1])}
 	for i := range apps {
 		apps[i].Profile = mutate(apps[i].Profile, s)
 	}
 	simu, err := sim.New(cfg, apps, sim.EvenSplit(cfg.Cores, 2))
 	if err != nil {
-		panic(err)
+		return nil, err
 	}
-	return simu.Run(cycles)
+	return simu.Run(context.Background(), cycles)
 }
 
 func main() {
@@ -64,6 +66,7 @@ func main() {
 		cfg  int
 	}
 	results := make(map[key]*sim.Results)
+	var firstErr error
 	var mu sync.Mutex
 	sem := make(chan struct{}, 16)
 	var wg sync.WaitGroup
@@ -76,8 +79,11 @@ func main() {
 					sem <- struct{}{}
 					defer func() { <-sem }()
 					cfg, _ := sim.ConfigByName(cn)
-					r := run(cfg, p, g, *cycles)
+					r, err := run(cfg, p, g, *cycles)
 					mu.Lock()
+					if err != nil && firstErr == nil {
+						firstErr = err
+					}
 					results[key{gi, pi, ci}] = r
 					mu.Unlock()
 				}(gi, pi, ci, g, p, cn)
@@ -85,6 +91,10 @@ func main() {
 		}
 	}
 	wg.Wait()
+	if firstErr != nil {
+		fmt.Fprintln(os.Stderr, "masktune:", firstErr)
+		os.Exit(1)
+	}
 
 	for gi, g := range grid {
 		fmt.Printf("== shf=%.1f dps=%.1f ==\n", g.shf, g.dps)

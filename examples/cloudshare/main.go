@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -25,7 +26,7 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			res, err := sim.Run(cfg, names, cycles)
+			res, err := sim.Run(context.Background(), cfg, names, cycles)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -41,7 +42,7 @@ func main() {
 	fmt.Println("\nper-tenant IPC at 5 tenants:")
 	for _, cfgName := range []string{"SharedTLB", "MASK"} {
 		cfg, _ := sim.ConfigByName(cfgName)
-		res, err := sim.Run(cfg, tenants, cycles)
+		res, err := sim.Run(context.Background(), cfg, tenants, cycles)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -24,7 +25,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := sim.Run(base, pair, cycles)
+		res, err := sim.Run(context.Background(), base, pair, cycles)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -33,7 +34,7 @@ func main() {
 		cfg := base
 		cfg.DemandPaging = true
 		cfg.FaultLatency = 10_000 // ~10µs host transfer
-		res, err = sim.Run(cfg, pair, cycles)
+		res, err = sim.Run(context.Background(), cfg, pair, cycles)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -47,7 +48,7 @@ func main() {
 	cfg.DemandPaging = true
 	cfg.FaultLatency = 10_000
 	cfg.TraceInterval = 5_000
-	res, err := sim.Run(cfg, pair, cycles)
+	res, err := sim.Run(context.Background(), cfg, pair, cycles)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -20,7 +21,7 @@ func main() {
 	split := sim.EvenSplit(sim.Baseline().Cores, len(pair))
 	alone := make([]float64, len(pair))
 	for i, name := range pair {
-		res, err := sim.RunAlone(sim.SharedTLBConfig(), name, split[i], cycles)
+		res, err := sim.RunAlone(context.Background(), sim.SharedTLBConfig(), name, split[i], cycles)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -35,7 +36,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := sim.Run(cfg, pair, cycles)
+		res, err := sim.Run(context.Background(), cfg, pair, cycles)
 		if err != nil {
 			log.Fatal(err)
 		}

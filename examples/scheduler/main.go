@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -34,7 +35,7 @@ func main() {
 		{"MASK-DRAM", maskDRAM},
 		{"MASK (full)", mask},
 	} {
-		res, err := sim.Run(v.cfg, pair, cycles)
+		res, err := sim.Run(context.Background(), v.cfg, pair, cycles)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -48,7 +49,7 @@ func main() {
 
 	fmt.Println("\nper-app IPC (fairness view):")
 	for _, v := range []variant{{"FR-FCFS", frfcfs}, {"MASK (full)", mask}} {
-		res, err := sim.Run(v.cfg, pair, cycles)
+		res, err := sim.Run(context.Background(), v.cfg, pair, cycles)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -24,7 +25,7 @@ func main() {
 		if entries < base.L2TLBWays {
 			base.L2TLBWays = entries
 		}
-		baseRes, err := sim.Run(base, pair, cycles)
+		baseRes, err := sim.Run(context.Background(), base, pair, cycles)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -33,7 +34,7 @@ func main() {
 		if entries < mask.L2TLBWays {
 			mask.L2TLBWays = entries
 		}
-		maskRes, err := sim.Run(mask, pair, cycles)
+		maskRes, err := sim.Run(context.Background(), mask, pair, cycles)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -47,7 +48,7 @@ func main() {
 	for _, ps := range []int{4 << 10, 2 << 20} {
 		cfg := sim.SharedTLBConfig()
 		cfg.PageSize = ps
-		res, err := sim.Run(cfg, pair, cycles)
+		res, err := sim.Run(context.Background(), cfg, pair, cycles)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -129,6 +129,11 @@ type DRAM struct {
 
 	startCycle int64
 	lastCycle  int64
+
+	// drop is a fault-injection hook: when it returns true for a completing
+	// transfer, the response is discarded (the requester's Done callback never
+	// runs). Used to prove the watchdog catches hung memory dependents.
+	drop func(now int64) bool
 }
 
 // New builds the DRAM model. mkSched constructs one scheduler per channel.
@@ -274,10 +279,20 @@ func (d *DRAM) Tick(now int64) {
 	}
 }
 
+// SetDropHook installs a fault-injection hook consulted when a transfer
+// completes; returning true silently discards the response. Pass nil to
+// clear.
+func (d *DRAM) SetDropHook(fn func(now int64) bool) {
+	d.drop = fn
+}
+
 func (d *DRAM) complete(now int64, q *Queued) {
 	cls := q.Req.Class
 	d.Class[cls].Requests++
 	d.Class[cls].LatSum += uint64(now - q.Arrival)
+	if d.drop != nil && d.drop(now) {
+		return
+	}
 	q.Req.Complete(now, memreq.ServedDRAM)
 }
 

@@ -10,6 +10,11 @@ type Pipe[T any] struct {
 	latency int64
 	cap     int
 	items   []pipeItem[T]
+	// stall, when non-nil and true at now, freezes the consumer side: Pop
+	// and Peek deliver nothing while the hook holds. Fault injection uses it
+	// to wedge a link and prove the watchdog fires; the producer side still
+	// accepts items until capacity exerts back-pressure.
+	stall func(now int64) bool
 }
 
 type pipeItem[T any] struct {
@@ -35,9 +40,18 @@ func (p *Pipe[T]) Push(now int64, v T) bool {
 	return true
 }
 
+// SetStallHook installs a fault-injection hook that freezes the consumer
+// side of the pipe whenever it returns true. Pass nil to clear.
+func (p *Pipe[T]) SetStallHook(fn func(now int64) bool) {
+	p.stall = fn
+}
+
 // Pop removes and returns the oldest item if it is ready at cycle now.
 func (p *Pipe[T]) Pop(now int64) (T, bool) {
 	var zero T
+	if p.stall != nil && p.stall(now) {
+		return zero, false
+	}
 	if len(p.items) == 0 || p.items[0].readyAt > now {
 		return zero, false
 	}
@@ -52,6 +66,9 @@ func (p *Pipe[T]) Pop(now int64) (T, bool) {
 // Peek returns the oldest item without removing it, if ready at cycle now.
 func (p *Pipe[T]) Peek(now int64) (T, bool) {
 	var zero T
+	if p.stall != nil && p.stall(now) {
+		return zero, false
+	}
 	if len(p.items) == 0 || p.items[0].readyAt > now {
 		return zero, false
 	}

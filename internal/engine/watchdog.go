@@ -1,0 +1,153 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"strings"
+)
+
+// ProgressFn reports a monotonically non-decreasing count of useful work
+// (instructions retired, walks completed, DRAM requests serviced, ...). The
+// watchdog sums every registered probe; a run is making progress as long as
+// the sum keeps moving.
+type ProgressFn func() uint64
+
+// DiagFn renders a one-line snapshot of one component's state (queue
+// occupancies, in-flight work) for the abort dump.
+type DiagFn func() string
+
+// Watchdog detects livelock and deadlock in a running simulation: if no
+// registered progress probe advances for StallChecks consecutive checks
+// (CheckEvery cycles apart), the run is aborted with a DeadlockError carrying
+// a structured per-component diagnostic dump.
+//
+// A Watchdog supervises a single run; build a fresh one per Engine run.
+type Watchdog struct {
+	// CheckEvery is the progress-check interval in cycles (must be > 0).
+	CheckEvery int64
+	// StallChecks is the number of consecutive no-progress checks tolerated
+	// before the run is declared wedged.
+	StallChecks int
+
+	progress []ProgressFn
+	diags    []watchdogDiag
+
+	last    uint64
+	primed  bool
+	stalled int
+}
+
+type watchdogDiag struct {
+	name string
+	fn   DiagFn
+}
+
+// NewWatchdog returns a watchdog that aborts after stallChecks consecutive
+// checks (checkEvery cycles apart) without progress.
+func NewWatchdog(checkEvery int64, stallChecks int) *Watchdog {
+	if checkEvery <= 0 {
+		panic("engine: watchdog check interval must be positive")
+	}
+	if stallChecks < 1 {
+		stallChecks = 1
+	}
+	return &Watchdog{CheckEvery: checkEvery, StallChecks: stallChecks}
+}
+
+// Observe registers a progress probe.
+func (w *Watchdog) Observe(fn ProgressFn) {
+	w.progress = append(w.progress, fn)
+}
+
+// Diagnose registers a named component snapshot for the abort dump.
+func (w *Watchdog) Diagnose(name string, fn DiagFn) {
+	w.diags = append(w.diags, watchdogDiag{name: name, fn: fn})
+}
+
+// check is called by the engine every CheckEvery cycles. It returns a
+// *DeadlockError once StallChecks consecutive checks saw no progress.
+func (w *Watchdog) check(now int64) error {
+	var cur uint64
+	for _, fn := range w.progress {
+		cur += fn()
+	}
+	if !w.primed || cur != w.last {
+		w.primed = true
+		w.last = cur
+		w.stalled = 0
+		return nil
+	}
+	w.stalled++
+	if w.stalled < w.StallChecks {
+		return nil
+	}
+	return &DeadlockError{
+		Cycle:       now,
+		StallCycles: int64(w.stalled) * w.CheckEvery,
+		Dump:        w.Dump(),
+	}
+}
+
+// Dump renders the registered component snapshots, one line per component.
+func (w *Watchdog) Dump() []string {
+	out := make([]string, 0, len(w.diags))
+	for _, d := range w.diags {
+		out = append(out, fmt.Sprintf("%s: %s", d.name, d.fn()))
+	}
+	return out
+}
+
+// DeadlockError reports a run aborted by the watchdog: no component made
+// progress for StallCycles cycles. Dump holds the per-component state
+// snapshot taken at the abort point.
+type DeadlockError struct {
+	Cycle       int64
+	StallCycles int64
+	Dump        []string
+}
+
+// Error renders the diagnostic, one dump line per component.
+func (e *DeadlockError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "engine: no progress for %d cycles (deadlock/livelock suspected), aborted at cycle %d",
+		e.StallCycles, e.Cycle)
+	for _, line := range e.Dump {
+		b.WriteString("\n  ")
+		b.WriteString(line)
+	}
+	return b.String()
+}
+
+// ctxPollEvery is how often (in cycles) RunContext polls the context. Coarse
+// polling keeps the per-cycle overhead negligible while still bounding the
+// cancellation latency to microseconds of wall-clock time.
+const ctxPollEvery = 1024
+
+// RunContext advances the simulation by up to n cycles under supervision:
+// the context is polled periodically for cancellation or deadline expiry,
+// and wd (when non-nil) aborts the run if it stops making progress. On early
+// abort the engine keeps the cycles already simulated (Now reports how far
+// the run got) so callers can still collect partial results.
+func (e *Engine) RunContext(ctx context.Context, n int64, wd *Watchdog) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("engine: run canceled at cycle %d: %w", e.now, err)
+	}
+	end := e.now + n
+	for e.now < end {
+		e.Step()
+		if e.now%ctxPollEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("engine: run canceled at cycle %d: %w", e.now, err)
+			}
+		}
+		if wd != nil && e.now%wd.CheckEvery == 0 {
+			if err := wd.check(e.now); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -10,7 +10,7 @@ import (
 // study DESIGN.md calls out. The paper evaluates the three singletons
 // (Figure 11); the pairwise and triple combinations quantify interaction
 // effects on this substrate.
-func Ablate(h *Harness, full bool) *Table {
+func Ablate(h *Harness, full bool) (*Table, error) {
 	pairs := pairSet(full)
 	combos := []struct {
 		name string
@@ -37,9 +37,9 @@ func Ablate(h *Harness, full bool) *Table {
 		cfg.Mask = combo.mask
 		var xs []float64
 		for _, p := range pairs {
-			res, err := sim.Run(cfg, []string{p.A, p.B}, h.Cycles)
+			res, err := h.Run(cfg, []string{p.A, p.B})
 			if err != nil {
-				panic(err)
+				return nil, err
 			}
 			xs = append(xs, res.TotalIPC)
 		}
@@ -49,10 +49,9 @@ func Ablate(h *Harness, full bool) *Table {
 		}
 		t.AddRowf(2, combo.name, mean, 100*(mean/base-1))
 	}
-	return t
+	return t, nil
 }
 
 func init() {
-	register("ablate", "MASK mechanism-combination ablation (DESIGN.md)",
-		func(h *Harness, full bool) []*Table { return []*Table{Ablate(h, full)} })
+	register("ablate", "MASK mechanism-combination ablation (DESIGN.md)", one(Ablate))
 }

@@ -8,7 +8,7 @@ import (
 // time is spent waiting for address translation (before the data request can
 // even issue) versus waiting for data. Under Ideal the translation share is
 // zero by construction; MASK's job is to shrink it.
-func Anatomy(h *Harness, full bool) *Table {
+func Anatomy(h *Harness, full bool) (*Table, error) {
 	pairs := pairSet(false)
 	t := &Table{
 		ID:    "anatomy",
@@ -18,9 +18,9 @@ func Anatomy(h *Harness, full bool) *Table {
 	for _, p := range pairs {
 		for _, cfgName := range []string{"SharedTLB", "MASK", "Ideal"} {
 			cfg, _ := sim.ConfigByName(cfgName)
-			res, err := sim.Run(cfg, []string{p.A, p.B}, h.Cycles)
+			res, err := h.Run(cfg, []string{p.A, p.B})
 			if err != nil {
-				panic(err)
+				return nil, err
 			}
 			total := res.TransStallCycles + res.DataStallCycles
 			var transFrac float64
@@ -31,10 +31,9 @@ func Anatomy(h *Harness, full bool) *Table {
 				100*transFrac, 100*(1-transFrac), 100*res.IdleFraction)
 		}
 	}
-	return t
+	return t, nil
 }
 
 func init() {
-	register("anatomy", "warp stall anatomy: translation vs data (Figure 4)",
-		func(h *Harness, full bool) []*Table { return []*Table{Anatomy(h, full)} })
+	register("anatomy", "warp stall anatomy: translation vs data (Figure 4)", one(Anatomy))
 }

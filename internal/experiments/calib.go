@@ -22,13 +22,16 @@ var CalibPairs = []workload.Pair{
 // Calib runs the standard configurations over CalibPairs and reports the
 // indicators used to validate the substrate against the paper's expected
 // shapes: weighted speedup per config, plus baseline-vs-Ideal diagnostics.
-func Calib(h *Harness) *Table {
+func Calib(h *Harness) (*Table, error) {
 	var cfgs []sim.Config
 	for _, name := range sim.ConfigNames() {
 		c, _ := sim.ConfigByName(name)
 		cfgs = append(cfgs, c)
 	}
-	m := h.RunMatrix(sim.SharedTLBConfig(), cfgs, CalibPairs)
+	m, err := h.RunMatrix(sim.SharedTLBConfig(), cfgs, CalibPairs)
+	if err != nil {
+		return nil, err
+	}
 
 	t := &Table{
 		ID:    "calib",
@@ -38,7 +41,11 @@ func Calib(h *Harness) *Table {
 	for _, p := range CalibPairs {
 		row := []interface{}{p.Name()}
 		for _, c := range m.Configs {
-			row = append(row, m.Cell(p, c).Metrics.WeightedSpeedup)
+			if cell := m.Cell(p, c); cell.OK() {
+				row = append(row, cell.Metrics.WeightedSpeedup)
+			} else {
+				row = append(row, "FAILED")
+			}
 		}
 		t.AddRowf(3, row...)
 	}
@@ -47,11 +54,20 @@ func Calib(h *Harness) *Table {
 		avg = append(avg, m.MeanWS(c, nil))
 	}
 	t.AddRowf(3, avg...)
+	if failed := m.Failed(); len(failed) > 0 {
+		t.Note = fmt.Sprintf("%d of %d cells failed; means cover survivors", len(failed), len(m.Pairs)*len(m.Configs))
+	}
 
 	// Diagnostics rows for the SharedTLB baseline and MASK.
 	for _, cfgName := range []string{"SharedTLB", "MASK"} {
 		for _, p := range CalibPairs {
-			r := m.Cell(p, cfgName).Results
+			cell := m.Cell(p, cfgName)
+			if !cell.OK() {
+				t.AddRow("")
+				t.AddRow("diag "+cfgName+" "+p.Name(), "FAILED: "+cell.Err.Error())
+				continue
+			}
+			r := cell.Results
 			t.AddRow("")
 			t.AddRow("diag "+cfgName+" "+p.Name(),
 				fm("idle=%.0f%%", 100*r.IdleFraction),
@@ -64,7 +80,7 @@ func Calib(h *Harness) *Table {
 			)
 		}
 	}
-	return t
+	return t, nil
 }
 
 func fm(format string, args ...interface{}) string {

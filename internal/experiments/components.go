@@ -10,7 +10,7 @@ import (
 // rate under SharedTLB vs MASK-TLB, plus the TLB bypass cache hit rate.
 // The paper reports a 49.9% average hit-rate improvement and a 66.5% bypass
 // cache hit rate.
-func CompTLB(h *Harness, full bool) *Table {
+func CompTLB(h *Harness, full bool) (*Table, error) {
 	pairs := pairSet(full)
 	t := &Table{
 		ID:    "comp-tlb",
@@ -19,13 +19,13 @@ func CompTLB(h *Harness, full bool) *Table {
 	}
 	var rel []float64
 	for _, p := range pairs {
-		base, err := sim.Run(sim.SharedTLBConfig(), []string{p.A, p.B}, h.Cycles)
+		base, err := h.Run(sim.SharedTLBConfig(), []string{p.A, p.B})
 		if err != nil {
-			panic(err)
+			return nil, err
 		}
-		tok, err := sim.Run(sim.MASKTLBConfig(), []string{p.A, p.B}, h.Cycles)
+		tok, err := h.Run(sim.MASKTLBConfig(), []string{p.A, p.B})
 		if err != nil {
-			panic(err)
+			return nil, err
 		}
 		bh := 1 - base.L2TLBTotal.MissRate()
 		th := 1 - tok.L2TLBTotal.MissRate()
@@ -36,7 +36,7 @@ func CompTLB(h *Harness, full bool) *Table {
 			100*(tok.TotalIPC/base.TotalIPC-1))
 	}
 	t.AddRowf(1, "MEAN rel. hit-rate change %", 100*metrics.Mean(rel))
-	return t
+	return t, nil
 }
 
 // CompCache reproduces the §7.2 Address-Translation-Aware L2 Bypass
@@ -44,7 +44,7 @@ func CompTLB(h *Harness, full bool) *Table {
 // the fraction of translation requests bypassed, under MASK-Cache.
 // The paper reports >99% hit rate for the translation requests that are
 // still cached, and a 43.6% performance gain.
-func CompCache(h *Harness, full bool) *Table {
+func CompCache(h *Harness, full bool) (*Table, error) {
 	pairs := pairSet(full)
 	t := &Table{
 		ID:    "comp-cache",
@@ -52,13 +52,13 @@ func CompCache(h *Harness, full bool) *Table {
 		Cols:  []string{"pair", "lvl1Hit%", "lvl2Hit%", "lvl3Hit%", "lvl4Hit%", "bypassed", "WSdelta%"},
 	}
 	for _, p := range pairs {
-		base, err := sim.Run(sim.SharedTLBConfig(), []string{p.A, p.B}, h.Cycles)
+		base, err := h.Run(sim.SharedTLBConfig(), []string{p.A, p.B})
 		if err != nil {
-			panic(err)
+			return nil, err
 		}
-		mc, err := sim.Run(sim.MASKCacheConfig(), []string{p.A, p.B}, h.Cycles)
+		mc, err := h.Run(sim.MASKCacheConfig(), []string{p.A, p.B})
 		if err != nil {
-			panic(err)
+			return nil, err
 		}
 		var bypassed uint64
 		cells := []interface{}{p.Name()}
@@ -70,14 +70,14 @@ func CompCache(h *Harness, full bool) *Table {
 		cells = append(cells, int(bypassed), 100*(mc.TotalIPC/base.TotalIPC-1))
 		t.AddRowf(1, cells...)
 	}
-	return t
+	return t, nil
 }
 
 // CompDRAM reproduces the §7.2 Address-Space-Aware DRAM scheduler analysis:
 // DRAM latency of translation and data requests under SharedTLB vs
 // MASK-DRAM. The paper reports translation-latency reductions up to 10.6%
 // and Silver-Queue case studies (SCAN_SRAD, SCAN_CONS).
-func CompDRAM(h *Harness, full bool) *Table {
+func CompDRAM(h *Harness, full bool) (*Table, error) {
 	pairs := pairSet(full)
 	t := &Table{
 		ID:    "comp-dram",
@@ -85,13 +85,13 @@ func CompDRAM(h *Harness, full bool) *Table {
 		Cols:  []string{"pair", "baseTLat", "maskTLat", "baseDLat", "maskDLat", "WSdelta%"},
 	}
 	for _, p := range pairs {
-		base, err := sim.Run(sim.SharedTLBConfig(), []string{p.A, p.B}, h.Cycles)
+		base, err := h.Run(sim.SharedTLBConfig(), []string{p.A, p.B})
 		if err != nil {
-			panic(err)
+			return nil, err
 		}
-		md, err := sim.Run(sim.MASKDRAMConfig(), []string{p.A, p.B}, h.Cycles)
+		md, err := h.Run(sim.MASKDRAMConfig(), []string{p.A, p.B})
 		if err != nil {
-			panic(err)
+			return nil, err
 		}
 		t.AddRowf(0, p.Name(),
 			base.DRAMClass[memreq.Translation].AvgLatency(),
@@ -100,14 +100,11 @@ func CompDRAM(h *Harness, full bool) *Table {
 			md.DRAMClass[memreq.Data].AvgLatency(),
 			100*(md.TotalIPC/base.TotalIPC-1))
 	}
-	return t
+	return t, nil
 }
 
 func init() {
-	register("comp-tlb", "TLB-Fill Tokens component analysis (§7.2)",
-		func(h *Harness, full bool) []*Table { return []*Table{CompTLB(h, full)} })
-	register("comp-cache", "L2 bypass component analysis (§7.2)",
-		func(h *Harness, full bool) []*Table { return []*Table{CompCache(h, full)} })
-	register("comp-dram", "DRAM scheduler component analysis (§7.2)",
-		func(h *Harness, full bool) []*Table { return []*Table{CompDRAM(h, full)} })
+	register("comp-tlb", "TLB-Fill Tokens component analysis (§7.2)", one(CompTLB))
+	register("comp-cache", "L2 bypass component analysis (§7.2)", one(CompCache))
+	register("comp-dram", "DRAM scheduler component analysis (§7.2)", one(CompDRAM))
 }

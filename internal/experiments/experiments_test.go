@@ -81,8 +81,14 @@ func TestHarnessAloneCaching(t *testing.T) {
 	cfg := sim.SharedTLBConfig()
 	cfg.Cores = 4
 	cfg.WarpsPerCore = 8
-	a := h.AloneIPC(cfg, "NN", 2)
-	b := h.AloneIPC(cfg, "NN", 2)
+	a, err := h.AloneIPC(cfg, "NN", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := h.AloneIPC(cfg, "NN", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if a != b {
 		t.Fatal("alone IPC cache returned different values")
 	}
@@ -102,10 +108,16 @@ func TestRunMatrixSmall(t *testing.T) {
 		return c
 	}
 	pairs := []workload.Pair{{A: "NN", B: "LUD"}}
-	m := h.RunMatrix(small("base", false), []sim.Config{small("base", false), small("ideal", true)}, pairs)
+	m, err := h.RunMatrix(small("base", false), []sim.Config{small("base", false), small("ideal", true)}, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
 	c := m.Cell(pairs[0], "base")
 	if c == nil || c.Results == nil {
 		t.Fatal("matrix cell missing")
+	}
+	if !c.OK() {
+		t.Fatalf("cell failed: %v", c.Err)
 	}
 	if m.MeanWS("base", nil) <= 0 {
 		t.Fatal("mean WS not positive")

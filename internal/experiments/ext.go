@@ -11,7 +11,7 @@ import (
 // future work (§5.5): cold-start cost of major faults and how MASK behaves
 // once faults and translation contention combine. The fault latency sweep
 // brackets PCIe-attached (slow) and NVLink-attached (faster) host memory.
-func ExtPaging(h *Harness, full bool) *Table {
+func ExtPaging(h *Harness, full bool) (*Table, error) {
 	pair := []string{"3DS", "CONS"}
 	t := &Table{
 		ID:    "ext-paging",
@@ -21,18 +21,18 @@ func ExtPaging(h *Harness, full bool) *Table {
 	}
 	for _, cfgName := range []string{"SharedTLB", "MASK"} {
 		base, _ := sim.ConfigByName(cfgName)
-		res, err := sim.Run(base, pair, h.Cycles)
+		res, err := h.Run(base, pair)
 		if err != nil {
-			panic(err)
+			return nil, err
 		}
 		t.AddRow(cfgName, "prepopulated", fmt.Sprintf("%.2f", res.TotalIPC), "0", "-")
 		for _, lat := range []int64{5_000, 20_000} {
 			cfg := base
 			cfg.DemandPaging = true
 			cfg.FaultLatency = lat
-			res, err := sim.Run(cfg, pair, h.Cycles)
+			res, err := h.Run(cfg, pair)
 			if err != nil {
-				panic(err)
+				return nil, err
 			}
 			t.AddRow(cfgName, fmt.Sprintf("%dcy", lat),
 				fmt.Sprintf("%.2f", res.TotalIPC),
@@ -40,13 +40,13 @@ func ExtPaging(h *Harness, full bool) *Table {
 				fmt.Sprintf("%.0f", res.Faults.AvgLatency()))
 		}
 	}
-	return t
+	return t, nil
 }
 
 // SensWarpSched compares the GTO baseline against round-robin warp
 // scheduling for SharedTLB and MASK (warp scheduling is orthogonal to MASK,
 // §8.2 — the gains must survive a scheduler change).
-func SensWarpSched(h *Harness, full bool) *Table {
+func SensWarpSched(h *Harness, full bool) (*Table, error) {
 	pairs := pairSet(false)
 	t := &Table{
 		ID:    "sens-warpsched",
@@ -58,40 +58,42 @@ func SensWarpSched(h *Harness, full bool) *Table {
 		if rr {
 			name = "round-robin"
 		}
-		run := func(base sim.Config) float64 {
+		run := func(base sim.Config) (float64, error) {
 			base.RoundRobinSched = rr
 			var xs []float64
 			for _, p := range pairs {
-				res, err := sim.Run(base, []string{p.A, p.B}, h.Cycles)
+				res, err := h.Run(base, []string{p.A, p.B})
 				if err != nil {
-					panic(err)
+					return 0, err
 				}
 				xs = append(xs, res.TotalIPC)
 			}
-			return metrics.Mean(xs)
+			return metrics.Mean(xs), nil
 		}
-		shared := run(sim.SharedTLBConfig())
-		mask := run(sim.MASKConfig())
+		shared, err := run(sim.SharedTLBConfig())
+		if err != nil {
+			return nil, err
+		}
+		mask, err := run(sim.MASKConfig())
+		if err != nil {
+			return nil, err
+		}
 		t.AddRowf(2, name, shared, mask, 100*(mask/shared-1))
 	}
-	return t
+	return t, nil
 }
 
 func init() {
-	register("ext-paging", "demand-paging extension study (§5.5 future work)",
-		func(h *Harness, full bool) []*Table { return []*Table{ExtPaging(h, full)} })
-	register("sens-warpsched", "GTO vs round-robin warp scheduling",
-		func(h *Harness, full bool) []*Table { return []*Table{SensWarpSched(h, full)} })
-	register("sens-tokens", "InitialTokens sweep (§6 design-parameter study)",
-		func(h *Harness, full bool) []*Table { return []*Table{SensTokens(h, full)} })
-	register("ext-prefetch", "stride TLB prefetcher vs MASK (§8.2 claim test)",
-		func(h *Harness, full bool) []*Table { return []*Table{ExtPrefetch(h, full)} })
+	register("ext-paging", "demand-paging extension study (§5.5 future work)", one(ExtPaging))
+	register("sens-warpsched", "GTO vs round-robin warp scheduling", one(SensWarpSched))
+	register("sens-tokens", "InitialTokens sweep (§6 design-parameter study)", one(SensTokens))
+	register("ext-prefetch", "stride TLB prefetcher vs MASK (§8.2 claim test)", one(ExtPrefetch))
 }
 
 // SensTokens sweeps InitialTokens (the paper reports <1% performance
 // variance across the range because the epoch adaptation converges to the
 // same steady state, §6).
-func SensTokens(h *Harness, full bool) *Table {
+func SensTokens(h *Harness, full bool) (*Table, error) {
 	pair := []string{"MM", "CONS"}
 	t := &Table{
 		ID:    "sens-tokens",
@@ -101,20 +103,20 @@ func SensTokens(h *Harness, full bool) *Table {
 	for _, frac := range []float64{0.25, 0.50, 0.80, 1.00} {
 		cfg := sim.MASKConfig()
 		cfg.TokenInitFraction = frac
-		res, err := sim.Run(cfg, pair, h.Cycles)
+		res, err := h.Run(cfg, pair)
 		if err != nil {
-			panic(err)
+			return nil, err
 		}
 		t.AddRowf(2, fmt.Sprintf("%.0f%%", 100*frac), res.TotalIPC)
 	}
-	return t
+	return t, nil
 }
 
 // ExtPrefetch tests the paper's related-work claim (§8.2) that CPU-style
 // TLB prefetchers are "likely to be less effective" than MASK under
 // multi-address-space concurrency, by running a stride prefetcher on the
 // same substrate.
-func ExtPrefetch(h *Harness, full bool) *Table {
+func ExtPrefetch(h *Harness, full bool) (*Table, error) {
 	pairs := pairSet(false)
 	t := &Table{
 		ID:    "ext-prefetch",
@@ -122,22 +124,22 @@ func ExtPrefetch(h *Harness, full bool) *Table {
 		Cols:  []string{"pair", "SharedTLB", "+prefetch", "MASK", "pf-accuracy%"},
 	}
 	for _, p := range pairs {
-		base, err := sim.Run(sim.SharedTLBConfig(), []string{p.A, p.B}, h.Cycles)
+		base, err := h.Run(sim.SharedTLBConfig(), []string{p.A, p.B})
 		if err != nil {
-			panic(err)
+			return nil, err
 		}
 		pfCfg := sim.SharedTLBConfig()
 		pfCfg.TLBPrefetch = true
-		pf, err := sim.Run(pfCfg, []string{p.A, p.B}, h.Cycles)
+		pf, err := h.Run(pfCfg, []string{p.A, p.B})
 		if err != nil {
-			panic(err)
+			return nil, err
 		}
-		mask, err := sim.Run(sim.MASKConfig(), []string{p.A, p.B}, h.Cycles)
+		mask, err := h.Run(sim.MASKConfig(), []string{p.A, p.B})
 		if err != nil {
-			panic(err)
+			return nil, err
 		}
 		t.AddRowf(2, p.Name(), base.TotalIPC, pf.TotalIPC, mask.TotalIPC,
 			100*pf.Prefetch.Accuracy())
 	}
-	return t
+	return t, nil
 }

@@ -17,7 +17,7 @@ import (
 // such loss, so the overhead is the IPC ratio. The paper's kernel
 // "interleaves basic arithmetic operations with loads and stores"; we use
 // the MM profile, which has the same flavour.
-func Fig1(h *Harness) *Table {
+func Fig1(h *Harness) (*Table, error) {
 	t := &Table{
 		ID:    "fig1",
 		Title: "time-multiplexing overhead vs number of concurrent processes",
@@ -31,9 +31,9 @@ func Fig1(h *Harness) *Table {
 		quantum      = 2_000
 		drainPerProc = 100
 	)
-	base, err := sim.Run(sim.SharedTLBConfig(), []string{"MM"}, h.Cycles)
+	base, err := h.Run(sim.SharedTLBConfig(), []string{"MM"})
 	if err != nil {
-		panic(err)
+		return nil, err
 	}
 	for n := 2; n <= 10; n++ {
 		cfg := sim.SharedTLBConfig()
@@ -45,19 +45,19 @@ func Fig1(h *Harness) *Table {
 			evict = 1
 		}
 		cfg.TimeMuxEvict = evict
-		res, err := sim.Run(cfg, []string{"MM"}, h.Cycles)
+		res, err := h.Run(cfg, []string{"MM"})
 		if err != nil {
-			panic(err)
+			return nil, err
 		}
 		drainFrac := float64(drainPerProc*n) / quantum
 		overhead := base.TotalIPC/res.TotalIPC*(1+drainFrac) - 1
 		t.AddRow(fmt.Sprintf("%d", n), fmt.Sprintf("%.0f%%", 100*evict),
 			fmt.Sprintf("%.2f", res.TotalIPC), fmt.Sprintf("%.1f%%", 100*overhead))
 	}
-	return t
+	return t, nil
 }
 
 func init() {
 	register("fig1", "time-multiplexing overhead vs process count (Figure 1)",
-		func(h *Harness, full bool) []*Table { return []*Table{Fig1(h)} })
+		one(func(h *Harness, full bool) (*Table, error) { return Fig1(h) }))
 }

@@ -20,12 +20,14 @@ type fig11Key struct {
 }
 
 // fig11Matrix runs (or returns the memoized) grid shared by Figures 11-15.
-func fig11Matrix(h *Harness, full bool) *Matrix {
+// Only fully successful matrices are memoized, so a transient failure in one
+// figure does not poison the others.
+func fig11Matrix(h *Harness, full bool) (*Matrix, error) {
 	key := fig11Key{h.Cycles, full}
 	fig11Cache.Lock()
 	if m, ok := fig11Cache.m[key]; ok {
 		fig11Cache.Unlock()
-		return m
+		return m, nil
 	}
 	fig11Cache.Unlock()
 
@@ -35,18 +37,26 @@ func fig11Matrix(h *Harness, full bool) *Matrix {
 		c, _ := sim.ConfigByName(n)
 		cfgs = append(cfgs, c)
 	}
-	m := h.RunMatrix(sim.SharedTLBConfig(), cfgs, pairs)
+	m, err := h.RunMatrix(sim.SharedTLBConfig(), cfgs, pairs)
+	if err != nil {
+		return nil, err
+	}
 
-	fig11Cache.Lock()
-	fig11Cache.m[key] = m
-	fig11Cache.Unlock()
-	return m
+	if len(m.Failed()) == 0 {
+		fig11Cache.Lock()
+		fig11Cache.m[key] = m
+		fig11Cache.Unlock()
+	}
+	return m, nil
 }
 
 // Fig11 reproduces Figure 11: average weighted speedup per workload
 // category for all eight configurations.
-func Fig11(h *Harness, full bool) []*Table {
-	m := fig11Matrix(h, full)
+func Fig11(h *Harness, full bool) ([]*Table, error) {
+	m, err := fig11Matrix(h, full)
+	if err != nil {
+		return nil, err
+	}
 	zero, one, two := categorize(m.Pairs)
 
 	t := &Table{
@@ -87,7 +97,7 @@ func Fig11(h *Harness, full bool) []*Table {
 		}
 		t2.AddRowf(2, cells...)
 	}
-	return []*Table{t, t2}
+	return []*Table{t, t2}, nil
 }
 
 // perPairTable renders one category's per-workload weighted speedups
@@ -97,7 +107,11 @@ func perPairTable(m *Matrix, id, title string, pairs []workload.Pair) *Table {
 	for _, p := range pairs {
 		cells := []interface{}{p.Name()}
 		for _, c := range figConfigs() {
-			cells = append(cells, m.Cell(p, c).Metrics.WeightedSpeedup)
+			if cell := m.Cell(p, c); cell.OK() {
+				cells = append(cells, cell.Metrics.WeightedSpeedup)
+			} else {
+				cells = append(cells, "FAILED")
+			}
 		}
 		t.AddRowf(3, cells...)
 	}
@@ -129,26 +143,40 @@ func Fig15(m *Matrix) *Table {
 }
 
 func init() {
-	register("fig11", "weighted speedup by category, all configs (Figure 11)",
-		func(h *Harness, full bool) []*Table { return Fig11(h, full) })
+	register("fig11", "weighted speedup by category, all configs (Figure 11)", Fig11)
 	register("fig12", "per-workload weighted speedup, 0-HMR (Figure 12)",
-		func(h *Harness, full bool) []*Table {
-			m := fig11Matrix(h, full)
+		func(h *Harness, full bool) ([]*Table, error) {
+			m, err := fig11Matrix(h, full)
+			if err != nil {
+				return nil, err
+			}
 			zero, _, _ := categorize(m.Pairs)
-			return []*Table{perPairTable(m, "fig12", "0-HMR per-workload weighted speedup", zero)}
+			return []*Table{perPairTable(m, "fig12", "0-HMR per-workload weighted speedup", zero)}, nil
 		})
 	register("fig13", "per-workload weighted speedup, 1-HMR (Figure 13)",
-		func(h *Harness, full bool) []*Table {
-			m := fig11Matrix(h, full)
+		func(h *Harness, full bool) ([]*Table, error) {
+			m, err := fig11Matrix(h, full)
+			if err != nil {
+				return nil, err
+			}
 			_, one, _ := categorize(m.Pairs)
-			return []*Table{perPairTable(m, "fig13", "1-HMR per-workload weighted speedup", one)}
+			return []*Table{perPairTable(m, "fig13", "1-HMR per-workload weighted speedup", one)}, nil
 		})
 	register("fig14", "per-workload weighted speedup, 2-HMR (Figure 14)",
-		func(h *Harness, full bool) []*Table {
-			m := fig11Matrix(h, full)
+		func(h *Harness, full bool) ([]*Table, error) {
+			m, err := fig11Matrix(h, full)
+			if err != nil {
+				return nil, err
+			}
 			_, _, two := categorize(m.Pairs)
-			return []*Table{perPairTable(m, "fig14", "2-HMR per-workload weighted speedup", two)}
+			return []*Table{perPairTable(m, "fig14", "2-HMR per-workload weighted speedup", two)}, nil
 		})
 	register("fig15", "unfairness (max slowdown) by category (Figure 15)",
-		func(h *Harness, full bool) []*Table { return []*Table{Fig15(fig11Matrix(h, full))} })
+		func(h *Harness, full bool) ([]*Table, error) {
+			m, err := fig11Matrix(h, full)
+			if err != nil {
+				return nil, err
+			}
+			return []*Table{Fig15(m)}, nil
+		})
 }

@@ -8,14 +8,17 @@ import (
 // Fig3 reproduces Figure 3: the performance of the two baseline designs
 // (PWCache and SharedTLB) normalized to the Ideal (always-hit) TLB, for
 // two-application workloads. The paper reports averages of 0.55 and 0.59.
-func Fig3(h *Harness, full bool) *Table {
+func Fig3(h *Harness, full bool) (*Table, error) {
 	pairs := pairSet(full)
 	var cfgs []sim.Config
 	for _, n := range []string{"PWCache", "SharedTLB", "Ideal"} {
 		c, _ := sim.ConfigByName(n)
 		cfgs = append(cfgs, c)
 	}
-	m := h.RunMatrix(sim.SharedTLBConfig(), cfgs, pairs)
+	m, err := h.RunMatrix(sim.SharedTLBConfig(), cfgs, pairs)
+	if err != nil {
+		return nil, err
+	}
 
 	t := &Table{
 		ID:    "fig3",
@@ -25,7 +28,14 @@ func Fig3(h *Harness, full bool) *Table {
 	}
 	var pw, sh []float64
 	for _, p := range pairs {
+		if !m.OK(p) {
+			t.AddRow(p.Name(), "FAILED", "FAILED")
+			continue
+		}
 		ideal := m.Cell(p, "Ideal").Metrics.WeightedSpeedup
+		if ideal <= 0 {
+			continue
+		}
 		a := m.Cell(p, "PWCache").Metrics.WeightedSpeedup / ideal
 		b := m.Cell(p, "SharedTLB").Metrics.WeightedSpeedup / ideal
 		pw = append(pw, a)
@@ -33,10 +43,9 @@ func Fig3(h *Harness, full bool) *Table {
 		t.AddRowf(3, p.Name(), a, b)
 	}
 	t.AddRowf(3, "MEAN", metrics.Mean(pw), metrics.Mean(sh))
-	return t
+	return t, nil
 }
 
 func init() {
-	register("fig3", "PWCache & SharedTLB baselines vs Ideal (Figure 3)",
-		func(h *Harness, full bool) []*Table { return []*Table{Fig3(h, full)} })
+	register("fig3", "PWCache & SharedTLB baselines vs Ideal (Figure 3)", one(Fig3))
 }

@@ -11,7 +11,7 @@ import (
 // walks per application (run alone on the SharedTLB baseline). The paper
 // samples every 10K cycles and observes values from a handful up to the
 // 64-walk limit.
-func Fig5(h *Harness, full bool) *Table {
+func Fig5(h *Harness, full bool) (*Table, error) {
 	return perAppWalkTable(h, full, "fig5",
 		"average concurrent page table walks (app alone, SharedTLB)",
 		"paper: >20 outstanding walks for many applications; walker admits 64",
@@ -23,7 +23,7 @@ func Fig5(h *Harness, full bool) *Table {
 
 // Fig6 reproduces Figure 6: the average number of warps stalled per TLB
 // miss (per active L1 TLB miss entry).
-func Fig6(h *Harness, full bool) *Table {
+func Fig6(h *Harness, full bool) (*Table, error) {
 	return perAppWalkTable(h, full, "fig6",
 		"average warps stalled per TLB miss (app alone, SharedTLB)",
 		"paper: up to >30 of 64 warps; our streams merge more at the L1, so values are lower but ordering holds",
@@ -34,30 +34,33 @@ func Fig6(h *Harness, full bool) *Table {
 }
 
 func perAppWalkTable(h *Harness, full bool, id, title, note string,
-	metric func(*sim.Results) (float64, float64), cols []string) *Table {
+	metric func(*sim.Results) (float64, float64), cols []string) (*Table, error) {
 	apps := appSet(full)
 	t := &Table{ID: id, Title: title, Note: note, Cols: cols}
 	results := make([]*sim.Results, len(apps))
 	var mu sync.Mutex
-	h.parallel(len(apps), func(i int) {
-		res, err := sim.RunAlone(sim.SharedTLBConfig(), apps[i], 30, h.Cycles)
+	if err := h.parallel(len(apps), func(i int) error {
+		res, err := h.RunAlone(sim.SharedTLBConfig(), apps[i], 30)
 		if err != nil {
-			panic(err)
+			return err
 		}
 		mu.Lock()
 		results[i] = res
 		mu.Unlock()
-	})
+		return nil
+	}); err != nil {
+		return nil, err
+	}
 	for i, a := range apps {
 		v1, v2 := metric(results[i])
 		t.AddRowf(1, a, v1, v2)
 	}
-	return t
+	return t, nil
 }
 
 // Fig7 reproduces Figure 7: the shared L2 TLB miss rate of each application
 // in four representative pairs, alone versus shared.
-func Fig7(h *Harness, full bool) *Table {
+func Fig7(h *Harness, full bool) (*Table, error) {
 	pairs := pairSetFig7(full)
 	t := &Table{
 		ID:    "fig7",
@@ -66,21 +69,21 @@ func Fig7(h *Harness, full bool) *Table {
 		Cols:  []string{"pair", "app", "aloneMiss%", "sharedMiss%"},
 	}
 	for _, p := range pairs {
-		shared, err := sim.Run(sim.SharedTLBConfig(), []string{p.A, p.B}, h.Cycles)
+		shared, err := h.Run(sim.SharedTLBConfig(), []string{p.A, p.B})
 		if err != nil {
-			panic(err)
+			return nil, err
 		}
 		for i, name := range []string{p.A, p.B} {
-			aloneRes, err := sim.RunAlone(sim.SharedTLBConfig(), name, 15, h.Cycles)
+			aloneRes, err := h.RunAlone(sim.SharedTLBConfig(), name, 15)
 			if err != nil {
-				panic(err)
+				return nil, err
 			}
 			t.AddRowf(1, p.Name(), name,
 				100*aloneRes.Apps[0].L2TLB.MissRate(),
 				100*shared.Apps[i].L2TLB.MissRate())
 		}
 	}
-	return t
+	return t, nil
 }
 
 func pairSetFig7(full bool) []workload.Pair {
@@ -89,10 +92,7 @@ func pairSetFig7(full bool) []workload.Pair {
 }
 
 func init() {
-	register("fig5", "average concurrent page walks per app (Figure 5)",
-		func(h *Harness, full bool) []*Table { return []*Table{Fig5(h, full)} })
-	register("fig6", "average warps stalled per TLB miss (Figure 6)",
-		func(h *Harness, full bool) []*Table { return []*Table{Fig6(h, full)} })
-	register("fig7", "shared L2 TLB miss rate: alone vs shared (Figure 7)",
-		func(h *Harness, full bool) []*Table { return []*Table{Fig7(h, full)} })
+	register("fig5", "average concurrent page walks per app (Figure 5)", one(Fig5))
+	register("fig6", "average warps stalled per TLB miss (Figure 6)", one(Fig6))
+	register("fig7", "shared L2 TLB miss rate: alone vs shared (Figure 7)", one(Fig7))
 }

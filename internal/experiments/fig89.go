@@ -16,7 +16,7 @@ import (
 // utilized bandwidth (13.8% of utilized, 2.4% of peak) yet suffers DRAM
 // latencies comparable to or above data's because FR-FCFS favours
 // row-buffer-friendly data streams.
-func Fig8and9(h *Harness, full bool) []*Table {
+func Fig8and9(h *Harness, full bool) ([]*Table, error) {
 	pairs := pairSet(full)
 	t8 := &Table{
 		ID:    "fig8",
@@ -32,15 +32,18 @@ func Fig8and9(h *Harness, full bool) []*Table {
 	}
 	results := make([]*sim.Results, len(pairs))
 	var mu sync.Mutex
-	h.parallel(len(pairs), func(i int) {
-		res, err := sim.Run(sim.SharedTLBConfig(), []string{pairs[i].A, pairs[i].B}, h.Cycles)
+	if err := h.parallel(len(pairs), func(i int) error {
+		res, err := h.Run(sim.SharedTLBConfig(), []string{pairs[i].A, pairs[i].B})
 		if err != nil {
-			panic(err)
+			return err
 		}
 		mu.Lock()
 		results[i] = res
 		mu.Unlock()
-	})
+		return nil
+	}); err != nil {
+		return nil, err
+	}
 	var tshare, tlat, dlat []float64
 	for i, p := range pairs {
 		r := results[i]
@@ -60,14 +63,26 @@ func Fig8and9(h *Harness, full bool) []*Table {
 	}
 	t8.AddRowf(2, "MEAN", 0.0, 0.0, 100*metrics.Mean(tshare))
 	t9.AddRowf(0, "MEAN", metrics.Mean(tlat), metrics.Mean(dlat))
-	return []*Table{t8, t9}
+	return []*Table{t8, t9}, nil
 }
 
 var _ = workload.Pairs35 // keep import for pairSet's sibling usage
 
 func init() {
 	register("fig8", "DRAM bandwidth: translation vs data (Figure 8)",
-		func(h *Harness, full bool) []*Table { return Fig8and9(h, full)[:1] })
+		func(h *Harness, full bool) ([]*Table, error) {
+			ts, err := Fig8and9(h, full)
+			if err != nil {
+				return nil, err
+			}
+			return ts[:1], nil
+		})
 	register("fig9", "DRAM latency: translation vs data (Figure 9)",
-		func(h *Harness, full bool) []*Table { return Fig8and9(h, full)[1:] })
+		func(h *Harness, full bool) ([]*Table, error) {
+			ts, err := Fig8and9(h, full)
+			if err != nil {
+				return nil, err
+			}
+			return ts[1:], nil
+		})
 }

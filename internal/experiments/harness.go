@@ -1,32 +1,49 @@
 // Package experiments regenerates every table and figure of the paper's
 // evaluation (§7) on the masksim substrate. Each experiment is a function
-// returning a printable Table; cmd/maskexp dispatches on experiment IDs and
+// returning printable Tables; cmd/maskexp dispatches on experiment IDs and
 // bench_test.go wraps each one in a benchmark.
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
+	"masksim/internal/engine"
 	"masksim/internal/metrics"
 	"masksim/internal/workload"
 	"masksim/sim"
 )
 
 // Harness runs batches of simulations with caching of alone-run IPCs and a
-// worker pool (independent Simulator instances share no state).
+// supervised worker pool (independent Simulator instances share no state).
+// Workers recover panics, transient failures are retried once, and every
+// outcome is counted in Stats; a single bad cell degrades the campaign
+// instead of crashing it.
 type Harness struct {
 	// Cycles is the simulated length of shared runs; AloneCycles of alone
 	// runs (defaults to Cycles).
 	Cycles      int64
 	AloneCycles int64
-	// Workers bounds concurrent simulations; 0 means GOMAXPROCS.
+	// Workers bounds concurrent simulations; 0 means GOMAXPROCS. Negative is
+	// rejected by parallel.
 	Workers int
 
-	mu    sync.Mutex
-	alone map[aloneKey]float64
+	// Ctx supervises every run the harness starts (nil means Background):
+	// cancel it to stop a campaign early.
+	Ctx context.Context
+	// RunTimeout, when positive, bounds each individual run's wall-clock
+	// time via context.WithTimeout.
+	RunTimeout time.Duration
+
+	mu       sync.Mutex
+	alone    map[aloneKey]aloneEntry
+	stats    metrics.RunStats
+	failures []*RunError
 }
 
 type aloneKey struct {
@@ -35,9 +52,14 @@ type aloneKey struct {
 	cores int
 }
 
+type aloneEntry struct {
+	ipc float64
+	err error
+}
+
 // NewHarness returns a Harness with the given shared-run length.
 func NewHarness(cycles int64) *Harness {
-	return &Harness{Cycles: cycles, AloneCycles: cycles, alone: make(map[aloneKey]float64)}
+	return &Harness{Cycles: cycles, AloneCycles: cycles, alone: make(map[aloneKey]aloneEntry)}
 }
 
 func (h *Harness) workers() int {
@@ -47,34 +69,178 @@ func (h *Harness) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// parallel runs fn(i) for i in [0,n) on the worker pool.
-func (h *Harness) parallel(n int, fn func(i int)) {
+func (h *Harness) ctx() context.Context {
+	if h.Ctx != nil {
+		return h.Ctx
+	}
+	return context.Background()
+}
+
+// RunError wraps a failed supervised run with its label (what was being
+// simulated) and how many attempts were made.
+type RunError struct {
+	Label    string
+	Attempts int
+	Err      error
+}
+
+// Error summarizes the failure.
+func (e *RunError) Error() string {
+	return fmt.Sprintf("%s failed after %d attempt(s): %v", e.Label, e.Attempts, e.Err)
+}
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e *RunError) Unwrap() error { return e.Err }
+
+// panicError marks a recovered worker panic; panics are treated as
+// transient (retried once) since they may stem from a fault-injected or
+// otherwise unlucky cell.
+type panicError struct {
+	value any
+}
+
+func (e *panicError) Error() string { return fmt.Sprintf("panic: %v", e.value) }
+
+// isTransient reports whether a failed attempt is worth retrying: panics
+// are; deterministic aborts (watchdog deadlock, context expiry, validation
+// errors) are not.
+func isTransient(err error) bool {
+	var pe *panicError
+	return errors.As(err, &pe)
+}
+
+// attempt runs f once under the harness context and per-run timeout,
+// converting panics into errors.
+func (h *Harness) attempt(f func(ctx context.Context) (*sim.Results, error)) (res *sim.Results, err error) {
+	ctx := h.ctx()
+	if h.RunTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, h.RunTimeout)
+		defer cancel()
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, &panicError{value: r}
+		}
+	}()
+	return f(ctx)
+}
+
+// supervised runs f with panic isolation and a single retry of transient
+// failures, recording the outcome in the campaign stats. On failure it
+// returns the partial Results (when the run produced any) and a *RunError.
+func (h *Harness) supervised(label string, f func(ctx context.Context) (*sim.Results, error)) (*sim.Results, error) {
+	h.mu.Lock()
+	h.stats.Attempted++
+	h.mu.Unlock()
+
+	attempts := 1
+	res, err := h.attempt(f)
+	if err != nil && isTransient(err) && h.ctx().Err() == nil {
+		h.mu.Lock()
+		h.stats.Retried++
+		h.mu.Unlock()
+		attempts++
+		res, err = h.attempt(f)
+	}
+
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if err == nil {
+		h.stats.Completed++
+		return res, nil
+	}
+	h.stats.Failed++
+	var de *engine.DeadlockError
+	if errors.As(err, &de) || errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		h.stats.Aborted++
+	}
+	re := &RunError{Label: label, Attempts: attempts, Err: err}
+	h.failures = append(h.failures, re)
+	return res, re
+}
+
+// Run simulates the named benchmarks under cfg for h.Cycles, supervised.
+func (h *Harness) Run(cfg sim.Config, names []string) (*sim.Results, error) {
+	label := fmt.Sprintf("run(%s, %v)", cfg.Name, names)
+	return h.supervised(label, func(ctx context.Context) (*sim.Results, error) {
+		return sim.Run(ctx, cfg, names, h.Cycles)
+	})
+}
+
+// RunAlone measures one app with uncontended resources for h.AloneCycles,
+// supervised.
+func (h *Harness) RunAlone(cfg sim.Config, app string, cores int) (*sim.Results, error) {
+	label := fmt.Sprintf("alone(%s, %s, %d cores)", cfg.Name, app, cores)
+	return h.supervised(label, func(ctx context.Context) (*sim.Results, error) {
+		return sim.RunAlone(ctx, cfg, app, cores, h.AloneCycles)
+	})
+}
+
+// Stats returns a snapshot of the campaign's run accounting.
+func (h *Harness) Stats() metrics.RunStats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.stats
+}
+
+// Failures returns the recorded per-run failures, in occurrence order.
+func (h *Harness) Failures() []*RunError {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]*RunError, len(h.failures))
+	copy(out, h.failures)
+	return out
+}
+
+// parallel runs fn(i) for i in [0,n) on the worker pool. Worker panics are
+// recovered into errors; the first error by index is returned after all
+// items finish, so partial progress is never thrown away mid-batch.
+func (h *Harness) parallel(n int, fn func(i int) error) error {
+	if h.Workers < 0 {
+		return fmt.Errorf("experiments: Workers must be >= 0, got %d", h.Workers)
+	}
+	errs := make([]error, n)
+	safe := func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				errs[i] = &panicError{value: r}
+			}
+		}()
+		errs[i] = fn(i)
+	}
 	w := h.workers()
 	if w > n {
 		w = n
 	}
 	if w <= 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			safe(i)
 		}
-		return
+	} else {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for k := 0; k < w; k++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					safe(i)
+				}
+			}()
+		}
+		for i := 0; i < n; i++ {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
 	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for k := 0; k < w; k++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				fn(i)
-			}
-		}()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
 	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
+	return nil
 }
 
 // archKey identifies the platform (not the TLB design) so alone-run IPCs are
@@ -86,35 +252,43 @@ func archKey(cfg sim.Config) string {
 }
 
 // AloneIPC returns the paper's IPC_alone for app on cores cores of the
-// aloneCfg platform, caching results. Alone runs use the SharedTLB design of
-// the same platform with full (unpartitioned) resources.
-func (h *Harness) AloneIPC(aloneCfg sim.Config, app string, cores int) float64 {
+// aloneCfg platform, caching results (including failures, so a broken alone
+// run is not retried for every dependent cell). Alone runs use the SharedTLB
+// design of the same platform with full (unpartitioned) resources.
+func (h *Harness) AloneIPC(aloneCfg sim.Config, app string, cores int) (float64, error) {
 	key := aloneKey{archKey(aloneCfg), app, cores}
 	h.mu.Lock()
-	v, ok := h.alone[key]
+	e, ok := h.alone[key]
 	h.mu.Unlock()
 	if ok {
-		return v
+		return e.ipc, e.err
 	}
 	cfg := aloneCfg
 	cfg.Static = false
 	cfg.Ideal = false
 	cfg.Mask = sim.Mechanisms{}
 	cfg.Design = sim.DesignSharedTLB
-	res, err := sim.RunAlone(cfg, app, cores, h.AloneCycles)
-	if err != nil {
-		panic(err)
+	res, err := h.RunAlone(cfg, app, cores)
+	if err == nil {
+		e = aloneEntry{ipc: res.Apps[0].IPC}
+	} else {
+		e = aloneEntry{err: err}
 	}
-	v = res.Apps[0].IPC
 	h.mu.Lock()
-	h.alone[key] = v
+	// First writer wins so concurrent computations of the same key agree.
+	if prev, ok := h.alone[key]; ok {
+		e = prev
+	} else {
+		h.alone[key] = e
+	}
 	h.mu.Unlock()
-	return v
+	return e.ipc, e.err
 }
 
 // WarmAlone precomputes alone IPCs for every app of the given pairs in
-// parallel.
-func (h *Harness) WarmAlone(aloneCfg sim.Config, pairs []workload.Pair) {
+// parallel. Individual failures are cached and surface later through the
+// cells that need them; only campaign cancellation is returned.
+func (h *Harness) WarmAlone(aloneCfg sim.Config, pairs []workload.Pair) error {
 	seen := map[string]bool{}
 	var apps []string
 	for _, p := range pairs {
@@ -127,20 +301,35 @@ func (h *Harness) WarmAlone(aloneCfg sim.Config, pairs []workload.Pair) {
 	}
 	sort.Strings(apps)
 	split := sim.EvenSplit(aloneCfg.Cores, 2)
-	h.parallel(len(apps), func(i int) {
+	if err := h.parallel(len(apps), func(i int) error {
 		h.AloneIPC(aloneCfg, apps[i], split[0])
-	})
+		return nil
+	}); err != nil {
+		return err
+	}
+	return h.ctx().Err()
 }
 
-// Cell is one (pair, config) measurement.
+// Cell is one (pair, config) measurement. When Err is non-nil the cell
+// failed: Metrics is zero and Results (if non-nil) holds only the partial
+// statistics collected before the abort.
 type Cell struct {
 	Pair    workload.Pair
 	Config  string
 	Results *sim.Results
 	Metrics sim.PairMetrics
+	// Err records why the cell failed (nil for healthy cells).
+	Err error
+	// Attempts is the number of times the cell's run was tried.
+	Attempts int
 }
 
+// OK reports whether the cell holds a usable measurement.
+func (c *Cell) OK() bool { return c != nil && c.Err == nil }
+
 // Matrix is the (pair × config) result grid underlying Figures 11–15.
+// Failed cells stay in the grid with Err set; the Mean* aggregates skip
+// them, so campaign means cover the surviving cells.
 type Matrix struct {
 	Pairs   []workload.Pair
 	Configs []string
@@ -152,15 +341,51 @@ func (m *Matrix) Cell(pair workload.Pair, config string) *Cell {
 	return m.Cells[pair.Name()][config]
 }
 
-// MeanWS returns the arithmetic-mean weighted speedup for config over pairs
-// (all pairs when subset is nil).
+// OK reports whether every listed config has a usable cell for pair (all
+// matrix configs when none are listed).
+func (m *Matrix) OK(pair workload.Pair, configs ...string) bool {
+	if len(configs) == 0 {
+		configs = m.Configs
+	}
+	for _, c := range configs {
+		if !m.Cell(pair, c).OK() {
+			return false
+		}
+	}
+	return true
+}
+
+// Failed returns the failed cells in deterministic (pair, config) order.
+func (m *Matrix) Failed() []*Cell {
+	var out []*Cell
+	for _, p := range m.Pairs {
+		for _, c := range m.Configs {
+			if cell := m.Cell(p, c); cell != nil && cell.Err != nil {
+				out = append(out, cell)
+			}
+		}
+	}
+	return out
+}
+
+// FailureFrac returns the fraction of matrix cells that failed.
+func (m *Matrix) FailureFrac() float64 {
+	total := len(m.Pairs) * len(m.Configs)
+	if total == 0 {
+		return 0
+	}
+	return float64(len(m.Failed())) / float64(total)
+}
+
+// MeanWS returns the arithmetic-mean weighted speedup for config over the
+// surviving pairs (all pairs when subset is nil).
 func (m *Matrix) MeanWS(config string, subset []workload.Pair) float64 {
 	if subset == nil {
 		subset = m.Pairs
 	}
 	var xs []float64
 	for _, p := range subset {
-		if c := m.Cell(p, config); c != nil {
+		if c := m.Cell(p, config); c.OK() {
 			xs = append(xs, c.Metrics.WeightedSpeedup)
 		}
 	}
@@ -174,7 +399,7 @@ func (m *Matrix) MeanUnfairness(config string, subset []workload.Pair) float64 {
 	}
 	var xs []float64
 	for _, p := range subset {
-		if c := m.Cell(p, config); c != nil {
+		if c := m.Cell(p, config); c.OK() {
 			xs = append(xs, c.Metrics.Unfairness)
 		}
 	}
@@ -188,17 +413,22 @@ func (m *Matrix) MeanIPCThroughput(config string, subset []workload.Pair) float6
 	}
 	var xs []float64
 	for _, p := range subset {
-		if c := m.Cell(p, config); c != nil {
+		if c := m.Cell(p, config); c.OK() {
 			xs = append(xs, c.Metrics.IPCThroughput)
 		}
 	}
 	return metrics.Mean(xs)
 }
 
-// RunMatrix simulates every (pair, config) combination. Alone IPCs come from
-// the SharedTLB variant of aloneCfg.
-func (h *Harness) RunMatrix(aloneCfg sim.Config, configs []sim.Config, pairs []workload.Pair) *Matrix {
-	h.WarmAlone(aloneCfg, pairs)
+// RunMatrix simulates every (pair, config) combination, fail-soft: a cell
+// whose run panics, deadlocks or times out is recorded with Cell.Err and the
+// rest of the campaign proceeds. Alone IPCs come from the SharedTLB variant
+// of aloneCfg. The returned error is non-nil only when the whole campaign
+// was canceled through h.Ctx.
+func (h *Harness) RunMatrix(aloneCfg sim.Config, configs []sim.Config, pairs []workload.Pair) (*Matrix, error) {
+	if err := h.WarmAlone(aloneCfg, pairs); err != nil {
+		return nil, err
+	}
 
 	m := &Matrix{Pairs: pairs, Cells: make(map[string]map[string]*Cell)}
 	for _, c := range configs {
@@ -219,21 +449,37 @@ func (h *Harness) RunMatrix(aloneCfg sim.Config, configs []sim.Config, pairs []w
 		}
 	}
 	var mu sync.Mutex
-	h.parallel(len(jobs), func(i int) {
+	if err := h.parallel(len(jobs), func(i int) error {
 		j := jobs[i]
-		res, err := sim.Run(j.cfg, []string{j.pair.A, j.pair.B}, h.Cycles)
-		if err != nil {
-			panic(err)
+		cell := &Cell{Pair: j.pair, Config: j.cfg.Name, Attempts: 1}
+		res, err := h.Run(j.cfg, []string{j.pair.A, j.pair.B})
+		cell.Results = res
+		var re *RunError
+		if errors.As(err, &re) {
+			cell.Attempts = re.Attempts
 		}
-		split := sim.EvenSplit(j.cfg.Cores, 2)
-		alone := []float64{
-			h.AloneIPC(aloneCfg, j.pair.A, split[0]),
-			h.AloneIPC(aloneCfg, j.pair.B, split[1]),
+		if err == nil {
+			split := sim.EvenSplit(j.cfg.Cores, 2)
+			var alone [2]float64
+			var aerr error
+			for k, app := range []string{j.pair.A, j.pair.B} {
+				alone[k], aerr = h.AloneIPC(aloneCfg, app, split[k])
+				if aerr != nil {
+					err = fmt.Errorf("alone IPC for %s unavailable: %w", app, aerr)
+					break
+				}
+			}
+			if err == nil {
+				cell.Metrics = res.Metrics(alone[:])
+			}
 		}
-		cell := &Cell{Pair: j.pair, Config: j.cfg.Name, Results: res, Metrics: res.Metrics(alone)}
+		cell.Err = err
 		mu.Lock()
 		m.Cells[j.pair.Name()][j.cfg.Name] = cell
 		mu.Unlock()
-	})
-	return m
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return m, h.ctx().Err()
 }

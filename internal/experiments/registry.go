@@ -1,22 +1,39 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"time"
+
+	"masksim/internal/metrics"
 )
 
 // registration maps experiment IDs to their implementations. Each experiment
-// receives a pre-sized Harness and the -full flag.
+// receives a pre-sized Harness and the -full flag, and returns its tables or
+// an error (campaign-level failures; individual bad cells are recorded in
+// the harness stats instead).
 type experiment struct {
 	id   string
 	desc string
-	run  func(h *Harness, full bool) []*Table
+	run  func(h *Harness, full bool) ([]*Table, error)
 }
 
 var registry = map[string]experiment{}
 
-func register(id, desc string, run func(h *Harness, full bool) []*Table) {
+func register(id, desc string, run func(h *Harness, full bool) ([]*Table, error)) {
 	registry[id] = experiment{id: id, desc: desc, run: run}
+}
+
+// one adapts a single-table experiment to the registry signature.
+func one(f func(h *Harness, full bool) (*Table, error)) func(*Harness, bool) ([]*Table, error) {
+	return func(h *Harness, full bool) ([]*Table, error) {
+		t, err := f(h, full)
+		if err != nil {
+			return nil, err
+		}
+		return []*Table{t}, nil
+	}
 }
 
 // IDs lists registered experiment IDs in sorted order.
@@ -34,18 +51,53 @@ func Describe(id string) string {
 	return registry[id].desc
 }
 
-// Run executes one experiment by ID.
-func Run(id string, cycles int64, full bool) ([]*Table, error) {
+// Options configures one supervised experiment invocation.
+type Options struct {
+	Cycles  int64
+	Full    bool
+	Workers int
+	// Ctx cancels the campaign (nil means Background).
+	Ctx context.Context
+	// RunTimeout bounds each individual simulation's wall-clock time.
+	RunTimeout time.Duration
+}
+
+// Report is the outcome of one experiment: its tables plus the campaign's
+// run accounting and recorded failures.
+type Report struct {
+	ID       string
+	Tables   []*Table
+	Stats    metrics.RunStats
+	Failures []*RunError
+}
+
+// RunReport executes one experiment by ID under the given options. The
+// Report is returned even when err is non-nil, carrying whatever stats and
+// failures accumulated before the error.
+func RunReport(id string, opt Options) (*Report, error) {
 	e, ok := registry[id]
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown experiment %q", id)
 	}
-	h := NewHarness(cycles)
-	return e.run(h, full), nil
+	h := NewHarness(opt.Cycles)
+	h.Workers = opt.Workers
+	h.Ctx = opt.Ctx
+	h.RunTimeout = opt.RunTimeout
+	tables, err := e.run(h, opt.Full)
+	return &Report{ID: id, Tables: tables, Stats: h.Stats(), Failures: h.Failures()}, err
+}
+
+// Run executes one experiment by ID with default supervision (no timeout,
+// no cancellation).
+func Run(id string, cycles int64, full bool) ([]*Table, error) {
+	rep, err := RunReport(id, Options{Cycles: cycles, Full: full})
+	if err != nil {
+		return nil, err
+	}
+	return rep.Tables, nil
 }
 
 func init() {
-	register("calib", "calibration matrix over representative pairs", func(h *Harness, full bool) []*Table {
-		return []*Table{Calib(h)}
-	})
+	register("calib", "calibration matrix over representative pairs",
+		one(func(h *Harness, full bool) (*Table, error) { return Calib(h) }))
 }

@@ -15,7 +15,7 @@ var sensPairs = []workload.Pair{{A: "3DS", B: "CONS"}, {A: "MM", B: "CONS"}, {A:
 // SensTLBSize reproduces the §7.3 shared-L2-TLB size sweep: SharedTLB vs
 // MASK from 64 to 8192 entries. The paper finds MASK ahead at every size
 // until the working set fits (8192), where the two converge.
-func SensTLBSize(h *Harness, full bool) *Table {
+func SensTLBSize(h *Harness, full bool) (*Table, error) {
 	t := &Table{
 		ID:    "sens-tlbsize",
 		Title: "L2 TLB size sweep: mean weighted-speedup-proxy (total IPC) over contended pairs",
@@ -27,32 +27,38 @@ func SensTLBSize(h *Harness, full bool) *Table {
 		sizes = []int{64, 256, 512, 2048, 8192}
 	}
 	for _, size := range sizes {
-		run := func(base sim.Config) float64 {
+		run := func(base sim.Config) (float64, error) {
 			base.L2TLBEntries = size
 			if size < base.L2TLBWays {
 				base.L2TLBWays = size
 			}
 			var xs []float64
 			for _, p := range sensPairs {
-				res, err := sim.Run(base, []string{p.A, p.B}, h.Cycles)
+				res, err := h.Run(base, []string{p.A, p.B})
 				if err != nil {
-					panic(err)
+					return 0, err
 				}
 				xs = append(xs, res.TotalIPC)
 			}
-			return metrics.Mean(xs)
+			return metrics.Mean(xs), nil
 		}
-		shared := run(sim.SharedTLBConfig())
-		mask := run(sim.MASKConfig())
+		shared, err := run(sim.SharedTLBConfig())
+		if err != nil {
+			return nil, err
+		}
+		mask, err := run(sim.MASKConfig())
+		if err != nil {
+			return nil, err
+		}
 		t.AddRowf(2, fmt.Sprintf("%d", size), shared, mask, 100*(mask/shared-1))
 	}
-	return t
+	return t, nil
 }
 
 // SensPageSize reproduces the §7.3 large-page study: with 2MB pages the
 // paper finds SharedTLB still 44.5% short of Ideal while MASK comes within
 // 1.8% of it.
-func SensPageSize(h *Harness, full bool) *Table {
+func SensPageSize(h *Harness, full bool) (*Table, error) {
 	t := &Table{
 		ID:    "sens-pagesize",
 		Title: "2MB large pages: performance normalized to Ideal",
@@ -60,31 +66,40 @@ func SensPageSize(h *Harness, full bool) *Table {
 		Cols:  []string{"pageSize", "SharedTLB/Ideal%", "MASK/Ideal%"},
 	}
 	for _, ps := range []int{pagetable.PageSize4K, pagetable.PageSize2M} {
-		run := func(base sim.Config) float64 {
+		run := func(base sim.Config) (float64, error) {
 			base.PageSize = ps
 			var xs []float64
 			for _, p := range sensPairs {
-				res, err := sim.Run(base, []string{p.A, p.B}, h.Cycles)
+				res, err := h.Run(base, []string{p.A, p.B})
 				if err != nil {
-					panic(err)
+					return 0, err
 				}
 				xs = append(xs, res.TotalIPC)
 			}
-			return metrics.Mean(xs)
+			return metrics.Mean(xs), nil
 		}
-		ideal := run(sim.IdealConfig())
-		shared := run(sim.SharedTLBConfig())
-		mask := run(sim.MASKConfig())
+		ideal, err := run(sim.IdealConfig())
+		if err != nil {
+			return nil, err
+		}
+		shared, err := run(sim.SharedTLBConfig())
+		if err != nil {
+			return nil, err
+		}
+		mask, err := run(sim.MASKConfig())
+		if err != nil {
+			return nil, err
+		}
 		t.AddRowf(1, fmt.Sprintf("%dKB", ps>>10), 100*shared/ideal, 100*mask/ideal)
 	}
-	return t
+	return t, nil
 }
 
 // SensMemPolicy reproduces the §7.3 memory-policy studies: open- vs
 // closed-row policy, and an alternative (FCFS) memory scheduler. The paper
 // finds open/closed within 0.8% of each other, and MASK's gains robust
 // across schedulers.
-func SensMemPolicy(h *Harness, full bool) *Table {
+func SensMemPolicy(h *Harness, full bool) (*Table, error) {
 	t := &Table{
 		ID:    "sens-memsched",
 		Title: "memory-policy sensitivity: mean total IPC over contended pairs",
@@ -99,30 +114,33 @@ func SensMemPolicy(h *Harness, full bool) *Table {
 		{"FCFS/open-row", func(c *sim.Config) { c.FCFSSched = true }},
 	}
 	for _, v := range variants {
-		run := func(base sim.Config) float64 {
+		run := func(base sim.Config) (float64, error) {
 			v.mut(&base)
 			var xs []float64
 			for _, p := range sensPairs {
-				res, err := sim.Run(base, []string{p.A, p.B}, h.Cycles)
+				res, err := h.Run(base, []string{p.A, p.B})
 				if err != nil {
-					panic(err)
+					return 0, err
 				}
 				xs = append(xs, res.TotalIPC)
 			}
-			return metrics.Mean(xs)
+			return metrics.Mean(xs), nil
 		}
-		shared := run(sim.SharedTLBConfig())
-		mask := run(sim.MASKConfig())
+		shared, err := run(sim.SharedTLBConfig())
+		if err != nil {
+			return nil, err
+		}
+		mask, err := run(sim.MASKConfig())
+		if err != nil {
+			return nil, err
+		}
 		t.AddRowf(2, v.name, shared, mask, 100*(mask/shared-1))
 	}
-	return t
+	return t, nil
 }
 
 func init() {
-	register("sens-tlbsize", "L2 TLB size sweep 64-8192 entries (§7.3)",
-		func(h *Harness, full bool) []*Table { return []*Table{SensTLBSize(h, full)} })
-	register("sens-pagesize", "2MB large-page sensitivity (§7.3)",
-		func(h *Harness, full bool) []*Table { return []*Table{SensPageSize(h, full)} })
-	register("sens-memsched", "memory scheduler & row policy sensitivity (§7.3)",
-		func(h *Harness, full bool) []*Table { return []*Table{SensMemPolicy(h, full)} })
+	register("sens-tlbsize", "L2 TLB size sweep 64-8192 entries (§7.3)", one(SensTLBSize))
+	register("sens-pagesize", "2MB large-page sensitivity (§7.3)", one(SensPageSize))
+	register("sens-memsched", "memory scheduler & row policy sensitivity (§7.3)", one(SensMemPolicy))
 }

@@ -52,5 +52,5 @@ func Storage(h *Harness, full bool) *Table {
 
 func init() {
 	register("storage", "MASK storage cost accounting (§7.4)",
-		func(h *Harness, full bool) []*Table { return []*Table{Storage(h, full)} })
+		one(func(h *Harness, full bool) (*Table, error) { return Storage(h, full), nil }))
 }

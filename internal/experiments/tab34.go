@@ -12,7 +12,7 @@ import (
 // Ideal as the number of concurrently-executing applications grows from one
 // to five. The paper's values fall with app count while MASK's advantage
 // grows.
-func Tab3(h *Harness, full bool) *Table {
+func Tab3(h *Harness, full bool) (*Table, error) {
 	appPool := []string{"3DS", "HISTO", "CONS", "GUP", "RED"}
 	t := &Table{
 		ID:    "tab3",
@@ -22,28 +22,37 @@ func Tab3(h *Harness, full bool) *Table {
 	}
 	for n := 1; n <= 5; n++ {
 		names := appPool[:n]
-		run := func(cfgName string) float64 {
+		run := func(cfgName string) (float64, error) {
 			cfg, _ := sim.ConfigByName(cfgName)
-			res, err := sim.Run(cfg, names, h.Cycles)
+			res, err := h.Run(cfg, names)
 			if err != nil {
-				panic(err)
+				return 0, err
 			}
 			// Total IPC is the cross-config comparable quantity here; the
 			// paper normalizes each design's throughput to Ideal's.
-			return res.TotalIPC
+			return res.TotalIPC, nil
 		}
-		ideal := run("Ideal")
-		shared := run("SharedTLB")
-		mask := run("MASK")
+		ideal, err := run("Ideal")
+		if err != nil {
+			return nil, err
+		}
+		shared, err := run("SharedTLB")
+		if err != nil {
+			return nil, err
+		}
+		mask, err := run("MASK")
+		if err != nil {
+			return nil, err
+		}
 		t.AddRowf(1, fmt.Sprintf("%d", n), 100*shared/ideal, 100*mask/ideal)
 	}
-	return t
+	return t, nil
 }
 
 // Tab4 reproduces Table 4: generality across GPU architectures — the
 // Fermi-like and integrated-GPU-like platforms, with PWCache, SharedTLB and
 // MASK normalized to each platform's Ideal.
-func Tab4(h *Harness, full bool) *Table {
+func Tab4(h *Harness, full bool) (*Table, error) {
 	pairs := pairSet(false)
 	if full {
 		pairs = pairSet(true)
@@ -70,24 +79,33 @@ func Tab4(h *Harness, full bool) *Table {
 			}),
 			variant(func(c *sim.Config) { c.Name = plat + "-Ideal"; c.Ideal = true }),
 		}
-		m := h.RunMatrix(variant(func(c *sim.Config) { c.Name = plat + "-SharedTLB" }), cfgs, pairs)
+		m, err := h.RunMatrix(variant(func(c *sim.Config) { c.Name = plat + "-SharedTLB" }), cfgs, pairs)
+		if err != nil {
+			return nil, err
+		}
 		var pw, sh, mk []float64
 		for _, p := range pairs {
+			// Normalizing needs every design's cell for the pair; skip pairs
+			// with any failed cell so means cover the survivors.
+			if !m.OK(p) {
+				continue
+			}
 			ideal := m.Cell(p, plat+"-Ideal").Metrics.WeightedSpeedup
+			if ideal <= 0 {
+				continue
+			}
 			pw = append(pw, m.Cell(p, plat+"-PWCache").Metrics.WeightedSpeedup/ideal)
 			sh = append(sh, m.Cell(p, plat+"-SharedTLB").Metrics.WeightedSpeedup/ideal)
 			mk = append(mk, m.Cell(p, plat+"-MASK").Metrics.WeightedSpeedup/ideal)
 		}
 		t.AddRowf(1, plat, 100*metrics.Mean(pw), 100*metrics.Mean(sh), 100*metrics.Mean(mk))
 	}
-	return t
+	return t, nil
 }
 
 var _ = workload.Pairs35
 
 func init() {
-	register("tab3", "scalability 1-5 concurrent apps (Table 3)",
-		func(h *Harness, full bool) []*Table { return []*Table{Tab3(h, full)} })
-	register("tab4", "generality across architectures (Table 4)",
-		func(h *Harness, full bool) []*Table { return []*Table{Tab4(h, full)} })
+	register("tab3", "scalability 1-5 concurrent apps (Table 3)", one(Tab3))
+	register("tab4", "generality across architectures (Table 4)", one(Tab4))
 }

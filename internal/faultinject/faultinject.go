@@ -1,0 +1,84 @@
+// Package faultinject provides deterministic fault injection for the
+// simulator's supervision layer. A Plan wedges page-table walks, drops DRAM
+// responses, or panics from inside a simulation tick at a chosen cycle;
+// tests use these faults to prove that the engine watchdog, the harness
+// panic recovery, and the error-propagation paths actually fire.
+//
+// Faults are wired by the simulator: set sim.Config.FaultPlan and the
+// builder installs the hooks on the walker, the DRAM model, and the engine
+// tick list. The injection points are ordinary single-goroutine simulation
+// code, so a Plan needs no locking; read its counters after the run returns.
+package faultinject
+
+import "fmt"
+
+// Plan describes the faults to inject into one simulation run. The zero
+// value injects nothing. A Plan accumulates hit counters across a run (and
+// across a supervised retry of the same run), so build a fresh Plan per
+// experiment cell when counters must be attributed precisely.
+type Plan struct {
+	// WedgePTWAfter, when > 0, wedges every page-table walk that tries to
+	// issue a memory access at cycle >= WedgePTWAfter: the walk occupies its
+	// walker slot forever and its translation never completes. Downstream,
+	// warps waiting on those translations stall and the run eventually stops
+	// retiring instructions — the livelock the watchdog must catch.
+	WedgePTWAfter int64
+
+	// DropDRAMOneIn, when > 0, drops every DropDRAMOneIn-th DRAM response
+	// (the request is serviced but its completion callback never runs) once
+	// the run reaches DropDRAMAfter. The waiting MSHR is never filled, so
+	// the dependent warp hangs.
+	DropDRAMOneIn int64
+	// DropDRAMAfter delays response dropping until the given cycle, letting
+	// a run warm up before the fault fires.
+	DropDRAMAfter int64
+
+	// PanicAtCycle, when > 0, panics from inside the engine tick at that
+	// cycle — a stand-in for an internal invariant violation, used to prove
+	// the experiment harness recovers worker panics instead of crashing the
+	// campaign.
+	PanicAtCycle int64
+
+	// Counters recording what actually fired, for test assertions.
+	WedgedWalks      int64
+	DroppedResponses int64
+
+	dropSeen int64
+}
+
+// Active reports whether the plan injects anything.
+func (p *Plan) Active() bool {
+	if p == nil {
+		return false
+	}
+	return p.WedgePTWAfter > 0 || p.DropDRAMOneIn > 0 || p.PanicAtCycle > 0
+}
+
+// WedgeWalk implements the page-table-walker wedge hook.
+func (p *Plan) WedgeWalk(now int64) bool {
+	if p.WedgePTWAfter <= 0 || now < p.WedgePTWAfter {
+		return false
+	}
+	p.WedgedWalks++
+	return true
+}
+
+// DropResponse implements the DRAM response-drop hook.
+func (p *Plan) DropResponse(now int64) bool {
+	if p.DropDRAMOneIn <= 0 || now < p.DropDRAMAfter {
+		return false
+	}
+	p.dropSeen++
+	if p.dropSeen%p.DropDRAMOneIn != 0 {
+		return false
+	}
+	p.DroppedResponses++
+	return true
+}
+
+// TickPanic is registered as an engine ticker; it panics at PanicAtCycle.
+func (p *Plan) TickPanic(now int64) {
+	if p.PanicAtCycle > 0 && now == p.PanicAtCycle {
+		panic(fmt.Sprintf("faultinject: injected panic at cycle %d", now))
+	}
+}

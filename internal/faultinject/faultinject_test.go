@@ -1,0 +1,74 @@
+package faultinject
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestZeroPlanInjectsNothing(t *testing.T) {
+	var p Plan
+	if p.Active() {
+		t.Fatal("zero plan reports active")
+	}
+	for now := int64(0); now < 1000; now++ {
+		if p.WedgeWalk(now) || p.DropResponse(now) {
+			t.Fatalf("zero plan fired at cycle %d", now)
+		}
+		p.TickPanic(now) // must not panic
+	}
+	var nilPlan *Plan
+	if nilPlan.Active() {
+		t.Fatal("nil plan reports active")
+	}
+}
+
+func TestWedgeWalkThreshold(t *testing.T) {
+	p := &Plan{WedgePTWAfter: 100}
+	if !p.Active() {
+		t.Fatal("wedge plan not active")
+	}
+	if p.WedgeWalk(99) {
+		t.Fatal("wedged before threshold")
+	}
+	if !p.WedgeWalk(100) || !p.WedgeWalk(5000) {
+		t.Fatal("did not wedge at/after threshold")
+	}
+	if p.WedgedWalks != 2 {
+		t.Fatalf("WedgedWalks=%d, want 2", p.WedgedWalks)
+	}
+}
+
+func TestDropResponseOneIn(t *testing.T) {
+	p := &Plan{DropDRAMOneIn: 3, DropDRAMAfter: 10}
+	if p.DropResponse(5) {
+		t.Fatal("dropped before DropDRAMAfter")
+	}
+	dropped := 0
+	for i := 0; i < 9; i++ {
+		if p.DropResponse(20) {
+			dropped++
+		}
+	}
+	if dropped != 3 {
+		t.Fatalf("dropped %d of 9 responses, want every 3rd (3)", dropped)
+	}
+	if p.DroppedResponses != 3 {
+		t.Fatalf("DroppedResponses=%d, want 3", p.DroppedResponses)
+	}
+}
+
+func TestTickPanicFiresAtCycle(t *testing.T) {
+	p := &Plan{PanicAtCycle: 42}
+	p.TickPanic(41)
+	p.TickPanic(43)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("no panic at PanicAtCycle")
+		}
+		if !strings.Contains(r.(string), "cycle 42") {
+			t.Fatalf("panic value %q missing cycle", r)
+		}
+	}()
+	p.TickPanic(42)
+}

@@ -1,0 +1,44 @@
+package metrics
+
+import "fmt"
+
+// RunStats counts the outcomes of a supervised simulation campaign: how many
+// runs were attempted, how many finished, and how the rest died. The
+// experiments harness accumulates one RunStats per campaign and cmd/maskexp
+// merges them into the exit-status decision (-max-fail-frac).
+type RunStats struct {
+	// Attempted counts runs started (retries do not re-count).
+	Attempted uint64
+	// Completed counts runs that finished their full cycle budget.
+	Completed uint64
+	// Failed counts runs that returned no usable result (after any retry).
+	Failed uint64
+	// Aborted counts runs cut short by the watchdog or a context deadline /
+	// cancellation; every aborted run is also a failed run.
+	Aborted uint64
+	// Retried counts transient failures that were retried once.
+	Retried uint64
+}
+
+// Merge accumulates o into s.
+func (s *RunStats) Merge(o RunStats) {
+	s.Attempted += o.Attempted
+	s.Completed += o.Completed
+	s.Failed += o.Failed
+	s.Aborted += o.Aborted
+	s.Retried += o.Retried
+}
+
+// FailureFrac returns Failed/Attempted, or 0 when nothing was attempted.
+func (s RunStats) FailureFrac() float64 {
+	if s.Attempted == 0 {
+		return 0
+	}
+	return float64(s.Failed) / float64(s.Attempted)
+}
+
+// String renders a one-line campaign summary.
+func (s RunStats) String() string {
+	return fmt.Sprintf("runs: attempted=%d completed=%d failed=%d aborted=%d retried=%d",
+		s.Attempted, s.Completed, s.Failed, s.Aborted, s.Retried)
+}

@@ -79,6 +79,12 @@ type Walker struct {
 	// faults, when non-nil, enables the demand-paging extension (§5.5).
 	faults *FaultUnit
 
+	// wedge is a fault-injection hook: when it returns true for a walk about
+	// to issue a memory access, the walk is parked forever (it keeps its
+	// walker slot and never completes). Used to prove the engine watchdog
+	// detects translation deadlocks.
+	wedge func(now int64) bool
+
 	Stats Stats
 }
 
@@ -176,7 +182,19 @@ func (w *Walker) Tick(now int64) {
 	}
 }
 
+// SetWedgeHook installs a fault-injection hook consulted each time a walk
+// issues a memory access; returning true parks the walk permanently. Pass
+// nil to clear.
+func (w *Walker) SetWedgeHook(fn func(now int64) bool) {
+	w.wedge = fn
+}
+
 func (w *Walker) issue(now int64, wk *walk) {
+	if w.wedge != nil && w.wedge(now) {
+		// Mark the walk as waiting on a response that will never arrive.
+		wk.waiting = true
+		return
+	}
 	lvl := wk.level
 	r := &memreq.Request{
 		ID:        w.idgen.Next(),

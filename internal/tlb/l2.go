@@ -440,6 +440,10 @@ func (t *L2TLB) BypassHitRate() float64 {
 // OutstandingMisses returns the number of active L2 TLB MSHRs.
 func (t *L2TLB) OutstandingMisses() int { return len(t.mshrs) }
 
+// QueueLen returns the number of lookups waiting to be served (input pipe
+// plus stalled retries); the watchdog's diagnostic dump reports it.
+func (t *L2TLB) QueueLen() int { return t.in.Len() + len(t.stalled) }
+
 // FlushASID removes all entries belonging to asid from the main TLB and the
 // bypass cache (TLB shootdown support, §5.5).
 func (t *L2TLB) FlushASID(asid uint8) {

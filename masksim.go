@@ -9,7 +9,7 @@
 // entry points so a downstream user can write:
 //
 //	cfg := masksim.MASKConfig()
-//	res, err := masksim.Run(cfg, []string{"3DS", "HISTO"}, 100_000)
+//	res, err := masksim.Run(context.Background(), cfg, []string{"3DS", "HISTO"}, 100_000)
 //
 // See README.md for a tour and DESIGN.md for the system inventory.
 package masksim
@@ -34,7 +34,8 @@ type (
 var (
 	// New wires a simulator for explicit applications and core assignments.
 	New = sim.New
-	// Run simulates the named benchmarks with an even core split.
+	// Run simulates the named benchmarks with an even core split, supervised
+	// by the given context (cancellation, wall-clock budgets).
 	Run = sim.Run
 	// RunAlone measures one app with uncontended resources (IPC_alone).
 	RunAlone = sim.RunAlone

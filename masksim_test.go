@@ -1,12 +1,15 @@
 package masksim
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 func TestFacadeRoundTrip(t *testing.T) {
 	cfg := SharedTLBConfig()
 	cfg.Cores = 4
 	cfg.WarpsPerCore = 8
-	res, err := Run(cfg, []string{"NN", "LUD"}, 2000)
+	res, err := Run(context.Background(), cfg, []string{"NN", "LUD"}, 2000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,7 +39,7 @@ func TestHeadlineShape(t *testing.T) {
 	}
 	const cycles = 20_000
 	run := func(mk func() Config) float64 {
-		res, err := Run(mk(), []string{"3DS", "CONS"}, cycles)
+		res, err := Run(context.Background(), mk(), []string{"3DS", "CONS"}, cycles)
 		if err != nil {
 			t.Fatal(err)
 		}

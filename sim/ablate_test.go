@@ -1,6 +1,7 @@
 package sim_test
 
 import (
+	"context"
 	"testing"
 
 	"masksim/sim"
@@ -23,7 +24,7 @@ func TestAblateDRAM(t *testing.T) {
 	} {
 		cfg := sim.SharedTLBConfig()
 		tc.mut(&cfg)
-		res, err := sim.Run(cfg, []string{"3DS", "CONS"}, 30000)
+		res, err := sim.Run(context.Background(), cfg, []string{"3DS", "CONS"}, 30000)
 		if err != nil {
 			t.Fatal(err)
 		}

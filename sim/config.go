@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"masksim/internal/dram"
+	"masksim/internal/faultinject"
 	"masksim/internal/pagetable"
 )
 
@@ -140,6 +141,20 @@ type Config struct {
 	// TraceInterval, when positive, samples a time series of system state
 	// every TraceInterval cycles into Results.Trace.
 	TraceInterval int64
+
+	// WatchdogCheckEvery is the progress-watchdog check interval in cycles.
+	// If no component makes progress for WatchdogStallChecks consecutive
+	// checks, the run aborts with a diagnostic dump instead of spinning
+	// forever. Zero disables the watchdog; negative is invalid.
+	WatchdogCheckEvery int64
+	// WatchdogStallChecks is the number of consecutive no-progress checks
+	// tolerated before abort (default 4 when zero).
+	WatchdogStallChecks int
+
+	// FaultPlan, when non-nil, injects the described faults into the run
+	// (wedged page-table walks, dropped DRAM responses, an engine-tick
+	// panic). Test-only: it exists to exercise the supervision layer.
+	FaultPlan *faultinject.Plan
 }
 
 // Baseline returns the paper's Table 1 system with the SharedTLB design and
@@ -186,6 +201,9 @@ func Baseline() Config {
 
 		FaultLatency:     20_000,
 		FaultConcurrency: 16,
+
+		WatchdogCheckEvery:  25_000,
+		WatchdogStallChecks: 4,
 	}
 }
 
@@ -321,6 +339,24 @@ func (c Config) Validate() error {
 		return fmt.Errorf("sim: unsupported page size %d", c.PageSize)
 	case c.DRAM.Channels < 1 || c.DRAM.BanksPerChannel < 1:
 		return fmt.Errorf("sim: invalid DRAM geometry %+v", c.DRAM)
+	case c.TraceInterval < 0:
+		return fmt.Errorf("sim: TraceInterval must be >= 0, got %d", c.TraceInterval)
+	case c.EpochCycles < 0:
+		return fmt.Errorf("sim: EpochCycles must be >= 0, got %d", c.EpochCycles)
+	case c.TimeMuxQuantum < 0:
+		return fmt.Errorf("sim: TimeMuxQuantum must be >= 0, got %d", c.TimeMuxQuantum)
+	case c.TimeMuxEvict < 0 || c.TimeMuxEvict > 1:
+		return fmt.Errorf("sim: TimeMuxEvict must be in [0,1], got %g", c.TimeMuxEvict)
+	case c.TokenInitFraction < 0 || c.TokenInitFraction > 1:
+		return fmt.Errorf("sim: TokenInitFraction must be in [0,1], got %g", c.TokenInitFraction)
+	case c.WatchdogCheckEvery < 0:
+		return fmt.Errorf("sim: WatchdogCheckEvery must be >= 0, got %d", c.WatchdogCheckEvery)
+	case c.WatchdogStallChecks < 0:
+		return fmt.Errorf("sim: WatchdogStallChecks must be >= 0, got %d", c.WatchdogStallChecks)
+	case c.DemandPaging && c.FaultLatency < 1:
+		return fmt.Errorf("sim: DemandPaging needs FaultLatency >= 1, got %d", c.FaultLatency)
+	case c.DemandPaging && c.FaultConcurrency < 1:
+		return fmt.Errorf("sim: DemandPaging needs FaultConcurrency >= 1, got %d", c.FaultConcurrency)
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package sim_test
 
 import (
+	"context"
 	"fmt"
 
 	"masksim/sim"
@@ -11,7 +12,7 @@ import (
 // constants that evolve with the model.)
 func Example() {
 	cfg := sim.MASKConfig()
-	res, err := sim.Run(cfg, []string{"3DS", "HISTO"}, 50_000)
+	res, err := sim.Run(context.Background(), cfg, []string{"3DS", "HISTO"}, 50_000)
 	if err != nil {
 		panic(err)
 	}
@@ -22,14 +23,14 @@ func Example() {
 // metrics from a shared run and per-app alone runs.
 func ExampleResults_Metrics() {
 	cfg := sim.SharedTLBConfig()
-	shared, err := sim.Run(cfg, []string{"RED", "BP"}, 50_000)
+	shared, err := sim.Run(context.Background(), cfg, []string{"RED", "BP"}, 50_000)
 	if err != nil {
 		panic(err)
 	}
 	split := sim.EvenSplit(cfg.Cores, 2)
 	var alone []float64
 	for i, name := range []string{"RED", "BP"} {
-		r, err := sim.RunAlone(cfg, name, split[i], 50_000)
+		r, err := sim.RunAlone(context.Background(), cfg, name, split[i], 50_000)
 		if err != nil {
 			panic(err)
 		}

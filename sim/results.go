@@ -75,6 +75,13 @@ type Results struct {
 
 	// Trace is the sampled time series (empty unless Config.TraceInterval).
 	Trace []TraceSample
+
+	// Aborted is set when the run was cut short (watchdog abort, context
+	// cancellation or deadline); the rest of the Results then covers only the
+	// cycles actually simulated (Cycles reports how far the run got).
+	Aborted bool
+	// AbortReason is the supervising error's message when Aborted.
+	AbortReason string
 }
 
 // collect gathers statistics from every component after a run.
@@ -183,6 +190,13 @@ func (r *Results) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "config=%s cycles=%d totalIPC=%.3f idle=%.1f%%\n",
 		r.Config, r.Cycles, r.TotalIPC, 100*r.IdleFraction)
+	if r.Aborted {
+		reason := r.AbortReason
+		if i := strings.IndexByte(reason, '\n'); i >= 0 {
+			reason = reason[:i]
+		}
+		fmt.Fprintf(&b, "  ABORTED (partial results): %s\n", reason)
+	}
 	for _, a := range r.Apps {
 		fmt.Fprintf(&b, "  %-6s cores=%-2d IPC=%.3f L1TLBmiss=%.1f%% L2TLBmiss=%.1f%% stalledWarps/miss=%.1f\n",
 			a.Name, a.Cores, a.IPC,

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"masksim/internal/metrics"
@@ -24,8 +25,10 @@ func EvenSplit(cores, n int) []int {
 }
 
 // Run builds a simulator for the named benchmarks (evenly splitting cores)
-// and runs it for the given cycles.
-func Run(cfg Config, names []string, cycles int64) (*Results, error) {
+// and runs it for the given cycles under ctx (see Simulator.Run for the
+// supervision semantics; on abort both partial Results and the error are
+// returned).
+func Run(ctx context.Context, cfg Config, names []string, cycles int64) (*Results, error) {
 	apps := make([]workload.App, len(names))
 	for i, n := range names {
 		if _, err := workload.ByName(n); err != nil {
@@ -37,13 +40,13 @@ func Run(cfg Config, names []string, cycles int64) (*Results, error) {
 	if err != nil {
 		return nil, err
 	}
-	return s.Run(cycles), nil
+	return s.Run(ctx, cycles)
 }
 
 // RunAlone measures one app running by itself on cores cores with the whole
 // uncontended memory system — the paper's IPC_alone condition ("runs on the
 // same number of GPU cores, but does not share GPU resources", §6).
-func RunAlone(cfg Config, name string, cores int, cycles int64) (*Results, error) {
+func RunAlone(ctx context.Context, cfg Config, name string, cores int, cycles int64) (*Results, error) {
 	if cores < 1 || cores > cfg.Cores {
 		return nil, fmt.Errorf("sim: invalid alone core count %d", cores)
 	}
@@ -54,7 +57,7 @@ func RunAlone(cfg Config, name string, cores int, cycles int64) (*Results, error
 	if err != nil {
 		return nil, err
 	}
-	return s.Run(cycles), nil
+	return s.Run(ctx, cycles)
 }
 
 // PairMetrics bundles the paper's three headline metrics for one shared run.
@@ -80,7 +83,7 @@ func (r *Results) Metrics(aloneIPC []float64) PairMetrics {
 // given granularity), returning the split with the best weighted speedup
 // under cfg. It is exhaustive-but-coarse to stay affordable; experiments use
 // the even split by default.
-func SearchPartition(cfg Config, pair workload.Pair, cycles int64, step int, aloneIPC map[string]float64) ([]int, float64, error) {
+func SearchPartition(ctx context.Context, cfg Config, pair workload.Pair, cycles int64, step int, aloneIPC map[string]float64) ([]int, float64, error) {
 	if step < 1 {
 		step = 1
 	}
@@ -93,7 +96,10 @@ func SearchPartition(cfg Config, pair workload.Pair, cycles int64, step int, alo
 		if err != nil {
 			return nil, 0, err
 		}
-		res := s.Run(cycles)
+		res, err := s.Run(ctx, cycles)
+		if err != nil {
+			return nil, 0, err
+		}
 		ws := res.Metrics([]float64{aloneIPC[pair.A], aloneIPC[pair.B]}).WeightedSpeedup
 		if ws > bestWS {
 			bestWS = ws

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -21,7 +22,7 @@ func tinyConfig() Config {
 
 func tinyRun(t *testing.T, cfg Config, names []string, cycles int64) *Results {
 	t.Helper()
-	res, err := Run(cfg, names, cycles)
+	res, err := Run(context.Background(), cfg, names, cycles)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,6 +37,15 @@ func TestValidateRejectsBadConfigs(t *testing.T) {
 		func(c *Config) { c.L2TLBWays = 0 },
 		func(c *Config) { c.PageSize = 1234 },
 		func(c *Config) { c.DRAM.Channels = 0 },
+		func(c *Config) { c.TraceInterval = -1 },
+		func(c *Config) { c.EpochCycles = -1 },
+		func(c *Config) { c.TimeMuxQuantum = -5 },
+		func(c *Config) { c.TimeMuxEvict = 1.5 },
+		func(c *Config) { c.TokenInitFraction = -0.1 },
+		func(c *Config) { c.WatchdogCheckEvery = -1 },
+		func(c *Config) { c.WatchdogStallChecks = -2 },
+		func(c *Config) { c.DemandPaging = true; c.FaultLatency = 0 },
+		func(c *Config) { c.DemandPaging = true; c.FaultConcurrency = 0 },
 	}
 	for i, mut := range bads {
 		c := Baseline()
@@ -137,13 +147,27 @@ func TestSimulatorSingleUse(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s.Run(100)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("second Run did not panic")
-		}
-	}()
-	s.Run(100)
+	if _, err := s.Run(context.Background(), 100); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(context.Background(), 100); err == nil {
+		t.Fatal("second Run did not error")
+	}
+}
+
+func TestRunRejectsNonPositiveCycles(t *testing.T) {
+	apps := []workload.App{workload.NewApp(0, "NN")}
+	s, err := New(tinyConfig(), apps, []int{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(context.Background(), 0); err == nil {
+		t.Fatal("zero-cycle run accepted")
+	}
+	// The rejected run must not consume the simulator.
+	if _, err := s.Run(context.Background(), 100); err != nil {
+		t.Fatalf("valid run after rejected one failed: %v", err)
+	}
 }
 
 func TestAccountingInvariants(t *testing.T) {
@@ -229,7 +253,9 @@ func TestStaticPartitioningConfinesFrames(t *testing.T) {
 			}
 		}
 	}
-	s.Run(1500)
+	if _, err := s.Run(context.Background(), 1500); err != nil {
+		t.Fatal(err)
+	}
 }
 
 func Test2MBPageRun(t *testing.T) {
@@ -288,14 +314,14 @@ func TestTimeMuxSlowsExecution(t *testing.T) {
 }
 
 func TestRunAloneUsesRequestedCores(t *testing.T) {
-	res, err := RunAlone(tinyConfig(), "NN", 2, 2000)
+	res, err := RunAlone(context.Background(), tinyConfig(), "NN", 2, 2000)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.Apps[0].Cores != 2 {
 		t.Fatalf("alone run used %d cores, want 2", res.Apps[0].Cores)
 	}
-	if _, err := RunAlone(tinyConfig(), "NN", 0, 2000); err == nil {
+	if _, err := RunAlone(context.Background(), tinyConfig(), "NN", 0, 2000); err == nil {
 		t.Fatal("zero-core alone run accepted")
 	}
 }
@@ -431,13 +457,13 @@ func TestSearchPartitionFindsValidSplit(t *testing.T) {
 	pair := workload.Pair{A: "NN", B: "LUD"}
 	alone := map[string]float64{}
 	for _, n := range []string{"NN", "LUD"} {
-		res, err := RunAlone(cfg, n, 2, 1000)
+		res, err := RunAlone(context.Background(), cfg, n, 2, 1000)
 		if err != nil {
 			t.Fatal(err)
 		}
 		alone[n] = res.Apps[0].IPC
 	}
-	split, ws, err := SearchPartition(cfg, pair, 1000, 1, alone)
+	split, ws, err := SearchPartition(context.Background(), cfg, pair, 1000, 1, alone)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -513,7 +539,10 @@ c 5
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := s.Run(3000)
+	res, err := s.Run(context.Background(), 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.Apps[0].Name != "demo" {
 		t.Fatalf("trace app named %q", res.Apps[0].Name)
 	}

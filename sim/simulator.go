@@ -1,7 +1,9 @@
 package sim
 
 import (
+	"context"
 	"fmt"
+	"strings"
 
 	"masksim/internal/cache"
 	"masksim/internal/dram"
@@ -316,6 +318,80 @@ func (s *Simulator) build() {
 	if cfg.TraceInterval > 0 {
 		s.eng.Register(engine.TickFunc(s.traceTick))
 	}
+
+	// --- fault injection ---------------------------------------------------
+	if plan := cfg.FaultPlan; plan != nil && plan.Active() {
+		if !cfg.Ideal {
+			s.walker.SetWedgeHook(plan.WedgeWalk)
+		}
+		s.mem.SetDropHook(plan.DropResponse)
+		s.eng.Register(engine.TickFunc(plan.TickPanic))
+	}
+}
+
+// watchdog builds the progress watchdog for one run, wiring progress probes
+// (instructions retired, walks completed, DRAM requests serviced) and the
+// per-component diagnostic dump. Returns nil when disabled.
+func (s *Simulator) watchdog() *engine.Watchdog {
+	if s.cfg.WatchdogCheckEvery <= 0 {
+		return nil
+	}
+	checks := s.cfg.WatchdogStallChecks
+	if checks <= 0 {
+		checks = 4
+	}
+	wd := engine.NewWatchdog(s.cfg.WatchdogCheckEvery, checks)
+
+	wd.Observe(func() uint64 {
+		var n uint64
+		for _, c := range s.cores {
+			n += c.Stats.Instructions
+		}
+		return n
+	})
+	wd.Observe(func() uint64 { return s.walker.Stats.Completed })
+	wd.Observe(func() uint64 {
+		return s.mem.Class[memreq.Data].Requests + s.mem.Class[memreq.Translation].Requests
+	})
+
+	wd.Diagnose("walker", func() string {
+		return fmt.Sprintf("active=%d queued=%d completed=%d",
+			s.walker.ActiveWalks(), s.walker.QueuedWalks(), s.walker.Stats.Completed)
+	})
+	if s.l2tlb != nil {
+		wd.Diagnose("l2tlb", func() string {
+			return fmt.Sprintf("queued=%d outstandingMisses=%d",
+				s.l2tlb.QueueLen(), s.l2tlb.OutstandingMisses())
+		})
+	}
+	wd.Diagnose("l2cache", func() string {
+		return fmt.Sprintf("queued=%d outstandingMisses=%d",
+			s.l2c.QueueOccupancy(), s.l2c.OutstandingMisses())
+	})
+	if s.pwc != nil {
+		wd.Diagnose("pwcache", func() string {
+			return fmt.Sprintf("queued=%d outstandingMisses=%d",
+				s.pwc.QueueOccupancy(), s.pwc.OutstandingMisses())
+		})
+	}
+	wd.Diagnose("dram", func() string {
+		return fmt.Sprintf("queued=%d inflight=%d", s.mem.QueueLen(), s.mem.Inflight())
+	})
+	if s.tokens.Enabled() {
+		wd.Diagnose("tokens", func() string {
+			parts := make([]string, len(s.apps))
+			for i := range s.apps {
+				parts[i] = fmt.Sprintf("app%d=%d", i, s.tokens.Tokens(i))
+			}
+			return strings.Join(parts, " ")
+		})
+	}
+	if s.faults != nil {
+		wd.Diagnose("faults", func() string {
+			return fmt.Sprintf("outstanding=%d", s.faults.Outstanding())
+		})
+	}
+	return wd
 }
 
 // timeMuxTick models the state loss of coarse time multiplexing: every
@@ -403,11 +479,18 @@ func channelPartition(channels, numApps, i int) []bool {
 	return set
 }
 
-// Run advances the simulation by cycles and returns the collected results.
-// A Simulator is single-use.
-func (s *Simulator) Run(cycles int64) *Results {
+// Run advances the simulation by cycles under supervision and returns the
+// collected results. The context bounds the run's wall-clock time
+// (context.WithTimeout) and supports cancellation; the configured watchdog
+// aborts wedged runs. On abort the returned Results still carry the
+// statistics accumulated up to the abort cycle (Results.Aborted is set) along
+// with a non-nil error. A Simulator is single-use.
+func (s *Simulator) Run(ctx context.Context, cycles int64) (*Results, error) {
 	if s.ran {
-		panic("sim: Simulator is single-use; build a new one per run")
+		return nil, fmt.Errorf("sim: Simulator is single-use; build a new one per run")
+	}
+	if cycles <= 0 {
+		return nil, fmt.Errorf("sim: run length must be >= 1 cycle, got %d", cycles)
 	}
 	s.ran = true
 
@@ -421,8 +504,13 @@ func (s *Simulator) Run(cycles int64) *Results {
 		s.epoch = 1
 	}
 
-	s.eng.Run(cycles)
-	return s.collect(cycles)
+	err := s.eng.RunContext(ctx, cycles, s.watchdog())
+	res := s.collect(s.eng.Now())
+	if err != nil {
+		res.Aborted = true
+		res.AbortReason = err.Error()
+	}
+	return res, err
 }
 
 // Engine exposes the clock for tests that need finer stepping.

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"testing"
 
 	"masksim/internal/workload"
@@ -25,7 +26,7 @@ func TestTable2Behaviour(t *testing.T) {
 			if p.L1Class == workload.Low && p.L2Class == workload.Low {
 				cycles = 50_000
 			}
-			res, err := RunAlone(SharedTLBConfig(), name, 30, cycles)
+			res, err := RunAlone(context.Background(), SharedTLBConfig(), name, 30, cycles)
 			if err != nil {
 				t.Fatal(err)
 			}
