@@ -69,3 +69,25 @@ func BenchmarkSimulatorKernel(b *testing.B) {
 		}
 	}
 }
+
+// benchTelemetry runs the kernel benchmark with the given telemetry epoch;
+// comparing the two benchmarks below bounds the subsystem's overhead. The
+// acceptance target is <= ~2% when disabled (the pull-based design adds no
+// per-event work) and modest when enabled at a realistic epoch.
+func benchTelemetry(b *testing.B, epoch int64) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := MASKConfig()
+		cfg.TelemetryEpoch = epoch
+		res, err := Run(context.Background(), cfg, []string{"3DS", "CONS"}, benchCycles)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if epoch > 0 && res.Telemetry == nil {
+			b.Fatal("telemetry enabled but no data collected")
+		}
+	}
+}
+
+func BenchmarkTelemetryDisabled(b *testing.B) { benchTelemetry(b, 0) }
+func BenchmarkTelemetryEnabled(b *testing.B)  { benchTelemetry(b, 1000) }

@@ -16,6 +16,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"strings"
@@ -33,6 +34,9 @@ func main() {
 		list       = flag.Bool("list", false, "list benchmarks and configurations, then exit")
 		trace      = flag.String("trace", "", "write a CSV time series (IPC, TLB miss rate, walks, tokens) to this file")
 		traceEvery = flag.Int64("trace-interval", 1000, "trace sampling interval in cycles")
+		epoch      = flag.Int64("epoch", 0, "telemetry sampling epoch in cycles (0 = telemetry off; see docs/OBSERVABILITY.md)")
+		chromeOut  = flag.String("chrome-trace", "", "write a Chrome trace_event JSON (Perfetto-loadable) to this file; implies -epoch 1000 if unset")
+		telCSV     = flag.String("telemetry-csv", "", "write the telemetry epoch time series as CSV to this file; implies -epoch 1000 if unset")
 		paging     = flag.Bool("paging", false, "enable the demand-paging extension (paper §5.5)")
 		timeout    = flag.Duration("timeout", 0, "wall-clock budget for the run (0 = none); partial results are printed on expiry")
 		traceFiles = flag.String("tracefiles", "", "comma-separated trace files to run instead of -apps (see workload.ParseTrace for the format)")
@@ -57,6 +61,12 @@ func main() {
 	if *trace != "" {
 		cfg.TraceInterval = *traceEvery
 	}
+	if (*chromeOut != "" || *telCSV != "") && *epoch <= 0 {
+		*epoch = 1000
+	}
+	if *epoch > 0 {
+		cfg.TelemetryEpoch = *epoch
+	}
 	if *paging {
 		cfg.DemandPaging = true
 	}
@@ -80,6 +90,25 @@ func main() {
 		fatal(err2)
 	}
 	fmt.Print(res)
+	// Telemetry exports are written even for aborted runs: the partial time
+	// series and the watchdog.abort instant event are exactly what one wants
+	// when debugging a wedged run.
+	if res.Telemetry != nil {
+		if *chromeOut != "" {
+			if err := writeTelemetry(*chromeOut, res.Telemetry.WriteChromeTrace); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("chrome trace: %d samples written to %s (open in ui.perfetto.dev)\n",
+				len(res.Telemetry.Samples), *chromeOut)
+		}
+		if *telCSV != "" {
+			if err := writeTelemetry(*telCSV, res.Telemetry.WriteCSV); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("telemetry CSV: %d samples x %d columns written to %s\n",
+				len(res.Telemetry.Samples), len(res.Telemetry.Columns), *telCSV)
+		}
+	}
 	if err2 != nil {
 		// Aborted run (watchdog, timeout, interrupt): the partial results
 		// above are still useful; report why and exit non-zero.
@@ -126,6 +155,19 @@ func splitApps(s string) []string {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "masksim:", err)
 	os.Exit(1)
+}
+
+// writeTelemetry creates path and streams one telemetry export into it.
+func writeTelemetry(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // runTraceFiles loads external traces and runs them as the workload.

@@ -1,0 +1,125 @@
+// Command masktrace runs one multiprogrammed workload with the telemetry
+// subsystem enabled and exports the collected time series as a Chrome
+// trace_event JSON (loadable in ui.perfetto.dev or chrome://tracing) plus
+// optional CSV/JSONL companions.
+//
+// Usage:
+//
+//	masktrace -config MASK -apps 3DS,CONS -cycles 50000 -out trace.json
+//	masktrace -apps RED_RAY -epoch 500 -out trace.json -csv series.csv
+//	masktrace -apps 3DS,CONS -out trace.json -check
+//
+// With -check the written trace is re-read and validated (monotonic
+// timestamps, required fields); CI uses this as an end-to-end smoke test.
+// See docs/OBSERVABILITY.md for the probe catalogue.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strings"
+
+	"masksim/internal/telemetry"
+	"masksim/sim"
+)
+
+func main() {
+	var (
+		configName = flag.String("config", "MASK", "configuration: "+strings.Join(sim.ConfigNames(), ", "))
+		appsFlag   = flag.String("apps", "3DS,CONS", "comma- or underscore-separated benchmark names")
+		cycles     = flag.Int64("cycles", 50_000, "simulation length in core cycles")
+		epoch      = flag.Int64("epoch", 1000, "telemetry sampling epoch in cycles")
+		out        = flag.String("out", "trace.json", "Chrome trace_event JSON output path")
+		csvOut     = flag.String("csv", "", "also write the epoch time series as CSV to this file")
+		jsonlOut   = flag.String("jsonl", "", "also write samples and events as JSONL to this file")
+		check      = flag.Bool("check", false, "re-read and validate the written trace, exiting non-zero on failure")
+		timeout    = flag.Duration("timeout", 0, "wall-clock budget for the run (0 = none)")
+	)
+	flag.Parse()
+
+	cfg, err := sim.ConfigByName(*configName)
+	if err != nil {
+		fatal(err)
+	}
+	cfg.TelemetryEpoch = *epoch
+	names := strings.FieldsFunc(*appsFlag, func(r rune) bool { return r == ',' || r == '_' })
+	if len(names) == 0 {
+		fatal(fmt.Errorf("no applications given"))
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	res, runErr := sim.Run(ctx, cfg, names, *cycles)
+	if runErr != nil && res == nil {
+		fatal(runErr)
+	}
+	if res.Telemetry == nil {
+		fatal(fmt.Errorf("run produced no telemetry (epoch %d)", *epoch))
+	}
+	d := res.Telemetry
+
+	if err := writeTo(*out, d.WriteChromeTrace); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s: %d samples, %d columns, %d events (epoch %d cycles)\n",
+		*out, len(d.Samples), len(d.Columns), len(d.Events), d.Epoch)
+	if *csvOut != "" {
+		if err := writeTo(*csvOut, d.WriteCSV); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: epoch time series\n", *csvOut)
+	}
+	if *jsonlOut != "" {
+		if err := writeTo(*jsonlOut, d.WriteJSONL); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: samples and events\n", *jsonlOut)
+	}
+
+	if *check {
+		f, err := os.Open(*out)
+		if err != nil {
+			fatal(err)
+		}
+		n, err := telemetry.ValidateChromeTrace(f)
+		f.Close()
+		if err != nil {
+			fatal(fmt.Errorf("trace validation failed: %w", err))
+		}
+		fmt.Printf("check: %d trace events validated\n", n)
+	}
+
+	if runErr != nil {
+		// Aborted run: the exports above carry the partial series and the
+		// watchdog.abort event; report why and exit non-zero.
+		fmt.Fprintln(os.Stderr, "masktrace:", runErr)
+		os.Exit(1)
+	}
+}
+
+func writeTo(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "masktrace:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,105 @@
+package dram
+
+// QueueClass labels which scheduler queue a queued request sits in. Plain
+// FR-FCFS/FCFS schedulers have a single queue, reported as QNormal; the MASK
+// Address-Space-Aware scheduler splits into all three (§5.4).
+type QueueClass uint8
+
+const (
+	QGolden QueueClass = iota
+	QSilver
+	QNormal
+)
+
+// QueueInspector is an optional Scheduler extension used by telemetry: Each
+// visits every queued (not yet issued) request together with the class queue
+// holding it. Order is unspecified.
+type QueueInspector interface {
+	InspectQueues(fn func(q *Queued, class QueueClass))
+}
+
+// InspectQueues implements QueueInspector.
+func (s *FRFCFS) InspectQueues(fn func(q *Queued, class QueueClass)) {
+	for _, q := range s.queue {
+		fn(q, QNormal)
+	}
+}
+
+// InspectQueues implements QueueInspector.
+func (s *FCFS) InspectQueues(fn func(q *Queued, class QueueClass)) {
+	for _, q := range s.queue {
+		fn(q, QNormal)
+	}
+}
+
+// InspectQueues implements QueueInspector.
+func (s *MASKSched) InspectQueues(fn func(q *Queued, class QueueClass)) {
+	for _, q := range s.golden {
+		fn(q, QGolden)
+	}
+	for _, q := range s.silver {
+		fn(q, QSilver)
+	}
+	for _, q := range s.normal {
+		fn(q, QNormal)
+	}
+}
+
+// ChannelSnapshot is one channel's queue occupancy at a sample point.
+type ChannelSnapshot struct {
+	// Golden/Silver/Normal is the class breakdown of queued requests.
+	// Schedulers without class queues report everything as Normal.
+	Golden, Silver, Normal int
+	// PerBank counts queued requests per bank (zero-length if the channel's
+	// scheduler does not support inspection).
+	PerBank []int
+	// Inflight counts issued-but-incomplete transfers.
+	Inflight int
+}
+
+// Total returns the channel's queued request count.
+func (c ChannelSnapshot) Total() int { return c.Golden + c.Silver + c.Normal }
+
+// QueueSnapshot fills dst with per-channel queue occupancy (per-bank counts
+// and golden/silver/normal breakdown) and returns it. dst is reused when its
+// capacity allows, so an epoch sampler can call this allocation-free after
+// the first sample.
+func (d *DRAM) QueueSnapshot(dst []ChannelSnapshot) []ChannelSnapshot {
+	if cap(dst) < len(d.channels) {
+		dst = make([]ChannelSnapshot, len(d.channels))
+	}
+	dst = dst[:len(d.channels)]
+	for i := range d.channels {
+		ch := &d.channels[i]
+		cs := &dst[i]
+		cs.Golden, cs.Silver, cs.Normal = 0, 0, 0
+		cs.Inflight = len(ch.inflight)
+		if cap(cs.PerBank) < len(ch.banks) {
+			cs.PerBank = make([]int, len(ch.banks))
+		}
+		cs.PerBank = cs.PerBank[:len(ch.banks)]
+		for b := range cs.PerBank {
+			cs.PerBank[b] = 0
+		}
+		insp, ok := ch.sched.(QueueInspector)
+		if !ok {
+			cs.Normal = ch.sched.Len()
+			cs.PerBank = cs.PerBank[:0]
+			continue
+		}
+		insp.InspectQueues(func(q *Queued, class QueueClass) {
+			switch class {
+			case QGolden:
+				cs.Golden++
+			case QSilver:
+				cs.Silver++
+			default:
+				cs.Normal++
+			}
+			if q.Bank >= 0 && q.Bank < len(cs.PerBank) {
+				cs.PerBank[q.Bank]++
+			}
+		})
+	}
+	return dst
+}

@@ -16,6 +16,15 @@ type ProgressFn func() uint64
 // occupancies, in-flight work) for the abort dump.
 type DiagFn func() string
 
+// EventSink receives instant events from the engine's supervision machinery;
+// telemetry.Collector implements it. The watchdog emits a structured
+// "watchdog.abort" event (one arg per diagnosed component, plus cycle and
+// stall window) alongside its DeadlockError, so aborts are visible in
+// exported traces, not just in the error string.
+type EventSink interface {
+	Emit(now int64, name, component string, args map[string]string)
+}
+
 // Watchdog detects livelock and deadlock in a running simulation: if no
 // registered progress probe advances for StallChecks consecutive checks
 // (CheckEvery cycles apart), the run is aborted with a DeadlockError carrying
@@ -31,6 +40,7 @@ type Watchdog struct {
 
 	progress []ProgressFn
 	diags    []watchdogDiag
+	sink     EventSink
 
 	last    uint64
 	primed  bool
@@ -64,6 +74,13 @@ func (w *Watchdog) Diagnose(name string, fn DiagFn) {
 	w.diags = append(w.diags, watchdogDiag{name: name, fn: fn})
 }
 
+// SetEventSink wires an instant-event sink (nil disables, the default); on
+// abort the watchdog emits its diagnostic dump through it as structured
+// fields.
+func (w *Watchdog) SetEventSink(s EventSink) {
+	w.sink = s
+}
+
 // check is called by the engine every CheckEvery cycles. It returns a
 // *DeadlockError once StallChecks consecutive checks saw no progress.
 func (w *Watchdog) check(now int64) error {
@@ -81,9 +98,13 @@ func (w *Watchdog) check(now int64) error {
 	if w.stalled < w.StallChecks {
 		return nil
 	}
+	stallCycles := int64(w.stalled) * w.CheckEvery
+	if w.sink != nil {
+		w.sink.Emit(now, "watchdog.abort", "engine", w.DumpArgs(now, stallCycles))
+	}
 	return &DeadlockError{
 		Cycle:       now,
-		StallCycles: int64(w.stalled) * w.CheckEvery,
+		StallCycles: stallCycles,
 		Dump:        w.Dump(),
 	}
 }
@@ -95,6 +116,19 @@ func (w *Watchdog) Dump() []string {
 		out = append(out, fmt.Sprintf("%s: %s", d.name, d.fn()))
 	}
 	return out
+}
+
+// DumpArgs renders the abort diagnostics as structured fields: "cycle" and
+// "stall_cycles" plus one entry per diagnosed component. This is the
+// machine-readable twin of Dump, emitted as a telemetry instant event.
+func (w *Watchdog) DumpArgs(now, stallCycles int64) map[string]string {
+	args := make(map[string]string, len(w.diags)+2)
+	args["cycle"] = fmt.Sprintf("%d", now)
+	args["stall_cycles"] = fmt.Sprintf("%d", stallCycles)
+	for _, d := range w.diags {
+		args[d.name] = d.fn()
+	}
+	return args
 }
 
 // DeadlockError reports a run aborted by the watchdog: no component made

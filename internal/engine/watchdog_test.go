@@ -3,6 +3,7 @@ package engine
 import (
 	"context"
 	"errors"
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -20,6 +21,20 @@ func (t *stallingTicker) Tick(now int64) {
 	}
 }
 
+// sinkEvent records one Emit call for assertion.
+type sinkEvent struct {
+	now             int64
+	name, component string
+	args            map[string]string
+}
+
+// fakeSink is a test EventSink.
+type fakeSink struct{ events []sinkEvent }
+
+func (s *fakeSink) Emit(now int64, name, component string, args map[string]string) {
+	s.events = append(s.events, sinkEvent{now: now, name: name, component: component, args: args})
+}
+
 func TestWatchdogDetectsStall(t *testing.T) {
 	e := New()
 	tk := &stallingTicker{stopAt: 500}
@@ -27,6 +42,8 @@ func TestWatchdogDetectsStall(t *testing.T) {
 	wd := NewWatchdog(100, 3)
 	wd.Observe(func() uint64 { return tk.work })
 	wd.Diagnose("ticker", func() string { return "queue=7 inflight=0" })
+	sink := &fakeSink{}
+	wd.SetEventSink(sink)
 
 	err := e.RunContext(context.Background(), 100_000, wd)
 	if err == nil {
@@ -49,6 +66,28 @@ func TestWatchdogDetectsStall(t *testing.T) {
 	}
 	if e.Now() != de.Cycle {
 		t.Fatalf("engine stopped at %d but error reports %d", e.Now(), de.Cycle)
+	}
+
+	// The abort must also surface as one structured instant event whose
+	// fields mirror the dump, so exported traces show the abort in place.
+	if len(sink.events) != 1 {
+		t.Fatalf("sink saw %d events, want exactly 1 abort event", len(sink.events))
+	}
+	ev := sink.events[0]
+	if ev.name != "watchdog.abort" || ev.component != "engine" {
+		t.Fatalf("event = %s/%s, want watchdog.abort/engine", ev.name, ev.component)
+	}
+	if ev.now != de.Cycle {
+		t.Fatalf("event at cycle %d, error at %d", ev.now, de.Cycle)
+	}
+	if got := ev.args["cycle"]; got != fmt.Sprintf("%d", de.Cycle) {
+		t.Fatalf("args[cycle] = %q, want %d", got, de.Cycle)
+	}
+	if got := ev.args["stall_cycles"]; got != "300" {
+		t.Fatalf("args[stall_cycles] = %q, want 300", got)
+	}
+	if got := ev.args["ticker"]; got != "queue=7 inflight=0" {
+		t.Fatalf("args[ticker] = %q, want the component snapshot", got)
 	}
 }
 

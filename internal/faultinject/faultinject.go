@@ -44,6 +44,20 @@ type Plan struct {
 	DroppedResponses int64
 
 	dropSeen int64
+
+	sink EventSink
+}
+
+// EventSink receives one instant event per injected fault; telemetry.Collector
+// implements it. Nil (the default) costs a single branch per fault.
+type EventSink interface {
+	Emit(now int64, name, component string, args map[string]string)
+}
+
+// SetEventSink wires an instant-event sink so injected faults show up in
+// exported traces. Pass nil to clear.
+func (p *Plan) SetEventSink(s EventSink) {
+	p.sink = s
 }
 
 // Active reports whether the plan injects anything.
@@ -60,6 +74,11 @@ func (p *Plan) WedgeWalk(now int64) bool {
 		return false
 	}
 	p.WedgedWalks++
+	if p.sink != nil {
+		p.sink.Emit(now, "fault.wedge_walk", "faults", map[string]string{
+			"wedged_walks": fmt.Sprintf("%d", p.WedgedWalks),
+		})
+	}
 	return true
 }
 
@@ -73,12 +92,22 @@ func (p *Plan) DropResponse(now int64) bool {
 		return false
 	}
 	p.DroppedResponses++
+	if p.sink != nil {
+		p.sink.Emit(now, "fault.drop_response", "faults", map[string]string{
+			"dropped_responses": fmt.Sprintf("%d", p.DroppedResponses),
+		})
+	}
 	return true
 }
 
 // TickPanic is registered as an engine ticker; it panics at PanicAtCycle.
 func (p *Plan) TickPanic(now int64) {
 	if p.PanicAtCycle > 0 && now == p.PanicAtCycle {
+		if p.sink != nil {
+			p.sink.Emit(now, "fault.panic", "faults", map[string]string{
+				"cycle": fmt.Sprintf("%d", now),
+			})
+		}
 		panic(fmt.Sprintf("faultinject: injected panic at cycle %d", now))
 	}
 }

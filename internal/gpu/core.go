@@ -48,6 +48,16 @@ type Stats struct {
 	// waiting for data after translation.
 	TransStallCycles uint64
 	DataStallCycles  uint64
+
+	// Idle-cycle attribution: each IdleCycle is charged to exactly one
+	// cause, so IdleTransCycles + IdleDataCycles + IdleOtherCycles ==
+	// IdleCycles and Instructions + IdleCycles == Cycles. A cycle counts as
+	// translation-bound if any blocked warp is still waiting on a TLB fill,
+	// memory-bound if warps wait only on data, and "other" when the stall
+	// is outside the memory system (group-sync barriers).
+	IdleTransCycles uint64
+	IdleDataCycles  uint64
+	IdleOtherCycles uint64
 }
 
 // IPC returns instructions per cycle for this core.
@@ -97,6 +107,11 @@ type Core struct {
 	retry []*memreq.Request
 
 	readyCount int
+	// waitTrans / waitData count blocked warps by phase (translation still
+	// pending vs data only), maintained at warp state transitions so idle
+	// cycles are attributed without scanning the warp array.
+	waitTrans int
+	waitData  int
 
 	Stats Stats
 }
@@ -150,6 +165,14 @@ func (c *Core) Tick(now int64) {
 	w := c.pickWarp()
 	if w == nil {
 		c.Stats.IdleCycles++
+		switch {
+		case c.waitTrans > 0:
+			c.Stats.IdleTransCycles++
+		case c.waitData > 0:
+			c.Stats.IdleDataCycles++
+		default:
+			c.Stats.IdleOtherCycles++
+		}
 		return
 	}
 	c.issue(now, w)
@@ -213,6 +236,7 @@ func (c *Core) issueMem(now int64, w *warp) {
 	inst := w.stream.NextMem()
 	w.state = warpWaitMem
 	c.readyCount--
+	c.waitTrans++ // before translate: the callback may fire synchronously
 	w.pendingTrans = len(inst.Pages)
 	w.outstandingData = 0
 	w.issuedAt = now
@@ -232,6 +256,8 @@ func (c *Core) onTranslated(now int64, w *warp, lines []uint64, frame uint64, is
 	w.pendingTrans--
 	if w.pendingTrans == 0 {
 		w.transDoneAt = now
+		c.waitTrans--
+		c.waitData++
 	}
 	pageMask := (uint64(1) << c.cfg.PageShift) - 1
 	for _, va := range lines {
@@ -267,6 +293,7 @@ func (c *Core) maybeUnblock(now int64, w *warp) {
 	if w.state == warpWaitMem && w.pendingTrans == 0 && w.outstandingData == 0 {
 		c.Stats.TransStallCycles += uint64(w.transDoneAt - w.issuedAt)
 		c.Stats.DataStallCycles += uint64(now - w.transDoneAt)
+		c.waitData--
 		w.state = warpReady
 		w.computeLeft = w.stream.NextComputeGap()
 		c.readyCount++

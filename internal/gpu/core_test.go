@@ -115,6 +115,53 @@ func TestCoreIdlesWhenTranslationStalls(t *testing.T) {
 	if core.Stats.IdleCycles == 0 {
 		t.Fatal("core never idled")
 	}
+	// Every idle cycle here is a translation stall: both warps are wedged
+	// inside the (never-completing) TLB.
+	if core.Stats.IdleTransCycles != core.Stats.IdleCycles {
+		t.Fatalf("trans-stall cycles %d != idle cycles %d under a wedged TLB",
+			core.Stats.IdleTransCycles, core.Stats.IdleCycles)
+	}
+}
+
+func TestIdleAttributionSumsToIdleCycles(t *testing.T) {
+	// Delay translations by stashing them and completing 7 cycles later, so
+	// the run exercises both translation-bound and data-bound idle cycles.
+	type pendingTr struct {
+		at   int64
+		vpn  uint64
+		done func(int64, uint64)
+	}
+	var trq []pendingTr
+	translate := func(now int64, vpn uint64, warpID int, done func(int64, uint64)) {
+		trq = append(trq, pendingTr{at: now + 7, vpn: vpn, done: done})
+	}
+	core, be, l1d := newTestCore(4, translate)
+	for now := int64(0); now < 3000; now++ {
+		core.Tick(now)
+		l1d.Tick(now)
+		be.tick(now)
+		nkeep := 0
+		for _, p := range trq {
+			if p.at <= now {
+				p.done(now, p.vpn)
+			} else {
+				trq[nkeep] = p
+				nkeep++
+			}
+		}
+		trq = trq[:nkeep]
+	}
+	s := core.Stats
+	if s.IdleTransCycles == 0 || s.IdleDataCycles == 0 {
+		t.Fatalf("expected both stall classes to occur: %+v", s)
+	}
+	if sum := s.IdleTransCycles + s.IdleDataCycles + s.IdleOtherCycles; sum != s.IdleCycles {
+		t.Fatalf("idle attribution %d+%d+%d = %d != idle cycles %d",
+			s.IdleTransCycles, s.IdleDataCycles, s.IdleOtherCycles, sum, s.IdleCycles)
+	}
+	if s.Instructions+s.IdleCycles != s.Cycles {
+		t.Fatalf("instructions(%d) + idle(%d) != cycles(%d)", s.Instructions, s.IdleCycles, s.Cycles)
+	}
 }
 
 func TestDelayedTranslationUnblocksWarp(t *testing.T) {

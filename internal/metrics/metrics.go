@@ -7,12 +7,23 @@ import "math"
 
 // WeightedSpeedup is the paper's primary throughput metric (Eyerman &
 // Eeckhout): sum over apps of IPC_shared / IPC_alone.
+//
+// Contract: shared and alone must be non-empty and the same length, and every
+// alone IPC must be positive — IPC_alone is the normalization baseline, so
+// the metric is undefined otherwise and NaN is returned (it used to be
+// silently computed over the valid subset, which misreported partial inputs
+// as healthy results). A zero shared IPC is well-defined: that app simply
+// contributes zero speedup.
 func WeightedSpeedup(shared, alone []float64) float64 {
+	if len(shared) == 0 || len(shared) != len(alone) {
+		return math.NaN()
+	}
 	ws := 0.0
 	for i := range shared {
-		if i < len(alone) && alone[i] > 0 {
-			ws += shared[i] / alone[i]
+		if alone[i] <= 0 {
+			return math.NaN()
 		}
+		ws += shared[i] / alone[i]
 	}
 	return ws
 }
@@ -30,13 +41,26 @@ func IPCThroughput(shared []float64) float64 {
 // MaxSlowdown is the paper's unfairness metric: max over apps of
 // IPC_alone / IPC_shared. Lower is better; 1.0 is perfectly fair sharing
 // with no slowdown.
+//
+// Contract: shared and alone must be non-empty and the same length, and every
+// alone IPC must be positive; otherwise the metric is undefined and NaN is
+// returned. An app with zero shared IPC was slowed down without bound, so its
+// slowdown — and therefore the maximum — is +Inf, not a silently skipped
+// entry.
 func MaxSlowdown(shared, alone []float64) float64 {
+	if len(shared) == 0 || len(shared) != len(alone) {
+		return math.NaN()
+	}
 	worst := 0.0
 	for i := range shared {
-		if i < len(alone) && shared[i] > 0 {
-			if s := alone[i] / shared[i]; s > worst {
-				worst = s
-			}
+		if alone[i] <= 0 {
+			return math.NaN()
+		}
+		if shared[i] <= 0 {
+			return math.Inf(1)
+		}
+		if s := alone[i] / shared[i]; s > worst {
+			worst = s
 		}
 	}
 	return worst
@@ -44,19 +68,26 @@ func MaxSlowdown(shared, alone []float64) float64 {
 
 // HarmonicSpeedup is the harmonic mean of per-app speedups, a
 // balance-sensitive alternative throughput metric.
+//
+// Contract: shared and alone must be non-empty and the same length, and every
+// alone IPC must be positive; otherwise the metric is undefined and NaN is
+// returned. An app with zero shared IPC has an infinite slowdown, which
+// drives the harmonic mean to its natural limit of 0.
 func HarmonicSpeedup(shared, alone []float64) float64 {
-	n := 0
+	if len(shared) == 0 || len(shared) != len(alone) {
+		return math.NaN()
+	}
 	sum := 0.0
 	for i := range shared {
-		if i < len(alone) && alone[i] > 0 && shared[i] > 0 {
-			sum += alone[i] / shared[i]
-			n++
+		if alone[i] <= 0 {
+			return math.NaN()
 		}
+		if shared[i] <= 0 {
+			return 0 // one infinite slowdown collapses the harmonic mean
+		}
+		sum += alone[i] / shared[i]
 	}
-	if sum == 0 {
-		return 0
-	}
-	return float64(n) / sum
+	return float64(len(shared)) / sum
 }
 
 // GeoMean returns the geometric mean of xs (ignoring non-positive entries),

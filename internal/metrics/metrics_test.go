@@ -19,9 +19,47 @@ func TestWeightedSpeedup(t *testing.T) {
 	}
 }
 
-func TestWeightedSpeedupIgnoresZeroAlone(t *testing.T) {
-	if ws := WeightedSpeedup([]float64{1, 1}, []float64{0, 2}); !close(ws, 0.5) {
-		t.Fatalf("WS=%v, want 0.5 (zero-alone app skipped)", ws)
+func TestSpeedupMetricsUndefinedInputs(t *testing.T) {
+	type fn struct {
+		name string
+		f    func(shared, alone []float64) float64
+	}
+	fns := []fn{
+		{"WeightedSpeedup", WeightedSpeedup},
+		{"MaxSlowdown", MaxSlowdown},
+		{"HarmonicSpeedup", HarmonicSpeedup},
+	}
+	cases := []struct {
+		name          string
+		shared, alone []float64
+	}{
+		{"empty", nil, nil},
+		{"length mismatch", []float64{1, 2}, []float64{1}},
+		{"zero alone IPC", []float64{1, 1}, []float64{0, 2}},
+		{"negative alone IPC", []float64{1, 1}, []float64{-1, 2}},
+	}
+	for _, fn := range fns {
+		for _, c := range cases {
+			if v := fn.f(c.shared, c.alone); !math.IsNaN(v) {
+				t.Errorf("%s(%s) = %v, want NaN", fn.name, c.name, v)
+			}
+		}
+	}
+}
+
+func TestSpeedupMetricsZeroSharedIPC(t *testing.T) {
+	shared, alone := []float64{0, 1}, []float64{2, 2}
+	// A fully starved app contributes zero speedup but is not skipped.
+	if ws := WeightedSpeedup(shared, alone); !close(ws, 0.5) {
+		t.Errorf("WS=%v, want 0.5", ws)
+	}
+	// Its slowdown is unbounded: unfairness is +Inf, not the other app's 2x.
+	if u := MaxSlowdown(shared, alone); !math.IsInf(u, 1) {
+		t.Errorf("unfairness=%v, want +Inf", u)
+	}
+	// And the harmonic mean collapses to its limit of 0.
+	if h := HarmonicSpeedup(shared, alone); h != 0 {
+		t.Errorf("harmonic=%v, want 0", h)
 	}
 }
 
@@ -86,17 +124,20 @@ func TestSeries(t *testing.T) {
 	}
 }
 
-// Property: weighted speedup of n apps is bounded by n times the max
-// individual speedup and is non-negative.
+// Property: for well-formed inputs (equal non-zero lengths, positive alone
+// IPCs), weighted speedup is non-negative and never NaN.
 func TestWeightedSpeedupBounds(t *testing.T) {
 	f := func(shared, alone []float64) bool {
 		n := len(shared)
 		if len(alone) < n {
 			n = len(alone)
 		}
+		if n == 0 {
+			return math.IsNaN(WeightedSpeedup(shared[:0], alone[:0]))
+		}
 		for i := 0; i < n; i++ {
 			shared[i] = math.Abs(shared[i])
-			alone[i] = math.Abs(alone[i])
+			alone[i] = math.Abs(alone[i]) + 1e-6
 		}
 		ws := WeightedSpeedup(shared[:n], alone[:n])
 		return ws >= 0 && !math.IsNaN(ws)

@@ -15,6 +15,7 @@ package ptw
 import (
 	"masksim/internal/cache"
 	"masksim/internal/memreq"
+	"masksim/internal/metrics"
 	"masksim/internal/pagetable"
 )
 
@@ -84,6 +85,11 @@ type Walker struct {
 	// walker slot and never completes). Used to prove the engine watchdog
 	// detects translation deadlocks.
 	wedge func(now int64) bool
+
+	// latHist, when non-nil, records every completed walk's latency for
+	// telemetry quantile probes. Nil (the default) costs one predictable
+	// branch per completion.
+	latHist *metrics.Histogram
 
 	Stats Stats
 }
@@ -189,6 +195,12 @@ func (w *Walker) SetWedgeHook(fn func(now int64) bool) {
 	w.wedge = fn
 }
 
+// SetLatencyHistogram wires a histogram that receives every completed walk's
+// latency in cycles (nil disables, the default).
+func (w *Walker) SetLatencyHistogram(h *metrics.Histogram) {
+	w.latHist = h
+}
+
 func (w *Walker) issue(now int64, wk *walk) {
 	if w.wedge != nil && w.wedge(now) {
 		// Mark the walk as waiting on a response that will never arrive.
@@ -237,6 +249,9 @@ func (w *Walker) advance(now int64, wk *walk) {
 		if !w.faults.Touch(now, wk.asid, wk.vpn, func(fnow int64) {
 			w.Stats.Completed++
 			w.Stats.LatSum += uint64(fnow - wk.start)
+			if w.latHist != nil {
+				w.latHist.Observe(float64(fnow - wk.start))
+			}
 			wk.done(fnow, frame)
 		}) {
 			return
@@ -244,6 +259,9 @@ func (w *Walker) advance(now int64, wk *walk) {
 	}
 	w.Stats.Completed++
 	w.Stats.LatSum += uint64(now - wk.start)
+	if w.latHist != nil {
+		w.latHist.Observe(float64(now - wk.start))
+	}
 	wk.done(now, frame)
 }
 

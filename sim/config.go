@@ -142,6 +142,15 @@ type Config struct {
 	// every TraceInterval cycles into Results.Trace.
 	TraceInterval int64
 
+	// TelemetryEpoch, when positive, enables the cycle-level telemetry
+	// subsystem: every TelemetryEpoch cycles the collector snapshots every
+	// registered probe (per-app TLB hit rates, walker latency quantiles,
+	// DRAM queue occupancy, per-core stall attribution) into
+	// Results.Telemetry, exportable as CSV/JSONL/Chrome trace
+	// (docs/OBSERVABILITY.md). Zero (the default) builds no collector and
+	// adds no per-event work to the run.
+	TelemetryEpoch int64
+
 	// WatchdogCheckEvery is the progress-watchdog check interval in cycles.
 	// If no component makes progress for WatchdogStallChecks consecutive
 	// checks, the run aborts with a diagnostic dump instead of spinning
@@ -341,6 +350,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("sim: invalid DRAM geometry %+v", c.DRAM)
 	case c.TraceInterval < 0:
 		return fmt.Errorf("sim: TraceInterval must be >= 0, got %d", c.TraceInterval)
+	case c.TelemetryEpoch < 0:
+		return fmt.Errorf("sim: TelemetryEpoch must be >= 0, got %d", c.TelemetryEpoch)
 	case c.EpochCycles < 0:
 		return fmt.Errorf("sim: EpochCycles must be >= 0, got %d", c.EpochCycles)
 	case c.TimeMuxQuantum < 0:

@@ -8,6 +8,7 @@ import (
 	"masksim/internal/dram"
 	"masksim/internal/memreq"
 	"masksim/internal/ptw"
+	"masksim/internal/telemetry"
 	"masksim/internal/tlb"
 )
 
@@ -75,6 +76,11 @@ type Results struct {
 
 	// Trace is the sampled time series (empty unless Config.TraceInterval).
 	Trace []TraceSample
+
+	// Telemetry is the epoch-sampled probe time series and instant-event
+	// stream (nil unless Config.TelemetryEpoch > 0); export it with
+	// WriteCSV, WriteJSONL or WriteChromeTrace.
+	Telemetry *telemetry.Data
 
 	// Aborted is set when the run was cut short (watchdog abort, context
 	// cancellation or deadline); the rest of the Results then covers only the
@@ -161,6 +167,12 @@ func (s *Simulator) collect(cycles int64) *Results {
 		r.Faults = s.faults.Stats
 	}
 	r.Trace = s.trace.samples
+	if s.tel != nil {
+		// A final partial-epoch sample makes counter columns telescope to the
+		// exact end-of-run totals for any run length.
+		s.tel.Finish(cycles)
+		r.Telemetry = s.tel.Data()
+	}
 	return r
 }
 

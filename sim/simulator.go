@@ -12,6 +12,7 @@ import (
 	"masksim/internal/memreq"
 	"masksim/internal/pagetable"
 	"masksim/internal/ptw"
+	"masksim/internal/telemetry"
 	"masksim/internal/tlb"
 	"masksim/internal/workload"
 )
@@ -49,6 +50,9 @@ type Simulator struct {
 	idgen memreq.IDGen
 
 	maskScheds []*dram.MASKSched
+
+	// tel is the telemetry collector, nil unless Config.TelemetryEpoch > 0.
+	tel *telemetry.Collector
 
 	trace traceState
 
@@ -327,6 +331,9 @@ func (s *Simulator) build() {
 		s.mem.SetDropHook(plan.DropResponse)
 		s.eng.Register(engine.TickFunc(plan.TickPanic))
 	}
+
+	// --- telemetry ---------------------------------------------------------
+	s.buildTelemetry()
 }
 
 // watchdog builds the progress watchdog for one run, wiring progress probes
@@ -341,6 +348,9 @@ func (s *Simulator) watchdog() *engine.Watchdog {
 		checks = 4
 	}
 	wd := engine.NewWatchdog(s.cfg.WatchdogCheckEvery, checks)
+	if s.tel != nil {
+		wd.SetEventSink(s.tel)
+	}
 
 	wd.Observe(func() uint64 {
 		var n uint64
