@@ -70,6 +70,33 @@ func BenchmarkSimulatorKernel(b *testing.B) {
 	}
 }
 
+// allocBudget is the checked-in allocation ceiling for one
+// BenchmarkSimulatorKernel iteration (simulator construction plus a
+// benchCycles run of the contended MASK pair). Request/walk pooling brought
+// the iteration from ~554k allocations down to ~59k — almost all of it
+// one-time construction and pool warm-up — so the budget mostly guards the
+// steady state: reintroducing a per-request or per-walk allocation on the hot
+// path blows well past it. Raise it only with a profile in hand showing the
+// new allocations are construction-time.
+const allocBudget = 90_000
+
+// TestAllocBudget is the allocation-regression gate CI runs on every change.
+func TestAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation gate skipped in -short mode")
+	}
+	allocs := testing.AllocsPerRun(1, func() {
+		cfg := MASKConfig()
+		if _, err := Run(context.Background(), cfg, []string{"3DS", "CONS"}, benchCycles); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > allocBudget {
+		t.Fatalf("simulator kernel allocated %.0f objects per run, budget is %d; "+
+			"profile with -memprofile before raising the budget", allocs, allocBudget)
+	}
+}
+
 // benchTelemetry runs the kernel benchmark with the given telemetry epoch;
 // comparing the two benchmarks below bounds the subsystem's overhead. The
 // acceptance target is <= ~2% when disabled (the pull-based design adds no

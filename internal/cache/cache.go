@@ -83,9 +83,15 @@ type line struct {
 	stamp int64
 }
 
+// mshr tracks one outstanding line fetch (regular miss or bypass). MSHR
+// objects are recycled through the cache's free list; fillDone is bound once
+// at first allocation so steady-state misses allocate neither the MSHR nor
+// its completion closure.
 type mshr struct {
 	lineAddr uint64
+	bypass   bool
 	waiting  []*memreq.Request
+	fillDone func(now int64, fr *memreq.Request)
 }
 
 // Cache is a banked, set-associative, LRU cache.
@@ -103,8 +109,16 @@ type Cache struct {
 	// skips the probe and the fill (§5.3), but miss-status registers still
 	// exist, so identical in-flight line fetches must not be duplicated.
 	bypassMSHRs map[uint64]*mshr
+	// mshrFree recycles mshr objects (and their waiting-list capacity and
+	// bound completion closures) across misses.
+	mshrFree []*mshr
 	// retry holds fill and write requests the backend rejected.
 	retry []*memreq.Request
+
+	// pool recycles the requests this cache originates (fills, bypass
+	// fetches, forwarded writes, writebacks). New creates a private pool;
+	// the simulator replaces it with the per-simulator pool.
+	pool *memreq.Pool
 
 	// bypass, when non-nil, routes matching requests directly to the backend
 	// with no probe, no fill, and no bank-queue occupancy. Used for MASK's
@@ -209,7 +223,7 @@ func New(cfg Config, backend Backend) *Cache {
 	if 1<<shift != cfg.LineSize {
 		panic(fmt.Sprintf("cache %s: line size %d not a power of two", cfg.Name, cfg.LineSize))
 	}
-	return &Cache{
+	c := &Cache{
 		cfg:         cfg,
 		lineShift:   shift,
 		sets:        sets,
@@ -218,7 +232,43 @@ func New(cfg Config, backend Backend) *Cache {
 		queues:      make([]bankQueue, cfg.Banks),
 		mshrs:       make(map[uint64]*mshr),
 		bypassMSHRs: make(map[uint64]*mshr),
+		pool:        &memreq.Pool{},
 	}
+	if cfg.WriteCombineWindow > 0 {
+		c.combineCur = make(map[uint64]struct{})
+		c.combinePrev = make(map[uint64]struct{})
+	}
+	return c
+}
+
+// SetRequestPool replaces the cache's private request pool, so one simulator
+// can share a single free list across its components. Must be called before
+// the first Submit.
+func (c *Cache) SetRequestPool(p *memreq.Pool) { c.pool = p }
+
+// getMSHR takes a recycled mshr (or builds one with its completion closure
+// bound) for the given line.
+func (c *Cache) getMSHR(lineAddr uint64, bypass bool) *mshr {
+	var m *mshr
+	if n := len(c.mshrFree); n > 0 {
+		m = c.mshrFree[n-1]
+		c.mshrFree[n-1] = nil
+		c.mshrFree = c.mshrFree[:n-1]
+	} else {
+		m = &mshr{}
+		m.fillDone = func(now int64, fr *memreq.Request) { c.fillArrived(now, m, fr) }
+	}
+	m.lineAddr = lineAddr
+	m.bypass = bypass
+	return m
+}
+
+func (c *Cache) putMSHR(m *mshr) {
+	for i := range m.waiting {
+		m.waiting[i] = nil
+	}
+	m.waiting = m.waiting[:0]
+	c.mshrFree = append(c.mshrFree, m)
 }
 
 // SetBypass installs the bypass predicate (nil disables bypassing).
@@ -293,21 +343,15 @@ func (c *Cache) Submit(now int64, r *memreq.Request) bool {
 			m.waiting = append(m.waiting, r)
 			return true
 		}
-		m := &mshr{lineAddr: lineAddr, waiting: []*memreq.Request{r}}
+		m := c.getMSHR(lineAddr, true)
+		m.waiting = append(m.waiting, r)
 		c.bypassMSHRs[lineAddr] = m
-		fetch := &memreq.Request{
-			ID: r.ID, AppID: r.AppID, ASID: r.ASID, CoreID: r.CoreID,
-			WarpID: r.WarpID, Kind: memreq.Read, Class: r.Class,
-			WalkLevel: r.WalkLevel, Addr: lineAddr << c.lineShift, Issue: r.Issue,
-			Done: func(fnow int64, fr *memreq.Request) {
-				delete(c.bypassMSHRs, m.lineAddr)
-				for _, w := range m.waiting {
-					w.Served = fr.Served
-					w.Complete(fnow, fr.Served)
-				}
-				m.waiting = nil
-			},
-		}
+		fetch := c.pool.Get()
+		fetch.ID, fetch.AppID, fetch.ASID = r.ID, r.AppID, r.ASID
+		fetch.CoreID, fetch.WarpID = r.CoreID, r.WarpID
+		fetch.Kind, fetch.Class, fetch.WalkLevel = memreq.Read, r.Class, r.WalkLevel
+		fetch.Addr, fetch.Issue = lineAddr<<c.lineShift, r.Issue
+		fetch.Done = m.fillDone
 		if !c.backend.Submit(now, fetch) {
 			c.retry = append(c.retry, fetch)
 		}
@@ -339,11 +383,11 @@ func (c *Cache) Tick(now int64) {
 		if now-c.combineSwapAt >= w {
 			// More than a whole window elapsed since the swap was due
 			// (idle gap): both generations are stale.
-			c.combinePrev = nil
+			clear(c.combinePrev)
 		} else {
-			c.combinePrev = c.combineCur
+			c.combineCur, c.combinePrev = c.combinePrev, c.combineCur
 		}
-		c.combineCur = make(map[uint64]struct{})
+		clear(c.combineCur)
 		c.combineSwapAt = now + w
 	}
 	// Retry backend submissions first so freed backend slots are used by the
@@ -411,23 +455,15 @@ func (c *Cache) service(now int64, r *memreq.Request) {
 		c.queues[c.bankOf(lineAddr)].push(bankItem{readyAt: now + 1, req: r})
 		return
 	}
-	m := &mshr{lineAddr: lineAddr, waiting: []*memreq.Request{r}}
+	m := c.getMSHR(lineAddr, false)
+	m.waiting = append(m.waiting, r)
 	c.mshrs[lineAddr] = m
-	fill := &memreq.Request{
-		ID:        r.ID,
-		AppID:     r.AppID,
-		ASID:      r.ASID,
-		CoreID:    r.CoreID,
-		WarpID:    r.WarpID,
-		Kind:      memreq.Read,
-		Class:     r.Class,
-		WalkLevel: r.WalkLevel,
-		Addr:      lineAddr << c.lineShift,
-		Issue:     r.Issue,
-		Done: func(fnow int64, fr *memreq.Request) {
-			c.handleFill(fnow, m, fr)
-		},
-	}
+	fill := c.pool.Get()
+	fill.ID, fill.AppID, fill.ASID = r.ID, r.AppID, r.ASID
+	fill.CoreID, fill.WarpID = r.CoreID, r.WarpID
+	fill.Kind, fill.Class, fill.WalkLevel = memreq.Read, r.Class, r.WalkLevel
+	fill.Addr, fill.Issue = lineAddr<<c.lineShift, r.Issue
+	fill.Done = m.fillDone
 	if !c.backend.Submit(now, fill) {
 		c.retry = append(c.retry, fill)
 	}
@@ -451,11 +487,10 @@ func (c *Cache) serviceWrite(now int64, r *memreq.Request, base, hitWay int) {
 		// write buffer.
 		lineAddr := r.Addr >> c.lineShift
 		c.install(now, lineAddr, true, r.AppID)
-		fill := &memreq.Request{
-			ID: r.ID, AppID: r.AppID, ASID: r.ASID, CoreID: r.CoreID,
-			Kind: memreq.Read, Class: r.Class, WalkLevel: r.WalkLevel,
-			Addr: lineAddr << c.lineShift, Issue: now,
-		}
+		fill := c.pool.Get()
+		fill.ID, fill.AppID, fill.ASID, fill.CoreID = r.ID, r.AppID, r.ASID, r.CoreID
+		fill.Kind, fill.Class, fill.WalkLevel = memreq.Read, r.Class, r.WalkLevel
+		fill.Addr, fill.Issue = lineAddr<<c.lineShift, now
 		if !c.backend.Submit(now, fill) {
 			c.retry = append(c.retry, fill)
 		}
@@ -486,18 +521,28 @@ func (c *Cache) serviceWrite(now int64, r *memreq.Request, base, hitWay int) {
 		}
 		c.combineCur[lineAddr] = struct{}{}
 	}
-	fwd := &memreq.Request{
-		ID: r.ID, AppID: r.AppID, ASID: r.ASID, CoreID: r.CoreID,
-		Kind: memreq.Write, Class: r.Class, WalkLevel: r.WalkLevel,
-		Addr: r.Addr, Issue: now,
-	}
+	fwd := c.pool.Get()
+	fwd.ID, fwd.AppID, fwd.ASID, fwd.CoreID = r.ID, r.AppID, r.ASID, r.CoreID
+	fwd.Kind, fwd.Class, fwd.WalkLevel = memreq.Write, r.Class, r.WalkLevel
+	fwd.Addr, fwd.Issue = r.Addr, now
 	if !c.backend.Submit(now, fwd) {
 		c.retry = append(c.retry, fwd)
 	}
 	r.Complete(now, c.serviceLevel())
 }
 
-func (c *Cache) handleFill(now int64, m *mshr, fr *memreq.Request) {
+// fillArrived is the bound completion handler for both regular fills and
+// bypass fetches; it wakes the merged waiters and recycles the mshr.
+func (c *Cache) fillArrived(now int64, m *mshr, fr *memreq.Request) {
+	if m.bypass {
+		delete(c.bypassMSHRs, m.lineAddr)
+		for _, w := range m.waiting {
+			w.Served = fr.Served
+			w.Complete(now, fr.Served)
+		}
+		c.putMSHR(m)
+		return
+	}
 	delete(c.mshrs, m.lineAddr)
 	c.install(now, m.lineAddr, false, fr.AppID)
 	for _, w := range m.waiting {
@@ -505,7 +550,7 @@ func (c *Cache) handleFill(now int64, m *mshr, fr *memreq.Request) {
 		c.recordLatency(now, w)
 		w.Complete(now, fr.Served)
 	}
-	m.waiting = nil
+	c.putMSHR(m)
 }
 
 // install places lineAddr into its set, evicting the LRU victim (restricted
@@ -540,13 +585,9 @@ func (c *Cache) install(now int64, lineAddr uint64, dirty bool, appID int) {
 	}
 	ln := &c.lines[base+victim]
 	if ln.valid && ln.dirty && c.cfg.WriteBack {
-		wb := &memreq.Request{
-			Kind:  memreq.Write,
-			Class: memreq.Data,
-			Addr:  ln.tag << c.lineShift,
-			Issue: now,
-			AppID: appID,
-		}
+		wb := c.pool.Get()
+		wb.Kind, wb.Class = memreq.Write, memreq.Data
+		wb.Addr, wb.Issue, wb.AppID = ln.tag<<c.lineShift, now, appID
 		if !c.backend.Submit(now, wb) {
 			c.retry = append(c.retry, wb)
 		}
@@ -600,12 +641,9 @@ func (c *Cache) FlushFraction(now int64, fraction float64) {
 		}
 		ln := &c.lines[i]
 		if ln.valid && ln.dirty && c.cfg.WriteBack {
-			wb := &memreq.Request{
-				Kind:  memreq.Write,
-				Class: memreq.Data,
-				Addr:  ln.tag << c.lineShift,
-				Issue: now,
-			}
+			wb := c.pool.Get()
+			wb.Kind, wb.Class = memreq.Write, memreq.Data
+			wb.Addr, wb.Issue = ln.tag<<c.lineShift, now
 			if !c.backend.Submit(now, wb) {
 				c.retry = append(c.retry, wb)
 			}

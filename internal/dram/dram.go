@@ -134,6 +134,26 @@ type DRAM struct {
 	// transfer, the response is discarded (the requester's Done callback never
 	// runs). Used to prove the watchdog catches hung memory dependents.
 	drop func(now int64) bool
+
+	// qFree recycles Queued wrappers: Submit takes one, and it returns when
+	// the scheduler refuses it or its transfer completes. Schedulers never
+	// retain a Queued after Pick, so recycling at completion is safe.
+	qFree []*Queued
+}
+
+func (d *DRAM) getQueued() *Queued {
+	if n := len(d.qFree); n > 0 {
+		q := d.qFree[n-1]
+		d.qFree[n-1] = nil
+		d.qFree = d.qFree[:n-1]
+		return q
+	}
+	return &Queued{}
+}
+
+func (d *DRAM) putQueued(q *Queued) {
+	*q = Queued{}
+	d.qFree = append(d.qFree, q)
 }
 
 // New builds the DRAM model. mkSched constructs one scheduler per channel.
@@ -199,8 +219,13 @@ func (d *DRAM) ChannelOfFrame(frame uint64) int {
 // Submit implements cache.Backend: route the request to its channel queue.
 func (d *DRAM) Submit(now int64, r *memreq.Request) bool {
 	chanIdx, bank, row := d.Map(r.Addr)
-	q := &Queued{Req: r, Arrival: now, Bank: bank, Row: row}
-	return d.channels[chanIdx].sched.Enqueue(now, q)
+	q := d.getQueued()
+	q.Req, q.Arrival, q.Bank, q.Row = r, now, bank, row
+	if !d.channels[chanIdx].sched.Enqueue(now, q) {
+		d.putQueued(q)
+		return false
+	}
+	return true
 }
 
 // Tick advances every channel: completes finished transfers and issues new
@@ -287,13 +312,15 @@ func (d *DRAM) SetDropHook(fn func(now int64) bool) {
 }
 
 func (d *DRAM) complete(now int64, q *Queued) {
-	cls := q.Req.Class
+	req := q.Req
+	cls := req.Class
 	d.Class[cls].Requests++
 	d.Class[cls].LatSum += uint64(now - q.Arrival)
+	d.putQueued(q)
 	if d.drop != nil && d.drop(now) {
-		return
+		return // the Request is stranded by design (fault injection)
 	}
-	q.Req.Complete(now, memreq.ServedDRAM)
+	req.Complete(now, memreq.ServedDRAM)
 }
 
 // BandwidthUtil returns the fraction of total channel-cycles the data buses

@@ -89,6 +89,23 @@ type warp struct {
 	transDoneAt int64
 
 	stream *workload.Stream
+
+	// dataDone is the completion handler shared by every read this warp
+	// issues, bound once at core construction (the warps slice never
+	// reallocates, so the captured pointer stays valid).
+	dataDone func(now int64, r *memreq.Request)
+}
+
+// transCtx carries one page-translation callback's context. Contexts are
+// recycled through the core's free list: the bound done closure is allocated
+// once, and the per-page fields are reassigned on reuse. A context is checked
+// back in the moment its callback fires; a translation that never completes
+// (fault-injection wedge) strands its context harmlessly.
+type transCtx struct {
+	w       *warp
+	lines   []uint64
+	isWrite bool
+	done    func(now int64, frame uint64)
 }
 
 // Core is one shader core running a single application's warps.
@@ -103,6 +120,11 @@ type Core struct {
 	translate TranslateFn
 	l1d       *cache.Cache
 	idgen     *memreq.IDGen
+
+	// pool recycles data-access requests; New creates a private pool, the
+	// simulator injects its shared one.
+	pool    *memreq.Pool
+	ctxFree []*transCtx
 
 	retry []*memreq.Request
 
@@ -129,12 +151,43 @@ func New(id, appID int, cfg Config, streams []*workload.Stream, translate Transl
 		translate: translate,
 		l1d:       l1d,
 		idgen:     idgen,
+		pool:      &memreq.Pool{},
 	}
 	for i := range c.warps {
 		c.warps[i] = warp{id: i, stream: streams[i]}
+		w := &c.warps[i]
+		w.dataDone = func(dnow int64, _ *memreq.Request) {
+			w.outstandingData--
+			c.maybeUnblock(dnow, w)
+		}
 	}
 	c.readyCount = len(c.warps)
 	return c
+}
+
+// SetRequestPool replaces the core's private request pool with a shared
+// per-simulator one. Must be called before simulation starts.
+func (c *Core) SetRequestPool(p *memreq.Pool) { c.pool = p }
+
+// getCtx takes a recycled translation context or builds one with its done
+// handler bound.
+func (c *Core) getCtx() *transCtx {
+	if n := len(c.ctxFree); n > 0 {
+		ctx := c.ctxFree[n-1]
+		c.ctxFree[n-1] = nil
+		c.ctxFree = c.ctxFree[:n-1]
+		return ctx
+	}
+	ctx := &transCtx{}
+	ctx.done = func(tnow int64, frame uint64) {
+		// Copy out and recycle first: onTranslated never re-enters getCtx,
+		// and releasing here keeps the context live for exactly one callback.
+		w, lines, isWrite := ctx.w, ctx.lines, ctx.isWrite
+		ctx.w, ctx.lines = nil, nil
+		c.ctxFree = append(c.ctxFree, ctx)
+		c.onTranslated(tnow, w, lines, frame, isWrite)
+	}
+	return ctx
 }
 
 // ID returns the core's global index.
@@ -246,9 +299,9 @@ func (c *Core) issueMem(now int64, w *warp) {
 	for _, pg := range inst.Pages {
 		lines := pg.Lines
 		vpn := lines[0] >> c.cfg.PageShift
-		c.translate(now, vpn, w.id, func(tnow int64, frame uint64) {
-			c.onTranslated(tnow, w, lines, frame, isWrite)
-		})
+		ctx := c.getCtx()
+		ctx.w, ctx.lines, ctx.isWrite = w, lines, isWrite
+		c.translate(now, vpn, w.id, ctx.done)
 	}
 }
 
@@ -262,25 +315,16 @@ func (c *Core) onTranslated(now int64, w *warp, lines []uint64, frame uint64, is
 	pageMask := (uint64(1) << c.cfg.PageShift) - 1
 	for _, va := range lines {
 		pa := frame*c.cfg.FrameSize + (va & pageMask)
-		req := &memreq.Request{
-			ID:     c.idgen.Next(),
-			AppID:  c.appID,
-			CoreID: c.id,
-			WarpID: w.id,
-			Class:  memreq.Data,
-			Addr:   pa,
-			Issue:  now,
-		}
+		req := c.pool.Get()
+		req.ID, req.AppID, req.CoreID, req.WarpID = c.idgen.Next(), c.appID, c.id, w.id
+		req.Class, req.Addr, req.Issue = memreq.Data, pa, now
 		if isWrite {
 			req.Kind = memreq.Write
 			// Fire-and-forget through the write buffer.
 		} else {
 			req.Kind = memreq.Read
 			w.outstandingData++
-			req.Done = func(dnow int64, _ *memreq.Request) {
-				w.outstandingData--
-				c.maybeUnblock(dnow, w)
-			}
+			req.Done = w.dataDone
 		}
 		if !c.l1d.Submit(now, req) {
 			c.retry = append(c.retry, req)

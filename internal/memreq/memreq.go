@@ -66,11 +66,34 @@ const (
 	ServedDRAM
 )
 
+// lifeState tracks where a request is in its single-owner lifecycle so that
+// misuse (double completion, completing a recycled object) panics loudly
+// instead of silently corrupting another in-flight request.
+type lifeState uint8
+
+const (
+	// lifeLive is the zero value: the request is owned by exactly one
+	// component and may be completed once. Plain &Request{} literals (tests,
+	// callers outside a pooled simulator) are born live.
+	lifeLive lifeState = iota
+	// lifeDone marks a non-pooled request whose Complete already ran.
+	lifeDone
+	// lifeFree marks a pooled request sitting in its pool's free list.
+	lifeFree
+)
+
 // Request is a physical-address access to the cache/DRAM hierarchy.
 //
 // Done, if non-nil, is invoked exactly once by the component that completes
 // the request (a cache on a hit or fill, or DRAM). Writes may carry a nil
 // Done (fire-and-forget, e.g. write-through traffic and dirty evictions).
+//
+// Ownership: a Request has a single owner at every moment — the component
+// currently responsible for advancing it (a bank queue, an MSHR waiting
+// list, a retry list, a DRAM channel). Complete transfers ownership to the
+// Done callback for its duration and then ends the lifecycle; no component
+// may retain a pointer to a request after its Complete returns. That
+// contract is what makes pooled recycling (Pool) sound.
 type Request struct {
 	ID     uint64
 	AppID  int
@@ -94,15 +117,34 @@ type Request struct {
 	Served Service
 
 	Done func(now int64, r *Request)
+
+	// pool, when non-nil, is the free list this request returns to after
+	// Complete; set only by Pool.Get.
+	pool *Pool
+	// life guards the single-Complete lifecycle.
+	life lifeState
 }
 
-// Complete marks the request served at svc and fires the Done callback.
+// Complete marks the request served at svc, fires the Done callback, and —
+// for pool-owned requests — recycles the object into its pool. The caller
+// must not touch r after Complete returns. Completing a request twice, or
+// completing one that has already been recycled, panics.
 func (r *Request) Complete(now int64, svc Service) {
+	switch r.life {
+	case lifeDone:
+		panic("memreq: Request completed twice")
+	case lifeFree:
+		panic("memreq: Complete on a recycled Request (use-after-done)")
+	}
+	r.life = lifeDone
 	if r.Served == ServedNone {
 		r.Served = svc
 	}
 	if r.Done != nil {
 		r.Done(now, r)
+	}
+	if r.pool != nil {
+		r.pool.put(r)
 	}
 }
 
@@ -128,6 +170,28 @@ type TransReq struct {
 	StalledWarps int
 
 	Done func(now int64, frame uint64)
+
+	pool *TransPool
+	life lifeState
+}
+
+// Complete delivers the translated frame to Done and, for pool-owned
+// requests, recycles the object. Mirrors Request.Complete: the caller must
+// not touch tr afterwards, and double completion panics.
+func (tr *TransReq) Complete(now int64, frame uint64) {
+	switch tr.life {
+	case lifeDone:
+		panic("memreq: TransReq completed twice")
+	case lifeFree:
+		panic("memreq: Complete on a recycled TransReq (use-after-done)")
+	}
+	tr.life = lifeDone
+	if tr.Done != nil {
+		tr.Done(now, frame)
+	}
+	if tr.pool != nil {
+		tr.pool.put(tr)
+	}
 }
 
 // IDGen hands out unique request IDs. A plain counter is sufficient because

@@ -15,11 +15,13 @@ func TestCompleteInvokesDoneOnce(t *testing.T) {
 }
 
 func TestCompleteKeepsFirstServiceLevel(t *testing.T) {
-	r := &Request{}
-	r.Complete(1, ServedDRAM)
+	// MSHR completion paths pre-assign Served before calling Complete (the
+	// fill's service level, not the waiting request's); Complete must keep
+	// the pre-assigned level.
+	r := &Request{Served: ServedDRAM}
 	r.Complete(2, ServedL1)
 	if r.Served != ServedDRAM {
-		t.Fatalf("Served=%v, want the first level (ServedDRAM)", r.Served)
+		t.Fatalf("Served=%v, want the pre-assigned level (ServedDRAM)", r.Served)
 	}
 }
 

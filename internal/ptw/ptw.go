@@ -48,11 +48,20 @@ func (s Stats) AvgConcurrent() float64 {
 	return float64(s.ActiveSum) / float64(s.Samples)
 }
 
+// walk is the per-walk state. Walk objects are recycled through the
+// walker's free list once finished; reqDone is bound once at first
+// allocation so steady-state walks allocate neither the walk nor the
+// completion closure of its per-level memory reads.
 type walk struct {
 	asid  uint8
 	appID int
 	vpn   uint64
-	done  func(now int64, frame uint64)
+	// Exactly one of done / tr is set: done for walks started via StartWalk
+	// (shared-TLB fills, prefetches), tr for L1 misses routed straight to
+	// the walker under the PWCache design (completed via tr.Complete so the
+	// TransReq recycles into its pool).
+	done func(now int64, frame uint64)
+	tr   *memreq.TransReq
 
 	addrs    []uint64
 	level    int // next 1-based level to issue
@@ -60,6 +69,8 @@ type walk struct {
 	finished bool
 	start    int64
 	buf      [4]uint64
+
+	reqDone func(now int64, r *memreq.Request)
 }
 
 // Walker is the shared page table walker.
@@ -71,6 +82,11 @@ type Walker struct {
 
 	active  []*walk
 	pending []*walk
+	// walkFree recycles finished walk objects.
+	walkFree []*walk
+	// pool recycles the walker's per-level memory read requests; New creates
+	// a private pool, the simulator injects its shared one.
+	pool *memreq.Pool
 
 	perAppActive []int
 
@@ -105,9 +121,34 @@ func New(maxConcurrent int, backend cache.Backend, numApps int) *Walker {
 		backend:      backend,
 		spaces:       make(map[uint8]*pagetable.Space),
 		idgen:        &memreq.IDGen{},
+		pool:         &memreq.Pool{},
 		perAppActive: make([]int, numApps),
 		sampleEvery:  128,
 	}
+}
+
+// SetRequestPool replaces the walker's private request pool with a shared
+// per-simulator one. Must be called before simulation starts.
+func (w *Walker) SetRequestPool(p *memreq.Pool) { w.pool = p }
+
+// getWalk takes a recycled walk object or builds one with its request
+// completion handler bound.
+func (w *Walker) getWalk() *walk {
+	if n := len(w.walkFree); n > 0 {
+		wk := w.walkFree[n-1]
+		w.walkFree[n-1] = nil
+		w.walkFree = w.walkFree[:n-1]
+		return wk
+	}
+	wk := &walk{}
+	wk.reqDone = func(now int64, _ *memreq.Request) { w.advance(now, wk) }
+	return wk
+}
+
+func (w *Walker) putWalk(wk *walk) {
+	wk.done, wk.tr, wk.addrs = nil, nil, nil
+	wk.waiting, wk.finished = false, false
+	w.walkFree = append(w.walkFree, wk)
 }
 
 // AddSpace registers an address space so the walker can resolve its radix
@@ -118,11 +159,18 @@ func (w *Walker) AddSpace(s *pagetable.Space) {
 
 // StartWalk implements tlb.WalkStarter: queue a walk for (asid, vpn).
 func (w *Walker) StartWalk(now int64, asid uint8, appID int, vpn uint64, done func(now int64, frame uint64)) {
+	w.start(now, asid, appID, vpn, done, nil)
+}
+
+func (w *Walker) start(now int64, asid uint8, appID int, vpn uint64, done func(now int64, frame uint64), tr *memreq.TransReq) {
 	sp, ok := w.spaces[asid]
 	if !ok {
 		panic("ptw: walk for unregistered ASID")
 	}
-	wk := &walk{asid: asid, appID: appID, vpn: vpn, done: done, level: 1, start: now}
+	wk := w.getWalk()
+	wk.asid, wk.appID, wk.vpn = asid, appID, vpn
+	wk.done, wk.tr = done, tr
+	wk.level, wk.start = 1, now
 	wk.addrs = sp.WalkAddrsInto(vpn, wk.buf[:0])
 	w.Stats.Started++
 	if len(w.active) < w.max {
@@ -142,7 +190,7 @@ func (w *Walker) StartWalk(now int64, asid uint8, appID int, vpn uint64, done fu
 // shared L2 TLB (Figure 3). FIFO order keeps walker admission fair across
 // applications regardless of core tick order.
 func (w *Walker) SubmitTrans(now int64, tr *memreq.TransReq) bool {
-	w.StartWalk(now, tr.ASID, tr.AppID, tr.VPN, tr.Done)
+	w.start(now, tr.ASID, tr.AppID, tr.VPN, nil, tr)
 	return true
 }
 
@@ -156,13 +204,18 @@ func (w *Walker) admit(wk *walk) {
 // Tick issues the next dependent access for every walk that is not blocked
 // on memory, admits queued walks into freed slots, and samples concurrency.
 func (w *Walker) Tick(now int64) {
-	// Compact finished walks and admit pending ones.
+	// Compact finished walks (recycling their state) and admit pending ones.
 	nkeep := 0
 	for _, wk := range w.active {
 		if !wk.finished {
 			w.active[nkeep] = wk
 			nkeep++
+		} else {
+			w.putWalk(wk)
 		}
+	}
+	for i := nkeep; i < len(w.active); i++ {
+		w.active[i] = nil
 	}
 	w.active = w.active[:nkeep]
 	for len(w.active) < w.max && len(w.pending) > 0 {
@@ -208,23 +261,19 @@ func (w *Walker) issue(now int64, wk *walk) {
 		return
 	}
 	lvl := wk.level
-	r := &memreq.Request{
-		ID:        w.idgen.Next(),
-		AppID:     wk.appID,
-		ASID:      wk.asid,
-		Kind:      memreq.Read,
-		Class:     memreq.Translation,
-		WalkLevel: uint8(lvl),
-		Addr:      wk.addrs[lvl-1],
-		Issue:     now,
-		Done: func(dnow int64, _ *memreq.Request) {
-			w.advance(dnow, wk)
-		},
-	}
+	r := w.pool.Get()
+	r.ID, r.AppID, r.ASID = w.idgen.Next(), wk.appID, wk.asid
+	r.Kind, r.Class, r.WalkLevel = memreq.Read, memreq.Translation, uint8(lvl)
+	r.Addr, r.Issue = wk.addrs[lvl-1], now
+	r.Done = wk.reqDone
 	if w.backend.Submit(now, r) {
 		wk.waiting = true
+		return
 	}
-	// On refusal the walk retries next tick.
+	// On refusal the walk retries next tick (with a fresh request; this one
+	// goes straight back to the pool).
+	r.Done = nil
+	r.Complete(now, memreq.ServedNone)
 }
 
 func (w *Walker) advance(now int64, wk *walk) {
@@ -243,26 +292,36 @@ func (w *Walker) advance(now int64, wk *walk) {
 	if wk.appID >= 0 && wk.appID < len(w.perAppActive) {
 		w.perAppActive[wk.appID]--
 	}
+	// The walk object is recycled at the next Tick's compaction, so anything
+	// that may run later (the fault callback below) must capture these locals,
+	// never wk itself.
+	done, tr, start := wk.done, wk.tr, wk.start
 	// Demand paging (§5.5): the walk found the PTE, but a non-resident page
 	// must be faulted in before the translation is usable.
 	if w.faults != nil {
 		if !w.faults.Touch(now, wk.asid, wk.vpn, func(fnow int64) {
-			w.Stats.Completed++
-			w.Stats.LatSum += uint64(fnow - wk.start)
-			if w.latHist != nil {
-				w.latHist.Observe(float64(fnow - wk.start))
-			}
-			wk.done(fnow, frame)
+			w.finishWalk(fnow, start, frame, done, tr)
 		}) {
 			return
 		}
 	}
+	w.finishWalk(now, start, frame, done, tr)
+}
+
+// finishWalk records completion stats and delivers the frame to whichever
+// continuation the walk carries (tr.Complete recycles the TransReq into its
+// pool; done is the plain callback form).
+func (w *Walker) finishWalk(now, start int64, frame uint64, done func(int64, uint64), tr *memreq.TransReq) {
 	w.Stats.Completed++
-	w.Stats.LatSum += uint64(now - wk.start)
+	w.Stats.LatSum += uint64(now - start)
 	if w.latHist != nil {
-		w.latHist.Observe(float64(now - wk.start))
+		w.latHist.Observe(float64(now - start))
 	}
-	wk.done(now, frame)
+	if tr != nil {
+		tr.Complete(now, frame)
+		return
+	}
+	done(now, frame)
 }
 
 // ActiveWalks returns the number of in-flight walks.

@@ -46,11 +46,17 @@ type l1entry struct {
 	stamp int64
 }
 
+// l1miss tracks one outstanding translation. Miss objects are recycled
+// through the TLB's free list; done is bound once at first allocation so a
+// steady-state miss allocates neither the tracker nor its fill closure.
 type l1miss struct {
-	tr *memreq.TransReq
+	vpn uint64
+	tr  *memreq.TransReq
 	// waiting holds the completion callbacks of every warp blocked on this
 	// translation.
 	waiting []func(now int64, frame uint64)
+
+	done func(now int64, frame uint64)
 }
 
 // L1TLB is a private, per-core, fully-associative TLB (Table 1: 64 entries,
@@ -67,6 +73,11 @@ type L1TLB struct {
 	mshrs   map[uint64]*l1miss
 	pending []*memreq.TransReq
 
+	missFree []*l1miss
+	// pool recycles translation requests; NewL1 creates a private pool, the
+	// simulator injects its shared one.
+	pool *memreq.TransPool
+
 	Stats L1Stats
 }
 
@@ -80,7 +91,35 @@ func NewL1(coreID, appID int, asid uint8, size int, backend TransBackend) *L1TLB
 		entries: make(map[uint64]*l1entry, size),
 		mshrs:   make(map[uint64]*l1miss),
 		backend: backend,
+		pool:    &memreq.TransPool{},
 	}
+}
+
+// SetTransPool replaces the TLB's private translation-request pool with a
+// shared per-simulator one. Must be called before simulation starts.
+func (t *L1TLB) SetTransPool(p *memreq.TransPool) { t.pool = p }
+
+// getMiss takes a recycled miss tracker or builds one with its fill handler
+// bound.
+func (t *L1TLB) getMiss() *l1miss {
+	if n := len(t.missFree); n > 0 {
+		m := t.missFree[n-1]
+		t.missFree[n-1] = nil
+		t.missFree = t.missFree[:n-1]
+		return m
+	}
+	m := &l1miss{}
+	m.done = func(dnow int64, frame uint64) { t.fill(dnow, m, frame) }
+	return m
+}
+
+func (t *L1TLB) putMiss(m *l1miss) {
+	m.tr = nil
+	for i := range m.waiting {
+		m.waiting[i] = nil
+	}
+	m.waiting = m.waiting[:0]
+	t.missFree = append(t.missFree, m)
 }
 
 // Lookup translates vpn for warpID. On a hit, done is invoked immediately
@@ -103,33 +142,26 @@ func (t *L1TLB) Lookup(now int64, vpn uint64, warpID int, hasToken bool, done fu
 		m.tr.StalledWarps++
 		return
 	}
-	tr := &memreq.TransReq{
-		AppID:        t.appID,
-		ASID:         t.asid,
-		CoreID:       t.coreID,
-		WarpID:       warpID,
-		VPN:          vpn,
-		HasToken:     hasToken,
-		Issue:        now,
-		StalledWarps: 1,
-	}
-	m := &l1miss{tr: tr, waiting: []func(int64, uint64){done}}
+	tr := t.pool.Get()
+	tr.AppID, tr.ASID, tr.CoreID, tr.WarpID = t.appID, t.asid, t.coreID, warpID
+	tr.VPN, tr.HasToken, tr.Issue, tr.StalledWarps = vpn, hasToken, now, 1
+	m := t.getMiss()
+	m.vpn, m.tr = vpn, tr
+	m.waiting = append(m.waiting, done)
 	t.mshrs[vpn] = m
-	tr.Done = func(dnow int64, frame uint64) {
-		t.fill(dnow, vpn, frame)
-	}
+	tr.Done = m.done
 	if !t.backend.SubmitTrans(now, tr) {
 		t.pending = append(t.pending, tr)
 	}
 }
 
-// fill installs the translation, wakes every blocked warp, and records the
-// stalled-warp sample for the Figure 6 metric.
-func (t *L1TLB) fill(now int64, vpn uint64, frame uint64) {
-	m, ok := t.mshrs[vpn]
-	if !ok {
-		return // flushed while in flight
+// fill installs the translation, wakes every blocked warp, recycles the miss
+// tracker, and records the stalled-warp sample for the Figure 6 metric.
+func (t *L1TLB) fill(now int64, m *l1miss, frame uint64) {
+	if cur, ok := t.mshrs[m.vpn]; !ok || cur != m {
+		return // flushed while in flight; the stale tracker is abandoned
 	}
+	vpn := m.vpn
 	delete(t.mshrs, vpn)
 	t.insert(vpn, frame)
 	t.Stats.StalledWarpSum += uint64(len(m.waiting))
@@ -137,6 +169,7 @@ func (t *L1TLB) fill(now int64, vpn uint64, frame uint64) {
 	for _, cb := range m.waiting {
 		cb(now, frame)
 	}
+	t.putMiss(m)
 }
 
 func (t *L1TLB) insert(vpn, frame uint64) {
@@ -147,7 +180,7 @@ func (t *L1TLB) insert(vpn, frame uint64) {
 		return
 	}
 	if len(t.entries) >= t.size {
-		// Evict the LRU entry.
+		// Evict the LRU entry and reuse its object for the new translation.
 		var victim uint64
 		var victimStamp int64 = 1<<63 - 1
 		for vpn, e := range t.entries {
@@ -156,7 +189,11 @@ func (t *L1TLB) insert(vpn, frame uint64) {
 				victim = vpn
 			}
 		}
+		e := t.entries[victim]
 		delete(t.entries, victim)
+		e.vpn, e.frame, e.stamp = vpn, frame, t.stamp
+		t.entries[vpn] = e
+		return
 	}
 	t.entries[vpn] = &l1entry{vpn: vpn, frame: frame, stamp: t.stamp}
 }

@@ -65,10 +65,15 @@ type l2entry struct {
 	prefetched bool
 }
 
+// l2miss tracks one outstanding shared-TLB miss. Miss objects recycle through
+// the TLB's free list; done is bound once so a steady-state miss allocates
+// neither the tracker nor the walk-completion closure.
 type l2miss struct {
 	key   l2key
 	appID int
 	reqs  []*memreq.TransReq
+
+	done func(now int64, frame uint64)
 }
 
 // L2TLB is the shared, ASID-tagged second-level TLB. Under MASK it also owns
@@ -81,7 +86,8 @@ type L2TLB struct {
 	in     *engine.Pipe[*memreq.TransReq]
 	walker WalkStarter
 
-	mshrs map[l2key]*l2miss
+	mshrs    map[l2key]*l2miss
+	missFree []*l2miss
 	// stalled holds lookups that missed while the walker backlog was full;
 	// they retry (and may meanwhile hit a newly filled entry or merge into a
 	// new MSHR) before fresh lookups are served.
@@ -231,13 +237,13 @@ func (t *L2TLB) lookup(now int64, tr *memreq.TransReq, first bool) {
 	// either the TLB or the TLB bypass cache yields a TLB hit").
 	if frame, ok := t.probe(key); ok {
 		t.recordHit(app)
-		tr.Done(now, frame)
+		tr.Complete(now, frame)
 		return
 	}
 	if t.bypass != nil {
 		if frame, ok := t.bypass.probe(key.asid, key.vpn); ok {
 			t.recordHit(app)
-			tr.Done(now, frame)
+			tr.Complete(now, frame)
 			return
 		}
 	}
@@ -253,11 +259,33 @@ func (t *L2TLB) lookup(now int64, tr *memreq.TransReq, first bool) {
 		return
 	}
 	t.recordMiss(app)
-	m := &l2miss{key: key, appID: app, reqs: []*memreq.TransReq{tr}}
+	m := t.getMiss()
+	m.key, m.appID = key, app
+	m.reqs = append(m.reqs, tr)
 	t.mshrs[key] = m
-	t.walker.StartWalk(now, key.asid, app, key.vpn, func(dnow int64, frame uint64) {
-		t.fill(dnow, m, frame)
-	})
+	t.walker.StartWalk(now, key.asid, app, key.vpn, m.done)
+}
+
+// getMiss takes a recycled miss tracker or builds one with its walk
+// completion handler bound.
+func (t *L2TLB) getMiss() *l2miss {
+	if n := len(t.missFree); n > 0 {
+		m := t.missFree[n-1]
+		t.missFree[n-1] = nil
+		t.missFree = t.missFree[:n-1]
+		return m
+	}
+	m := &l2miss{}
+	m.done = func(dnow int64, frame uint64) { t.fill(dnow, m, frame) }
+	return m
+}
+
+func (t *L2TLB) putMiss(m *l2miss) {
+	for i := range m.reqs {
+		m.reqs[i] = nil
+	}
+	m.reqs = m.reqs[:0]
+	t.missFree = append(t.missFree, m)
 }
 
 func (t *L2TLB) recordMiss(app int) {
@@ -323,9 +351,9 @@ func (t *L2TLB) fill(now int64, m *l2miss, frame uint64) {
 	}
 
 	for _, tr := range m.reqs {
-		tr.Done(now, frame)
+		tr.Complete(now, frame)
 	}
-	m.reqs = nil
+	t.putMiss(m)
 }
 
 func (t *L2TLB) install(key l2key, frame uint64, appID int) {

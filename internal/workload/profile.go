@@ -13,7 +13,26 @@
 // sources seeded from the app seed, so a simulation is exactly repeatable.
 package workload
 
-import "masksim/internal/rng"
+import (
+	"fmt"
+
+	"masksim/internal/rng"
+)
+
+// pageShiftFor returns log2(pageSize). Page sizes must be positive powers of
+// two; anything else would silently misalign every page mask downstream, so
+// the helper panics with the offending value instead. Every page-size shift
+// computation in this package goes through here.
+func pageShiftFor(pageSize int) uint {
+	if pageSize <= 0 || pageSize&(pageSize-1) != 0 {
+		panic(fmt.Sprintf("workload: page size %d is not a positive power of two", pageSize))
+	}
+	shift := uint(0)
+	for 1<<shift < pageSize {
+		shift++
+	}
+	return shift
+}
 
 // MissClass labels a benchmark's TLB miss-rate class per Table 2.
 type MissClass uint8
@@ -213,10 +232,7 @@ func (p Profile) TotalPages(pageSize, numWarps int) uint64 {
 
 // NewStream builds the generator for one warp.
 func (p Profile) NewStream(cfg StreamConfig) *Stream {
-	shift := uint(0)
-	for 1<<shift < cfg.PageSize {
-		shift++
-	}
+	shift := pageShiftFor(cfg.PageSize)
 	hot, priv := p.Layout(cfg.PageSize, cfg.NumWarps)
 	numGroups := p.groups(cfg.NumWarps)
 	g := p.WarpsPerGroup
@@ -429,10 +445,7 @@ func (p Profile) PagesToMap(base uint64, pageSize, numWarps int) []uint64 {
 	hot, priv := p.Layout(pageSize, numWarps)
 	total := hot + priv
 	vas := make([]uint64, 0, total)
-	shift := uint(0)
-	for 1<<shift < pageSize {
-		shift++
-	}
+	shift := pageShiftFor(pageSize)
 	stride := uint64(1)
 	if p.VAStridePages > 1 {
 		stride = uint64(p.VAStridePages)

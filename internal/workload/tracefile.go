@@ -8,6 +8,10 @@ import (
 	"strings"
 )
 
+// maxTraceLine bounds a single trace line (16MB); bufio.Scanner's 64KB
+// default truncates real generated traces.
+const maxTraceLine = 16 << 20
+
 // TraceEntry is one warp-level memory instruction in an external trace.
 type TraceEntry struct {
 	// Addrs holds one or more virtual byte addresses (distinct pages become
@@ -38,8 +42,11 @@ type TraceSet struct {
 //	w <hexaddr> [hexaddr...] — write
 //	c <n>                    — compute gap after the previous access
 //
-// Addresses are hexadecimal with or without 0x. The format is deliberately
-// trivial so traces can be produced by any profiler or generator.
+// Addresses are hexadecimal with or without 0x. Warp headers must number
+// their traces sequentially from 0 in file order; a mismatch means the trace
+// was truncated, reordered, or concatenated wrongly, and is rejected rather
+// than silently renumbered. The format is deliberately trivial so traces can
+// be produced by any profiler or generator.
 func ParseTrace(name string, r io.Reader) (*TraceSet, error) {
 	ts := &TraceSet{Name: name}
 	var cur []TraceEntry
@@ -50,6 +57,9 @@ func ParseTrace(name string, r io.Reader) (*TraceSet, error) {
 		}
 	}
 	sc := bufio.NewScanner(r)
+	// Generated traces routinely exceed bufio's 64KB default line limit (a
+	// single divergent access can list hundreds of addresses).
+	sc.Buffer(make([]byte, 0, 64*1024), maxTraceLine)
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
@@ -60,7 +70,17 @@ func ParseTrace(name string, r io.Reader) (*TraceSet, error) {
 		fields := strings.Fields(line)
 		switch fields[0] {
 		case "warp":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("trace %s:%d: 'warp' takes exactly one index, got %q", name, lineNo, line)
+			}
+			idx, err := strconv.Atoi(fields[1])
+			if err != nil || idx < 0 {
+				return nil, fmt.Errorf("trace %s:%d: bad warp index %q", name, lineNo, fields[1])
+			}
 			flush()
+			if idx != len(ts.Warps) {
+				return nil, fmt.Errorf("trace %s:%d: warp index %d out of order (expected %d)", name, lineNo, idx, len(ts.Warps))
+			}
 			cur = []TraceEntry{}
 		case "r", "w":
 			if cur == nil {
@@ -95,7 +115,7 @@ func ParseTrace(name string, r io.Reader) (*TraceSet, error) {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("trace %s:%d: %w", name, lineNo+1, err)
 	}
 	flush()
 	if len(ts.Warps) == 0 {
@@ -112,10 +132,7 @@ func ParseTrace(name string, r io.Reader) (*TraceSet, error) {
 // Pages enumerates every distinct page address touched by the trace, for
 // page-table pre-population.
 func (ts *TraceSet) Pages(pageSize int) []uint64 {
-	shift := uint(0)
-	for 1<<shift < pageSize {
-		shift++
-	}
+	shift := pageShiftFor(pageSize)
 	seen := map[uint64]bool{}
 	var out []uint64
 	for _, warp := range ts.Warps {
@@ -137,10 +154,7 @@ func (ts *TraceSet) Pages(pageSize int) []uint64 {
 // sync does not apply to traces (the trace itself encodes inter-warp
 // timing).
 func (ts *TraceSet) NewStream(warpIndex, pageSize, lineSize int) *Stream {
-	shift := uint(0)
-	for 1<<shift < pageSize {
-		shift++
-	}
+	shift := pageShiftFor(pageSize)
 	return &Stream{
 		pageShift: shift,
 		lineSize:  uint64(lineSize),

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -42,19 +43,74 @@ func TestParseTrace(t *testing.T) {
 
 func TestParseTraceErrors(t *testing.T) {
 	cases := []string{
-		"r 0x1000",          // access before warp header
-		"warp 0\nr zz",      // bad address
-		"warp 0\nc 4",       // gap before access
-		"warp 0\nx 1",       // unknown directive
-		"",                  // empty
-		"warp 0",            // warp with no accesses
-		"warp 0\nr",         // access with no address
-		"warp 0\nr 1\nc -2", // negative gap
+		"r 0x1000",             // access before warp header
+		"warp 0\nr zz",         // bad address
+		"warp 0\nc 4",          // gap before access
+		"warp 0\nx 1",          // unknown directive
+		"",                     // empty
+		"warp 0",               // warp with no accesses
+		"warp 0\nr",            // access with no address
+		"warp 0\nr 1\nc -2",    // negative gap
+		"warp\nr 1",            // warp with no index
+		"warp 0 extra\nr 1",    // trailing field on warp header
+		"warp zero\nr 1",       // non-numeric warp index
+		"warp -1\nr 1",         // negative warp index
+		"warp 1\nr 1",          // first warp not numbered 0
+		"warp 0\nr 1\nwarp 2\nr 2", // warp index skips ahead
+		"warp 0\nr 1\nwarp 0\nr 2", // warp index repeats
+		"warp 0\nr 1\nc 2 3",   // trailing field on compute gap
 	}
 	for i, c := range cases {
 		if _, err := ParseTrace("bad", strings.NewReader(c)); err == nil {
 			t.Errorf("case %d accepted: %q", i, c)
 		}
+	}
+}
+
+func TestParseTraceErrorsCarryLineNumbers(t *testing.T) {
+	_, err := ParseTrace("lined", strings.NewReader("warp 0\nr 0x1000\nwarp 7\n"))
+	if err == nil {
+		t.Fatal("out-of-order warp accepted")
+	}
+	if !strings.Contains(err.Error(), "lined:3") {
+		t.Fatalf("error %q does not name trace and line", err)
+	}
+}
+
+func TestParseTraceLongLines(t *testing.T) {
+	// A single access listing enough addresses to blow bufio.Scanner's 64KB
+	// default line limit must still parse.
+	var b strings.Builder
+	b.WriteString("warp 0\nr")
+	for i := 0; i < 12000; i++ {
+		fmt.Fprintf(&b, " 0x%x", 0x10000+i*64)
+	}
+	b.WriteString("\n")
+	ts, err := ParseTrace("long", strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("long line rejected: %v", err)
+	}
+	if got := len(ts.Warps[0][0].Addrs); got != 12000 {
+		t.Fatalf("parsed %d addresses, want 12000", got)
+	}
+}
+
+func TestPageShiftForRejectsNonPowerOfTwo(t *testing.T) {
+	for _, bad := range []int{0, -4096, 3, 4095, 6144} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("pageShiftFor(%d) did not panic", bad)
+				}
+			}()
+			pageShiftFor(bad)
+		}()
+	}
+	if got := pageShiftFor(4096); got != 12 {
+		t.Fatalf("pageShiftFor(4096)=%d, want 12", got)
+	}
+	if got := pageShiftFor(2 << 20); got != 21 {
+		t.Fatalf("pageShiftFor(2MB)=%d, want 21", got)
 	}
 }
 

@@ -47,6 +47,12 @@ type Simulator struct {
 	ata    *cache.ATABypass
 	tokens *tlb.TokenPolicy
 
+	// reqPool / transPool are this simulator's request free lists, shared by
+	// every component so a request recycled at one level is reused at any
+	// other. Per-instance ownership keeps concurrent simulators race-free.
+	reqPool   memreq.Pool
+	transPool memreq.TransPool
+
 	idgen memreq.IDGen
 
 	maskScheds []*dram.MASKSched
@@ -138,6 +144,7 @@ func (s *Simulator) build() {
 		MSHRs:        cfg.L2Cache.MSHRs,
 		WriteBack:    true,
 	}, s.mem)
+	s.l2c.SetRequestPool(&s.reqPool)
 	if cfg.Static {
 		s.l2c.SetWayPartition(wayMasks(cfg.L2Cache.Ways, numApps))
 	}
@@ -159,11 +166,13 @@ func (s *Simulator) build() {
 			QueueCap:     cfg.PWCache.QueueCap,
 			MSHRs:        cfg.PWCache.MSHRs,
 		}, s.l2c)
+		s.pwc.SetRequestPool(&s.reqPool)
 		walkBackend = s.pwc
 	}
 
 	// --- walker and shared L2 TLB ----------------------------------------
 	s.walker = ptw.New(cfg.WalkerConcurrency, walkBackend, numApps)
+	s.walker.SetRequestPool(&s.reqPool)
 	if cfg.DemandPaging && !cfg.Ideal {
 		s.faults = ptw.NewFaultUnit(cfg.FaultLatency, cfg.FaultConcurrency)
 		s.walker.SetFaultUnit(s.faults)
@@ -246,6 +255,7 @@ func (s *Simulator) build() {
 				MSHRs:              cfg.L1Cache.MSHRs,
 				WriteCombineWindow: cfg.L1Cache.WriteCombineWindow,
 			}, s.l2c)
+			l1d.SetRequestPool(&s.reqPool)
 			s.l1ds = append(s.l1ds, l1d)
 
 			var translate gpu.TranslateFn
@@ -263,6 +273,7 @@ func (s *Simulator) build() {
 					transBackend = s.l2tlb
 				}
 				l1 := tlb.NewL1(coreID, appIdx, space.ASID(), cfg.L1TLBEntries, transBackend)
+				l1.SetTransPool(&s.transPool)
 				s.l1tlbs = append(s.l1tlbs, l1)
 				app := appIdx
 				translate = func(now int64, vpn uint64, warpID int, done func(int64, uint64)) {
@@ -286,6 +297,7 @@ func (s *Simulator) build() {
 				LineSize:     uint64(cfg.L1Cache.LineSize),
 				RoundRobin:   cfg.RoundRobinSched,
 			}, streams, translate, l1d, &s.idgen)
+			core.SetRequestPool(&s.reqPool)
 			s.cores = append(s.cores, core)
 			coreID++
 		}
