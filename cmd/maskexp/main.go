@@ -2,7 +2,8 @@
 //
 // Usage:
 //
-//	maskexp [-cycles N] [-full] [-timeout D] [-max-fail-frac F] <experiment-id>...
+//	maskexp [-cycles N] [-full] [-workers N] [-timeout D] [-cache-dir DIR]
+//	        [-max-fail-frac F] <experiment-id>...
 //	maskexp -list
 //	maskexp all
 //
@@ -10,11 +11,21 @@
 // tab3, tab4, comp-*, sens-*). Without -full, figure-11-class experiments
 // use the representative pair subset to stay fast; -full runs all 35 pairs.
 //
+// All requested experiments run as one campaign over a single shared harness
+// and result cache: experiments execute concurrently under the global
+// -workers budget, and any two requests for the same (config, apps, cycles)
+// simulation share one execution. Tables still print in the requested order,
+// byte-identical to a sequential run. With -cache-dir, completed results are
+// also persisted to disk so an interrupted campaign resumes without redoing
+// finished cells. The campaign-wide run accounting (including cache
+// hit/miss/inflight counters) is always printed to stderr at the end.
+//
 // Individual simulation failures (panics, watchdog aborts, per-run timeouts)
 // do not kill the campaign: the failed cell is recorded, means are computed
 // over the surviving cells, and a failure summary is printed at the end.
 // The exit status is non-zero only when the failed fraction of runs exceeds
-// -max-fail-frac (default 0: any failure fails the command).
+// -max-fail-frac (default 0: any failure fails the command), an experiment
+// produces no tables, or a CSV write fails.
 package main
 
 import (
@@ -26,7 +37,6 @@ import (
 	"path/filepath"
 
 	"masksim/internal/experiments"
-	"masksim/internal/metrics"
 )
 
 func main() {
@@ -37,6 +47,7 @@ func main() {
 		csvDir      = flag.String("csv", "", "also write each table as CSV into this directory")
 		workers     = flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
 		timeout     = flag.Duration("timeout", 0, "wall-clock budget per simulation run (0 = none)")
+		cacheDir    = flag.String("cache-dir", "", "persist completed simulation results here and reuse them on later runs")
 		maxFailFrac = flag.Float64("max-fail-frac", 0, "tolerated fraction of failed runs before exiting non-zero")
 	)
 	flag.Parse()
@@ -55,33 +66,31 @@ func main() {
 	if len(args) == 1 && args[0] == "all" {
 		args = experiments.IDs()
 	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "maskexp:", err)
+			os.Exit(2)
+		}
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	var (
-		total       metrics.RunStats
-		allFailures []*experiments.RunError
-		broken      []string
-	)
-	for _, id := range args {
-		rep, err := experiments.RunReport(id, experiments.Options{
-			Cycles:     *cycles,
-			Full:       *full,
-			Workers:    *workers,
-			Ctx:        ctx,
-			RunTimeout: *timeout,
-		})
-		if rep != nil {
-			total.Merge(rep.Stats)
-			allFailures = append(allFailures, rep.Failures...)
-		}
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "maskexp: %s: %v\n", id, err)
-			broken = append(broken, id)
-			if ctx.Err() != nil {
-				break
-			}
+	camp := experiments.RunCampaign(args, experiments.Options{
+		Cycles:     *cycles,
+		Full:       *full,
+		Workers:    *workers,
+		Ctx:        ctx,
+		RunTimeout: *timeout,
+		CacheDir:   *cacheDir,
+	})
+
+	var broken []string
+	var csvErrs []error
+	for _, rep := range camp.Reports {
+		if rep.Err != nil {
+			fmt.Fprintf(os.Stderr, "maskexp: %s: %v\n", rep.ID, rep.Err)
+			broken = append(broken, rep.ID)
 			continue
 		}
 		for _, t := range rep.Tables {
@@ -89,23 +98,24 @@ func main() {
 			if *csvDir != "" {
 				path := filepath.Join(*csvDir, t.ID+".csv")
 				if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
-					fmt.Fprintln(os.Stderr, "maskexp:", err)
-					os.Exit(1)
+					csvErrs = append(csvErrs, err)
 				}
 			}
 		}
 	}
 
-	if total.Failed > 0 || len(broken) > 0 {
-		fmt.Fprintf(os.Stderr, "maskexp: %s\n", total.String())
-		for _, f := range allFailures {
-			fmt.Fprintf(os.Stderr, "maskexp:   %v\n", f)
-		}
-		for _, id := range broken {
-			fmt.Fprintf(os.Stderr, "maskexp: experiment %s did not produce tables\n", id)
-		}
+	total := camp.Stats
+	fmt.Fprintf(os.Stderr, "maskexp: %s\n", total.String())
+	for _, f := range camp.Failures {
+		fmt.Fprintf(os.Stderr, "maskexp:   %v\n", f)
 	}
-	if frac := total.FailureFrac(); len(broken) > 0 || frac > *maxFailFrac {
+	for _, id := range broken {
+		fmt.Fprintf(os.Stderr, "maskexp: experiment %s did not produce tables\n", id)
+	}
+	for _, err := range csvErrs {
+		fmt.Fprintf(os.Stderr, "maskexp: csv: %v\n", err)
+	}
+	if frac := total.FailureFrac(); len(broken) > 0 || len(csvErrs) > 0 || frac > *maxFailFrac {
 		if frac > *maxFailFrac {
 			fmt.Fprintf(os.Stderr, "maskexp: failure fraction %.3f exceeds -max-fail-frac %.3f\n", frac, *maxFailFrac)
 		}

@@ -30,18 +30,24 @@ func Ablate(h *Harness, full bool) (*Table, error) {
 		Title: "mechanism ablation: mean total IPC over the pair set, relative to baseline",
 		Cols:  []string{"combination", "meanIPC", "vsBaseline%"},
 	}
-	var base float64
-	for i, combo := range combos {
+	var jobs []BatchJob
+	for _, combo := range combos {
 		cfg := sim.SharedTLBConfig()
 		cfg.Name = combo.name
 		cfg.Mask = combo.mask
-		var xs []float64
 		for _, p := range pairs {
-			res, err := h.Run(cfg, []string{p.A, p.B})
-			if err != nil {
-				return nil, err
-			}
-			xs = append(xs, res.TotalIPC)
+			jobs = append(jobs, BatchJob{Cfg: cfg, Names: []string{p.A, p.B}})
+		}
+	}
+	results, err := h.RunBatch(jobs)
+	if err != nil {
+		return nil, err
+	}
+	var base float64
+	for i, combo := range combos {
+		var xs []float64
+		for k := range pairs {
+			xs = append(xs, results[i*len(pairs)+k].TotalIPC)
 		}
 		mean := metrics.Mean(xs)
 		if i == 0 {

@@ -15,13 +15,21 @@ func Anatomy(h *Harness, full bool) (*Table, error) {
 		Title: "warp stall anatomy (Figure 4): translation vs data share of memory-stall time",
 		Cols:  []string{"pair", "config", "transStall%", "dataStall%", "coreIdle%"},
 	}
+	cfgNames := []string{"SharedTLB", "MASK", "Ideal"}
+	var jobs []BatchJob
 	for _, p := range pairs {
-		for _, cfgName := range []string{"SharedTLB", "MASK", "Ideal"} {
+		for _, cfgName := range cfgNames {
 			cfg, _ := sim.ConfigByName(cfgName)
-			res, err := h.Run(cfg, []string{p.A, p.B})
-			if err != nil {
-				return nil, err
-			}
+			jobs = append(jobs, BatchJob{Cfg: cfg, Names: []string{p.A, p.B}})
+		}
+	}
+	results, err := h.RunBatch(jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range pairs {
+		for k, cfgName := range cfgNames {
+			res := results[i*len(cfgNames)+k]
 			total := res.TransStallCycles + res.DataStallCycles
 			var transFrac float64
 			if total > 0 {

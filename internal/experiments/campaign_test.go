@@ -1,0 +1,187 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"masksim/sim"
+)
+
+// TestHarnessMemoizesRuns checks the core memoization contract: a second
+// request for the same (config, apps, cycles) returns the first run's Results
+// without simulating again.
+func TestHarnessMemoizesRuns(t *testing.T) {
+	h := NewHarness(400)
+	first, err := h.Run(sim.SharedTLBConfig(), []string{"MM", "RED"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := h.Run(sim.SharedTLBConfig(), []string{"MM", "RED"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != second {
+		t.Fatal("second Run returned a different Results; want the shared cached one")
+	}
+	s := h.Stats()
+	if s.Attempted != 1 || s.CacheRequests != 2 || s.CacheHits != 1 || s.CacheMisses != 1 {
+		t.Fatalf("stats = %+v, want Attempted=1 CacheRequests=2 CacheHits=1 CacheMisses=1", s)
+	}
+}
+
+// TestHarnessMemoizesAcrossNames checks that presentation names do not split
+// the cache: two configs differing only in Name share one simulation.
+func TestHarnessMemoizesAcrossNames(t *testing.T) {
+	h := NewHarness(400)
+	a := sim.SharedTLBConfig()
+	b := sim.SharedTLBConfig()
+	b.Name = "baseline-under-another-name"
+	ra, err := h.Run(a, []string{"MM"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := h.Run(b, []string{"MM"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra != rb {
+		t.Fatal("renamed config re-simulated; Name is presentation-only")
+	}
+	if s := h.Stats(); s.Attempted != 1 {
+		t.Fatalf("Attempted = %d, want 1", s.Attempted)
+	}
+}
+
+// TestWarmAloneCoversBothSplits checks that warming covers both halves of an
+// asymmetric core split: after WarmAlone on an odd-core platform, the
+// AloneIPC calls the matrix pass makes (at split[0] AND split[1] cores) are
+// all cache hits.
+func TestWarmAloneCoversBothSplits(t *testing.T) {
+	cfg := sim.SharedTLBConfig()
+	cfg.Cores = 5 // EvenSplit(5,2) = [3,2]: asymmetric
+	split := sim.EvenSplit(cfg.Cores, 2)
+	if split[0] == split[1] {
+		t.Fatalf("want asymmetric split, got %v", split)
+	}
+	h := NewHarness(400)
+	if err := h.WarmAlone(cfg, pairSet(false)); err != nil {
+		t.Fatal(err)
+	}
+	warmed := h.Stats().Attempted
+	for _, p := range pairSet(false) {
+		for k, app := range []string{p.A, p.B} {
+			if _, err := h.AloneIPC(cfg, app, split[k]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if after := h.Stats().Attempted; after != warmed {
+		t.Fatalf("AloneIPC after warm simulated %d extra runs; warm missed a split", after-warmed)
+	}
+}
+
+// TestCampaignDedupAndDeterminism runs an overlapping experiment set two
+// ways — as a concurrent campaign over one shared harness, and sequentially
+// with memoization disabled — and checks that (a) each distinct simulation
+// executed exactly once in the campaign, with real sharing across
+// experiments, and (b) the rendered tables are byte-identical.
+func TestCampaignDedupAndDeterminism(t *testing.T) {
+	// fig8 and fig9 request identical SharedTLB pair runs; comp-dram requests
+	// the same SharedTLB runs again as its baseline side.
+	ids := []string{"fig8", "fig9", "comp-dram"}
+	const cycles = 600
+
+	camp := RunCampaign(ids, Options{Cycles: cycles, Workers: 4})
+	var campaign strings.Builder
+	for _, rep := range camp.Reports {
+		if rep.Err != nil {
+			t.Fatalf("%s: %v", rep.ID, rep.Err)
+		}
+		for _, tab := range rep.Tables {
+			fmt.Fprintln(&campaign, tab)
+		}
+	}
+	s := camp.Stats
+	if s.Attempted != s.CacheMisses {
+		t.Fatalf("Attempted=%d != CacheMisses=%d: some simulation ran outside the cache or twice",
+			s.Attempted, s.CacheMisses)
+	}
+	if s.CacheHits+s.CacheInflightWaits == 0 {
+		t.Fatal("no cache sharing across fig8/fig9/comp-dram; expected overlapping runs to dedup")
+	}
+	if s.CacheRequests != s.Attempted+s.CacheHits+s.CacheInflightWaits {
+		t.Fatalf("cache accounting inconsistent: %+v", s)
+	}
+
+	// Reference: one experiment at a time, no memoization, one worker.
+	var sequential strings.Builder
+	for _, id := range ids {
+		h := NewHarness(cycles)
+		h.Workers = 1
+		h.Cache = nil
+		tables, err := registry[id].run(h, false)
+		if err != nil {
+			t.Fatalf("%s (sequential): %v", id, err)
+		}
+		for _, tab := range tables {
+			fmt.Fprintln(&sequential, tab)
+		}
+	}
+	if campaign.String() != sequential.String() {
+		t.Fatalf("campaign output differs from sequential reference:\n--- campaign ---\n%s\n--- sequential ---\n%s",
+			campaign.String(), sequential.String())
+	}
+}
+
+// TestCampaignUnknownID checks that unknown IDs land in their Report.Err
+// without disturbing the rest of the campaign.
+func TestCampaignUnknownID(t *testing.T) {
+	camp := RunCampaign([]string{"no-such-experiment", "fig8"}, Options{Cycles: 400, Workers: 2})
+	if camp.Reports[0].Err == nil {
+		t.Fatal("unknown ID produced no error")
+	}
+	if camp.Reports[1].Err != nil {
+		t.Fatalf("fig8 failed: %v", camp.Reports[1].Err)
+	}
+	if len(camp.Reports[1].Tables) == 0 {
+		t.Fatal("fig8 produced no tables")
+	}
+}
+
+// TestCampaignDiskResume runs a small campaign twice over the same cache
+// directory: the second invocation must simulate nothing.
+func TestCampaignDiskResume(t *testing.T) {
+	dir := t.TempDir()
+	opt := Options{Cycles: 400, Workers: 2, CacheDir: dir}
+
+	first := RunCampaign([]string{"fig8"}, opt)
+	if err := first.Reports[0].Err; err != nil {
+		t.Fatal(err)
+	}
+	if first.Stats.Attempted == 0 || first.Stats.DiskHits != 0 {
+		t.Fatalf("first run stats = %+v, want fresh simulations", first.Stats)
+	}
+
+	second := RunCampaign([]string{"fig8"}, opt)
+	if err := second.Reports[0].Err; err != nil {
+		t.Fatal(err)
+	}
+	if second.Stats.Attempted != 0 {
+		t.Fatalf("resume simulated %d runs, want 0 (all from disk)", second.Stats.Attempted)
+	}
+	if second.Stats.DiskHits == 0 {
+		t.Fatal("resume recorded no disk hits")
+	}
+
+	var a, b strings.Builder
+	for _, tab := range first.Reports[0].Tables {
+		fmt.Fprintln(&a, tab)
+	}
+	for _, tab := range second.Reports[0].Tables {
+		fmt.Fprintln(&b, tab)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("disk-resumed tables differ:\n%s\nvs\n%s", a.String(), b.String())
+	}
+}

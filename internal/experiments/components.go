@@ -6,6 +6,34 @@ import (
 	"masksim/sim"
 )
 
+// pairCompare batch-runs every pair under the baseline and variant configs,
+// returning (baseline, variant) result pairs in pair order — the shape all
+// three §7.2 component analyses share.
+func pairCompare(h *Harness, full bool, variant sim.Config) (pairs []ResultPair, err error) {
+	ps := pairSet(full)
+	var jobs []BatchJob
+	for _, p := range ps {
+		names := []string{p.A, p.B}
+		jobs = append(jobs,
+			BatchJob{Cfg: sim.SharedTLBConfig(), Names: names},
+			BatchJob{Cfg: variant, Names: names})
+	}
+	results, err := h.RunBatch(jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i := range ps {
+		pairs = append(pairs, ResultPair{Base: results[2*i], Variant: results[2*i+1]})
+	}
+	return pairs, nil
+}
+
+// ResultPair is one pair's (baseline, variant) measurement.
+type ResultPair struct {
+	Base    *sim.Results
+	Variant *sim.Results
+}
+
 // CompTLB reproduces the §7.2 TLB-Fill Tokens analysis: shared L2 TLB hit
 // rate under SharedTLB vs MASK-TLB, plus the TLB bypass cache hit rate.
 // The paper reports a 49.9% average hit-rate improvement and a 66.5% bypass
@@ -17,16 +45,13 @@ func CompTLB(h *Harness, full bool) (*Table, error) {
 		Title: "TLB-Fill Tokens: shared L2 TLB hit rates and bypass cache",
 		Cols:  []string{"pair", "baseHit%", "tokensHit%", "bypass$Hit%", "WSdelta%"},
 	}
+	rps, err := pairCompare(h, full, sim.MASKTLBConfig())
+	if err != nil {
+		return nil, err
+	}
 	var rel []float64
-	for _, p := range pairs {
-		base, err := h.Run(sim.SharedTLBConfig(), []string{p.A, p.B})
-		if err != nil {
-			return nil, err
-		}
-		tok, err := h.Run(sim.MASKTLBConfig(), []string{p.A, p.B})
-		if err != nil {
-			return nil, err
-		}
+	for i, p := range pairs {
+		base, tok := rps[i].Base, rps[i].Variant
 		bh := 1 - base.L2TLBTotal.MissRate()
 		th := 1 - tok.L2TLBTotal.MissRate()
 		if bh > 0 {
@@ -51,15 +76,12 @@ func CompCache(h *Harness, full bool) (*Table, error) {
 		Title: "L2 bypass: per-walk-level cache behaviour under MASK-Cache",
 		Cols:  []string{"pair", "lvl1Hit%", "lvl2Hit%", "lvl3Hit%", "lvl4Hit%", "bypassed", "WSdelta%"},
 	}
-	for _, p := range pairs {
-		base, err := h.Run(sim.SharedTLBConfig(), []string{p.A, p.B})
-		if err != nil {
-			return nil, err
-		}
-		mc, err := h.Run(sim.MASKCacheConfig(), []string{p.A, p.B})
-		if err != nil {
-			return nil, err
-		}
+	rps, err := pairCompare(h, full, sim.MASKCacheConfig())
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range pairs {
+		base, mc := rps[i].Base, rps[i].Variant
 		var bypassed uint64
 		cells := []interface{}{p.Name()}
 		for lvl := 1; lvl <= memreq.MaxWalkLevel; lvl++ {
@@ -84,15 +106,12 @@ func CompDRAM(h *Harness, full bool) (*Table, error) {
 		Title: "DRAM scheduler: per-class DRAM latency, SharedTLB vs MASK-DRAM",
 		Cols:  []string{"pair", "baseTLat", "maskTLat", "baseDLat", "maskDLat", "WSdelta%"},
 	}
-	for _, p := range pairs {
-		base, err := h.Run(sim.SharedTLBConfig(), []string{p.A, p.B})
-		if err != nil {
-			return nil, err
-		}
-		md, err := h.Run(sim.MASKDRAMConfig(), []string{p.A, p.B})
-		if err != nil {
-			return nil, err
-		}
+	rps, err := pairCompare(h, full, sim.MASKDRAMConfig())
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range pairs {
+		base, md := rps[i].Base, rps[i].Variant
 		t.AddRowf(0, p.Name(),
 			base.DRAMClass[memreq.Translation].AvgLatency(),
 			md.DRAMClass[memreq.Translation].AvgLatency(),

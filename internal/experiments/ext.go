@@ -19,21 +19,30 @@ func ExtPaging(h *Harness, full bool) (*Table, error) {
 		Note:  "faults are first-touch major faults; pre-populated runs are the paper's configuration",
 		Cols:  []string{"config", "faultLat", "totalIPC", "faults", "avgFaultLat"},
 	}
-	for _, cfgName := range []string{"SharedTLB", "MASK"} {
+	cfgNames := []string{"SharedTLB", "MASK"}
+	lats := []int64{5_000, 20_000}
+	var jobs []BatchJob
+	for _, cfgName := range cfgNames {
 		base, _ := sim.ConfigByName(cfgName)
-		res, err := h.Run(base, pair)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(cfgName, "prepopulated", fmt.Sprintf("%.2f", res.TotalIPC), "0", "-")
-		for _, lat := range []int64{5_000, 20_000} {
+		jobs = append(jobs, BatchJob{Cfg: base, Names: pair})
+		for _, lat := range lats {
 			cfg := base
 			cfg.DemandPaging = true
 			cfg.FaultLatency = lat
-			res, err := h.Run(cfg, pair)
-			if err != nil {
-				return nil, err
-			}
+			jobs = append(jobs, BatchJob{Cfg: cfg, Names: pair})
+		}
+	}
+	results, err := h.RunBatch(jobs)
+	if err != nil {
+		return nil, err
+	}
+	i := 0
+	for _, cfgName := range cfgNames {
+		t.AddRow(cfgName, "prepopulated", fmt.Sprintf("%.2f", results[i].TotalIPC), "0", "-")
+		i++
+		for _, lat := range lats {
+			res := results[i]
+			i++
 			t.AddRow(cfgName, fmt.Sprintf("%dcy", lat),
 				fmt.Sprintf("%.2f", res.TotalIPC),
 				fmt.Sprintf("%d", res.Faults.Faults),
@@ -53,31 +62,38 @@ func SensWarpSched(h *Harness, full bool) (*Table, error) {
 		Title: "warp-scheduler sensitivity: mean total IPC over the pair set",
 		Cols:  []string{"scheduler", "SharedTLB", "MASK", "MASKgain%"},
 	}
+	schedCfg := func(base sim.Config, rr bool) sim.Config {
+		base.RoundRobinSched = rr
+		return base
+	}
+	var jobs []BatchJob
+	for _, rr := range []bool{false, true} {
+		for _, base := range []sim.Config{sim.SharedTLBConfig(), sim.MASKConfig()} {
+			for _, p := range pairs {
+				jobs = append(jobs, BatchJob{Cfg: schedCfg(base, rr), Names: []string{p.A, p.B}})
+			}
+		}
+	}
+	results, err := h.RunBatch(jobs)
+	if err != nil {
+		return nil, err
+	}
+	i := 0
+	mean := func() float64 {
+		var xs []float64
+		for range pairs {
+			xs = append(xs, results[i].TotalIPC)
+			i++
+		}
+		return metrics.Mean(xs)
+	}
 	for _, rr := range []bool{false, true} {
 		name := "GTO"
 		if rr {
 			name = "round-robin"
 		}
-		run := func(base sim.Config) (float64, error) {
-			base.RoundRobinSched = rr
-			var xs []float64
-			for _, p := range pairs {
-				res, err := h.Run(base, []string{p.A, p.B})
-				if err != nil {
-					return 0, err
-				}
-				xs = append(xs, res.TotalIPC)
-			}
-			return metrics.Mean(xs), nil
-		}
-		shared, err := run(sim.SharedTLBConfig())
-		if err != nil {
-			return nil, err
-		}
-		mask, err := run(sim.MASKConfig())
-		if err != nil {
-			return nil, err
-		}
+		shared := mean()
+		mask := mean()
 		t.AddRowf(2, name, shared, mask, 100*(mask/shared-1))
 	}
 	return t, nil
@@ -100,14 +116,19 @@ func SensTokens(h *Harness, full bool) (*Table, error) {
 		Title: "InitialTokens sweep under MASK (paper: <1% variance)",
 		Cols:  []string{"initialTokens", "totalIPC"},
 	}
-	for _, frac := range []float64{0.25, 0.50, 0.80, 1.00} {
+	fracs := []float64{0.25, 0.50, 0.80, 1.00}
+	var jobs []BatchJob
+	for _, frac := range fracs {
 		cfg := sim.MASKConfig()
 		cfg.TokenInitFraction = frac
-		res, err := h.Run(cfg, pair)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRowf(2, fmt.Sprintf("%.0f%%", 100*frac), res.TotalIPC)
+		jobs = append(jobs, BatchJob{Cfg: cfg, Names: pair})
+	}
+	results, err := h.RunBatch(jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, frac := range fracs {
+		t.AddRowf(2, fmt.Sprintf("%.0f%%", 100*frac), results[i].TotalIPC)
 	}
 	return t, nil
 }
@@ -123,21 +144,22 @@ func ExtPrefetch(h *Harness, full bool) (*Table, error) {
 		Title: "stride TLB prefetcher vs MASK (related-work comparison, §8.2)",
 		Cols:  []string{"pair", "SharedTLB", "+prefetch", "MASK", "pf-accuracy%"},
 	}
+	pfCfg := sim.SharedTLBConfig()
+	pfCfg.TLBPrefetch = true
+	var jobs []BatchJob
 	for _, p := range pairs {
-		base, err := h.Run(sim.SharedTLBConfig(), []string{p.A, p.B})
-		if err != nil {
-			return nil, err
-		}
-		pfCfg := sim.SharedTLBConfig()
-		pfCfg.TLBPrefetch = true
-		pf, err := h.Run(pfCfg, []string{p.A, p.B})
-		if err != nil {
-			return nil, err
-		}
-		mask, err := h.Run(sim.MASKConfig(), []string{p.A, p.B})
-		if err != nil {
-			return nil, err
-		}
+		names := []string{p.A, p.B}
+		jobs = append(jobs,
+			BatchJob{Cfg: sim.SharedTLBConfig(), Names: names},
+			BatchJob{Cfg: pfCfg, Names: names},
+			BatchJob{Cfg: sim.MASKConfig(), Names: names})
+	}
+	results, err := h.RunBatch(jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range pairs {
+		base, pf, mask := results[3*i], results[3*i+1], results[3*i+2]
 		t.AddRowf(2, p.Name(), base.TotalIPC, pf.TotalIPC, mask.TotalIPC,
 			100*pf.Prefetch.Accuracy())
 	}

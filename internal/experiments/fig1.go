@@ -31,27 +31,32 @@ func Fig1(h *Harness) (*Table, error) {
 		quantum      = 2_000
 		drainPerProc = 100
 	)
-	base, err := h.Run(sim.SharedTLBConfig(), []string{"MM"})
-	if err != nil {
-		return nil, err
-	}
-	for n := 2; n <= 10; n++ {
-		cfg := sim.SharedTLBConfig()
-		cfg.TimeMuxQuantum = quantum
+	evictFor := func(n int) float64 {
 		// With n processes sharing, the intervening n-1 quanta evict a
 		// growing share of this process's state.
 		evict := float64(n-1) * 0.12
 		if evict > 1 {
 			evict = 1
 		}
-		cfg.TimeMuxEvict = evict
-		res, err := h.Run(cfg, []string{"MM"})
-		if err != nil {
-			return nil, err
-		}
+		return evict
+	}
+	jobs := []BatchJob{{Cfg: sim.SharedTLBConfig(), Names: []string{"MM"}}}
+	for n := 2; n <= 10; n++ {
+		cfg := sim.SharedTLBConfig()
+		cfg.TimeMuxQuantum = quantum
+		cfg.TimeMuxEvict = evictFor(n)
+		jobs = append(jobs, BatchJob{Cfg: cfg, Names: []string{"MM"}})
+	}
+	results, err := h.RunBatch(jobs)
+	if err != nil {
+		return nil, err
+	}
+	base := results[0]
+	for n := 2; n <= 10; n++ {
+		res := results[n-1]
 		drainFrac := float64(drainPerProc*n) / quantum
 		overhead := base.TotalIPC/res.TotalIPC*(1+drainFrac) - 1
-		t.AddRow(fmt.Sprintf("%d", n), fmt.Sprintf("%.0f%%", 100*evict),
+		t.AddRow(fmt.Sprintf("%d", n), fmt.Sprintf("%.0f%%", 100*evictFor(n)),
 			fmt.Sprintf("%.2f", res.TotalIPC), fmt.Sprintf("%.1f%%", 100*overhead))
 	}
 	return t, nil

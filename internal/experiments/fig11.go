@@ -8,28 +8,42 @@ import (
 )
 
 // fig11Cache memoizes the expensive (pairs × eight configurations) grid so
-// that regenerating Figures 11-15 in one process simulates it only once.
+// that regenerating Figures 11-15 in one process assembles it only once.
+// Entries are single-flight: when fig12..fig15 run concurrently in a
+// campaign, the late arrivals wait for the one in-progress matrix instead of
+// rebuilding it (the underlying simulations would be cache hits, but the
+// alone-IPC bookkeeping and grid assembly need not repeat either).
 var fig11Cache = struct {
 	sync.Mutex
-	m map[fig11Key]*Matrix
-}{m: map[fig11Key]*Matrix{}}
+	m map[fig11Key]*fig11Entry
+}{m: map[fig11Key]*fig11Entry{}}
 
 type fig11Key struct {
 	cycles int64
 	full   bool
 }
 
+type fig11Entry struct {
+	done chan struct{}
+	m    *Matrix
+	err  error
+}
+
 // fig11Matrix runs (or returns the memoized) grid shared by Figures 11-15.
-// Only fully successful matrices are memoized, so a transient failure in one
-// figure does not poison the others.
+// Only fully successful matrices stay memoized, so a transient failure in
+// one figure does not poison later requests.
 func fig11Matrix(h *Harness, full bool) (*Matrix, error) {
 	key := fig11Key{h.Cycles, full}
 	fig11Cache.Lock()
-	if m, ok := fig11Cache.m[key]; ok {
+	if e, ok := fig11Cache.m[key]; ok {
 		fig11Cache.Unlock()
-		return m, nil
+		<-e.done
+		return e.m, e.err
 	}
+	e := &fig11Entry{done: make(chan struct{})}
+	fig11Cache.m[key] = e
 	fig11Cache.Unlock()
+	defer close(e.done)
 
 	pairs := pairSet(full)
 	var cfgs []sim.Config
@@ -37,17 +51,14 @@ func fig11Matrix(h *Harness, full bool) (*Matrix, error) {
 		c, _ := sim.ConfigByName(n)
 		cfgs = append(cfgs, c)
 	}
-	m, err := h.RunMatrix(sim.SharedTLBConfig(), cfgs, pairs)
-	if err != nil {
-		return nil, err
-	}
+	e.m, e.err = h.RunMatrix(sim.SharedTLBConfig(), cfgs, pairs)
 
-	if len(m.Failed()) == 0 {
+	if e.err != nil || len(e.m.Failed()) > 0 {
 		fig11Cache.Lock()
-		fig11Cache.m[key] = m
+		delete(fig11Cache.m, key)
 		fig11Cache.Unlock()
 	}
-	return m, nil
+	return e.m, e.err
 }
 
 // Fig11 reproduces Figure 11: average weighted speedup per workload

@@ -1,8 +1,6 @@
 package experiments
 
 import (
-	"sync"
-
 	"masksim/internal/workload"
 	"masksim/sim"
 )
@@ -37,18 +35,12 @@ func perAppWalkTable(h *Harness, full bool, id, title, note string,
 	metric func(*sim.Results) (float64, float64), cols []string) (*Table, error) {
 	apps := appSet(full)
 	t := &Table{ID: id, Title: title, Note: note, Cols: cols}
-	results := make([]*sim.Results, len(apps))
-	var mu sync.Mutex
-	if err := h.parallel(len(apps), func(i int) error {
-		res, err := h.RunAlone(sim.SharedTLBConfig(), apps[i], 30)
-		if err != nil {
-			return err
-		}
-		mu.Lock()
-		results[i] = res
-		mu.Unlock()
-		return nil
-	}); err != nil {
+	jobs := make([]BatchJob, len(apps))
+	for i, a := range apps {
+		jobs[i] = BatchJob{Cfg: sim.SharedTLBConfig(), Alone: a, Cores: 30}
+	}
+	results, err := h.RunBatch(jobs)
+	if err != nil {
 		return nil, err
 	}
 	for i, a := range apps {
@@ -68,19 +60,27 @@ func Fig7(h *Harness, full bool) (*Table, error) {
 		Note:  "paper: sharing raises the miss rate significantly for most applications",
 		Cols:  []string{"pair", "app", "aloneMiss%", "sharedMiss%"},
 	}
+	// Three jobs per pair: the shared run, then each app alone on half the
+	// GPU. The batch saturates the pool; identical alone runs across pairs
+	// collapse in the result cache.
+	var jobs []BatchJob
 	for _, p := range pairs {
-		shared, err := h.Run(sim.SharedTLBConfig(), []string{p.A, p.B})
-		if err != nil {
-			return nil, err
+		jobs = append(jobs, BatchJob{Cfg: sim.SharedTLBConfig(), Names: []string{p.A, p.B}})
+		for _, name := range []string{p.A, p.B} {
+			jobs = append(jobs, BatchJob{Cfg: sim.SharedTLBConfig(), Alone: name, Cores: 15})
 		}
-		for i, name := range []string{p.A, p.B} {
-			aloneRes, err := h.RunAlone(sim.SharedTLBConfig(), name, 15)
-			if err != nil {
-				return nil, err
-			}
+	}
+	results, err := h.RunBatch(jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range pairs {
+		shared := results[3*i]
+		for k, name := range []string{p.A, p.B} {
+			aloneRes := results[3*i+1+k]
 			t.AddRowf(1, p.Name(), name,
 				100*aloneRes.Apps[0].L2TLB.MissRate(),
-				100*shared.Apps[i].L2TLB.MissRate())
+				100*shared.Apps[k].L2TLB.MissRate())
 		}
 	}
 	return t, nil

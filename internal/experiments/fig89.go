@@ -5,7 +5,6 @@ import (
 	"masksim/internal/metrics"
 	"masksim/internal/workload"
 	"masksim/sim"
-	"sync"
 )
 
 // Fig8and9 reproduces Figures 8 and 9: for every two-application workload on
@@ -30,18 +29,12 @@ func Fig8and9(h *Harness, full bool) ([]*Table, error) {
 		Note:  "cycles from channel arrival to completion",
 		Cols:  []string{"pair", "translationLat", "dataLat"},
 	}
-	results := make([]*sim.Results, len(pairs))
-	var mu sync.Mutex
-	if err := h.parallel(len(pairs), func(i int) error {
-		res, err := h.Run(sim.SharedTLBConfig(), []string{pairs[i].A, pairs[i].B})
-		if err != nil {
-			return err
-		}
-		mu.Lock()
-		results[i] = res
-		mu.Unlock()
-		return nil
-	}); err != nil {
+	jobs := make([]BatchJob, len(pairs))
+	for i, p := range pairs {
+		jobs[i] = BatchJob{Cfg: sim.SharedTLBConfig(), Names: []string{p.A, p.B}}
+	}
+	results, err := h.RunBatch(jobs)
+	if err != nil {
 		return nil, err
 	}
 	var tshare, tlat, dlat []float64

@@ -15,51 +15,54 @@ import (
 
 	"masksim/internal/engine"
 	"masksim/internal/metrics"
+	"masksim/internal/simcache"
 	"masksim/internal/workload"
 	"masksim/sim"
 )
 
-// Harness runs batches of simulations with caching of alone-run IPCs and a
-// supervised worker pool (independent Simulator instances share no state).
-// Workers recover panics, transient failures are retried once, and every
-// outcome is counted in Stats; a single bad cell degrades the campaign
-// instead of crashing it.
+// Harness runs batches of simulations over a content-addressed result cache
+// and a supervised worker pool (independent Simulator instances share no
+// state). Every Run/RunAlone is memoized by its (config, apps, cycles)
+// fingerprint, so a campaign — or several experiments sharing one Harness —
+// executes each distinct simulation exactly once and shares the completed
+// Results read-only. Workers recover panics, transient failures are retried
+// once, and every outcome is counted in Stats; a single bad cell degrades
+// the campaign instead of crashing it.
 type Harness struct {
 	// Cycles is the simulated length of shared runs; AloneCycles of alone
 	// runs (defaults to Cycles).
 	Cycles      int64
 	AloneCycles int64
-	// Workers bounds concurrent simulations; 0 means GOMAXPROCS. Negative is
-	// rejected by parallel.
+	// Workers bounds concurrently executing simulations across the whole
+	// harness (all experiments sharing it), enforced by a global semaphore;
+	// 0 means GOMAXPROCS. Negative is rejected by parallel.
 	Workers int
 
 	// Ctx supervises every run the harness starts (nil means Background):
 	// cancel it to stop a campaign early.
 	Ctx context.Context
 	// RunTimeout, when positive, bounds each individual run's wall-clock
-	// time via context.WithTimeout.
+	// time via context.WithTimeout (queueing for a worker slot excluded).
 	RunTimeout time.Duration
 
+	// Cache memoizes simulation results by fingerprint. NewHarness installs
+	// an in-memory cache; point it at simcache.New(dir) for on-disk
+	// persistence, or set nil to disable memoization entirely (every request
+	// then simulates afresh).
+	Cache *simcache.Cache
+
+	semOnce sync.Once
+	sem     chan struct{}
+
 	mu       sync.Mutex
-	alone    map[aloneKey]aloneEntry
 	stats    metrics.RunStats
 	failures []*RunError
 }
 
-type aloneKey struct {
-	arch  string
-	app   string
-	cores int
-}
-
-type aloneEntry struct {
-	ipc float64
-	err error
-}
-
-// NewHarness returns a Harness with the given shared-run length.
+// NewHarness returns a Harness with the given shared-run length and a fresh
+// in-memory result cache.
 func NewHarness(cycles int64) *Harness {
-	return &Harness{Cycles: cycles, AloneCycles: cycles, alone: make(map[aloneKey]aloneEntry)}
+	return &Harness{Cycles: cycles, AloneCycles: cycles, Cache: simcache.New("")}
 }
 
 func (h *Harness) workers() int {
@@ -109,10 +112,30 @@ func isTransient(err error) bool {
 	return errors.As(err, &pe)
 }
 
-// attempt runs f once under the harness context and per-run timeout,
-// converting panics into errors.
+// acquire takes one global execution slot, so the total number of
+// simulations running at once stays within Workers no matter how many
+// experiments and batches submit work concurrently.
+func (h *Harness) acquire(ctx context.Context) error {
+	h.semOnce.Do(func() { h.sem = make(chan struct{}, h.workers()) })
+	select {
+	case h.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (h *Harness) release() { <-h.sem }
+
+// attempt runs f once under the harness context, a global execution slot and
+// the per-run timeout, converting panics into errors. The timeout clock
+// starts after slot acquisition so it measures the run, not the queue.
 func (h *Harness) attempt(f func(ctx context.Context) (*sim.Results, error)) (res *sim.Results, err error) {
 	ctx := h.ctx()
+	if err := h.acquire(ctx); err != nil {
+		return nil, err
+	}
+	defer h.release()
 	if h.RunTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, h.RunTimeout)
@@ -160,28 +183,54 @@ func (h *Harness) supervised(label string, f func(ctx context.Context) (*sim.Res
 	return res, re
 }
 
-// Run simulates the named benchmarks under cfg for h.Cycles, supervised.
+// Run simulates the named benchmarks under cfg for h.Cycles, supervised and
+// memoized: a second request for the same (config, apps, cycles) fingerprint
+// — from any experiment sharing this Harness — returns the first run's
+// Results without simulating. The returned Results are shared; treat them as
+// read-only.
 func (h *Harness) Run(cfg sim.Config, names []string) (*sim.Results, error) {
 	label := fmt.Sprintf("run(%s, %v)", cfg.Name, names)
-	return h.supervised(label, func(ctx context.Context) (*sim.Results, error) {
-		return sim.Run(ctx, cfg, names, h.Cycles)
-	})
+	exec := func() (*sim.Results, error) {
+		return h.supervised(label, func(ctx context.Context) (*sim.Results, error) {
+			return sim.Run(ctx, cfg, names, h.Cycles)
+		})
+	}
+	if h.Cache == nil || !simcache.Cacheable(cfg) {
+		return exec()
+	}
+	return h.Cache.Do(simcache.RunKey(cfg, names, h.Cycles), exec)
 }
 
 // RunAlone measures one app with uncontended resources for h.AloneCycles,
-// supervised.
+// supervised and memoized like Run.
 func (h *Harness) RunAlone(cfg sim.Config, app string, cores int) (*sim.Results, error) {
 	label := fmt.Sprintf("alone(%s, %s, %d cores)", cfg.Name, app, cores)
-	return h.supervised(label, func(ctx context.Context) (*sim.Results, error) {
-		return sim.RunAlone(ctx, cfg, app, cores, h.AloneCycles)
-	})
+	exec := func() (*sim.Results, error) {
+		return h.supervised(label, func(ctx context.Context) (*sim.Results, error) {
+			return sim.RunAlone(ctx, cfg, app, cores, h.AloneCycles)
+		})
+	}
+	if h.Cache == nil || !simcache.Cacheable(cfg) {
+		return exec()
+	}
+	return h.Cache.Do(simcache.AloneKey(cfg, app, cores, h.AloneCycles), exec)
 }
 
-// Stats returns a snapshot of the campaign's run accounting.
+// Stats returns a snapshot of the campaign's run accounting, including the
+// result-cache counters.
 func (h *Harness) Stats() metrics.RunStats {
 	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.stats
+	s := h.stats
+	h.mu.Unlock()
+	if h.Cache != nil {
+		cs := h.Cache.Stats()
+		s.CacheRequests = cs.Requests
+		s.CacheHits = cs.Hits
+		s.CacheInflightWaits = cs.InflightWaits
+		s.CacheMisses = cs.Misses
+		s.DiskHits = cs.DiskHits
+	}
+	return s
 }
 
 // Failures returns the recorded per-run failures, in occurrence order.
@@ -243,51 +292,30 @@ func (h *Harness) parallel(n int, fn func(i int) error) error {
 	return nil
 }
 
-// archKey identifies the platform (not the TLB design) so alone-run IPCs are
-// shared between configurations of the same machine.
-func archKey(cfg sim.Config) string {
-	return fmt.Sprintf("c%d-w%d-l2tlb%d-pg%d-ch%d-l2%d",
-		cfg.Cores, cfg.WarpsPerCore, cfg.L2TLBEntries, cfg.PageSize,
-		cfg.DRAM.Channels, cfg.L2Cache.SizeBytes)
-}
-
 // AloneIPC returns the paper's IPC_alone for app on cores cores of the
-// aloneCfg platform, caching results (including failures, so a broken alone
-// run is not retried for every dependent cell). Alone runs use the SharedTLB
-// design of the same platform with full (unpartitioned) resources.
+// aloneCfg platform. The underlying run is memoized in the result cache —
+// including failures, so a broken alone run is not retried for every
+// dependent cell. Alone runs use the SharedTLB design of the same platform
+// with full (unpartitioned) resources.
 func (h *Harness) AloneIPC(aloneCfg sim.Config, app string, cores int) (float64, error) {
-	key := aloneKey{archKey(aloneCfg), app, cores}
-	h.mu.Lock()
-	e, ok := h.alone[key]
-	h.mu.Unlock()
-	if ok {
-		return e.ipc, e.err
-	}
 	cfg := aloneCfg
 	cfg.Static = false
 	cfg.Ideal = false
 	cfg.Mask = sim.Mechanisms{}
 	cfg.Design = sim.DesignSharedTLB
 	res, err := h.RunAlone(cfg, app, cores)
-	if err == nil {
-		e = aloneEntry{ipc: res.Apps[0].IPC}
-	} else {
-		e = aloneEntry{err: err}
+	if err != nil {
+		return 0, err
 	}
-	h.mu.Lock()
-	// First writer wins so concurrent computations of the same key agree.
-	if prev, ok := h.alone[key]; ok {
-		e = prev
-	} else {
-		h.alone[key] = e
-	}
-	h.mu.Unlock()
-	return e.ipc, e.err
+	return res.Apps[0].IPC, nil
 }
 
 // WarmAlone precomputes alone IPCs for every app of the given pairs in
-// parallel. Individual failures are cached and surface later through the
-// cells that need them; only campaign cancellation is returned.
+// parallel, at both core counts of the pair split — EvenSplit is asymmetric
+// on odd core counts, so app B's alone run at split[1] cores is a distinct
+// simulation that would otherwise execute serially inside the matrix pass.
+// Individual failures are cached and surface later through the cells that
+// need them; only campaign cancellation is returned.
 func (h *Harness) WarmAlone(aloneCfg sim.Config, pairs []workload.Pair) error {
 	seen := map[string]bool{}
 	var apps []string
@@ -301,13 +329,46 @@ func (h *Harness) WarmAlone(aloneCfg sim.Config, pairs []workload.Pair) error {
 	}
 	sort.Strings(apps)
 	split := sim.EvenSplit(aloneCfg.Cores, 2)
-	if err := h.parallel(len(apps), func(i int) error {
-		h.AloneIPC(aloneCfg, apps[i], split[0])
+	coreCounts := []int{split[0]}
+	if split[1] != split[0] {
+		coreCounts = append(coreCounts, split[1])
+	}
+	if err := h.parallel(len(apps)*len(coreCounts), func(i int) error {
+		h.AloneIPC(aloneCfg, apps[i/len(coreCounts)], coreCounts[i%len(coreCounts)])
 		return nil
 	}); err != nil {
 		return err
 	}
 	return h.ctx().Err()
+}
+
+// BatchJob describes one simulation for RunBatch: a shared run of Names
+// under Cfg, or — when Alone is non-empty — an uncontended run of app Alone
+// on Cores cores.
+type BatchJob struct {
+	Cfg   sim.Config
+	Names []string
+	Alone string
+	Cores int
+}
+
+// RunBatch executes the jobs on the worker pool and returns their Results in
+// job order, so experiments submit whole sweeps at once instead of looping
+// over h.Run sequentially. All jobs run to completion; the returned error is
+// the first failed job's (by index), matching what a sequential loop would
+// have returned.
+func (h *Harness) RunBatch(jobs []BatchJob) ([]*sim.Results, error) {
+	results := make([]*sim.Results, len(jobs))
+	err := h.parallel(len(jobs), func(i int) error {
+		var e error
+		if jobs[i].Alone != "" {
+			results[i], e = h.RunAlone(jobs[i].Cfg, jobs[i].Alone, jobs[i].Cores)
+		} else {
+			results[i], e = h.Run(jobs[i].Cfg, jobs[i].Names)
+		}
+		return e
+	})
+	return results, err
 }
 
 // Cell is one (pair, config) measurement. When Err is non-nil the cell

@@ -4,9 +4,11 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"masksim/internal/metrics"
+	"masksim/internal/simcache"
 )
 
 // registration maps experiment IDs to their implementations. Each experiment
@@ -60,31 +62,94 @@ type Options struct {
 	Ctx context.Context
 	// RunTimeout bounds each individual simulation's wall-clock time.
 	RunTimeout time.Duration
+	// CacheDir, when non-empty, persists completed simulation results there
+	// (fingerprint-named JSON entries) and consults them before simulating,
+	// so an interrupted campaign resumes without redoing finished cells.
+	CacheDir string
 }
 
-// Report is the outcome of one experiment: its tables plus the campaign's
-// run accounting and recorded failures.
+// newHarness builds the supervised, cache-backed harness for opt.
+func newHarness(opt Options) *Harness {
+	h := NewHarness(opt.Cycles)
+	h.Workers = opt.Workers
+	h.Ctx = opt.Ctx
+	h.RunTimeout = opt.RunTimeout
+	if opt.CacheDir != "" {
+		h.Cache = simcache.New(opt.CacheDir)
+	}
+	return h
+}
+
+// Report is the outcome of one experiment: its tables plus — when produced
+// by RunReport's per-experiment harness — the run accounting and recorded
+// failures. Campaign reports leave Stats/Failures zero: the shared harness
+// accounts at the campaign level (CampaignReport.Stats).
 type Report struct {
 	ID       string
 	Tables   []*Table
 	Stats    metrics.RunStats
 	Failures []*RunError
+	// Err is the experiment-level failure, if any (campaign use).
+	Err error
 }
 
-// RunReport executes one experiment by ID under the given options. The
-// Report is returned even when err is non-nil, carrying whatever stats and
-// failures accumulated before the error.
+// RunReport executes one experiment by ID over its own harness and cache.
+// The Report is returned even when err is non-nil, carrying whatever stats
+// and failures accumulated before the error.
 func RunReport(id string, opt Options) (*Report, error) {
 	e, ok := registry[id]
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown experiment %q", id)
 	}
-	h := NewHarness(opt.Cycles)
-	h.Workers = opt.Workers
-	h.Ctx = opt.Ctx
-	h.RunTimeout = opt.RunTimeout
+	h := newHarness(opt)
 	tables, err := e.run(h, opt.Full)
-	return &Report{ID: id, Tables: tables, Stats: h.Stats(), Failures: h.Failures()}, err
+	return &Report{ID: id, Tables: tables, Stats: h.Stats(), Failures: h.Failures(), Err: err}, err
+}
+
+// CampaignReport is the outcome of a multi-experiment campaign over one
+// shared harness and result cache.
+type CampaignReport struct {
+	// Reports holds one report per requested ID, in request order — the
+	// deterministic printing order — regardless of completion order.
+	Reports []*Report
+	// Stats is the campaign-wide run accounting, including cache counters.
+	Stats metrics.RunStats
+	// Failures lists every failed simulation, in occurrence order.
+	Failures []*RunError
+}
+
+// RunCampaign executes the given experiment IDs concurrently over ONE shared
+// Harness and result cache, under one global Workers budget. Experiments
+// that request the same (config, apps, cycles) simulation — identical
+// alone-IPC runs, the shared (pair, config) grids — share a single
+// execution, so `maskexp all` scales with the number of distinct
+// simulations, not the number of experiments. Per-experiment errors land in
+// the matching Report.Err; the campaign itself always returns.
+func RunCampaign(ids []string, opt Options) *CampaignReport {
+	h := newHarness(opt)
+	reports := make([]*Report, len(ids))
+	var wg sync.WaitGroup
+	for i, id := range ids {
+		rep := &Report{ID: id}
+		reports[i] = rep
+		e, ok := registry[id]
+		if !ok {
+			rep.Err = fmt.Errorf("experiments: unknown experiment %q", id)
+			continue
+		}
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					rep.Err = fmt.Errorf("experiments: %s panicked: %v", id, r)
+				}
+			}()
+			rep.Tables, rep.Err = e.run(h, opt.Full)
+		}(id)
+	}
+	wg.Wait()
+	return &CampaignReport{Reports: reports, Stats: h.Stats(), Failures: h.Failures()}
 }
 
 // Run executes one experiment by ID with default supervision (no timeout,

@@ -12,6 +12,25 @@ import (
 // sensPairs are the contended pairs the sensitivity studies sweep.
 var sensPairs = []workload.Pair{{A: "3DS", B: "CONS"}, {A: "MM", B: "CONS"}, {A: "RED", B: "BP"}}
 
+// sensJobs appends one shared-run job per contended pair under cfg.
+func sensJobs(jobs []BatchJob, cfg sim.Config) []BatchJob {
+	for _, p := range sensPairs {
+		jobs = append(jobs, BatchJob{Cfg: cfg, Names: []string{p.A, p.B}})
+	}
+	return jobs
+}
+
+// sensMean consumes the next len(sensPairs) results from the batch cursor
+// and returns their mean total IPC.
+func sensMean(results []*sim.Results, i *int) float64 {
+	var xs []float64
+	for range sensPairs {
+		xs = append(xs, results[*i].TotalIPC)
+		*i++
+	}
+	return metrics.Mean(xs)
+}
+
 // SensTLBSize reproduces the §7.3 shared-L2-TLB size sweep: SharedTLB vs
 // MASK from 64 to 8192 entries. The paper finds MASK ahead at every size
 // until the working set fits (8192), where the two converge.
@@ -26,30 +45,26 @@ func SensTLBSize(h *Harness, full bool) (*Table, error) {
 	if !full {
 		sizes = []int{64, 256, 512, 2048, 8192}
 	}
+	sized := func(base sim.Config, size int) sim.Config {
+		base.L2TLBEntries = size
+		if size < base.L2TLBWays {
+			base.L2TLBWays = size
+		}
+		return base
+	}
+	var jobs []BatchJob
 	for _, size := range sizes {
-		run := func(base sim.Config) (float64, error) {
-			base.L2TLBEntries = size
-			if size < base.L2TLBWays {
-				base.L2TLBWays = size
-			}
-			var xs []float64
-			for _, p := range sensPairs {
-				res, err := h.Run(base, []string{p.A, p.B})
-				if err != nil {
-					return 0, err
-				}
-				xs = append(xs, res.TotalIPC)
-			}
-			return metrics.Mean(xs), nil
-		}
-		shared, err := run(sim.SharedTLBConfig())
-		if err != nil {
-			return nil, err
-		}
-		mask, err := run(sim.MASKConfig())
-		if err != nil {
-			return nil, err
-		}
+		jobs = sensJobs(jobs, sized(sim.SharedTLBConfig(), size))
+		jobs = sensJobs(jobs, sized(sim.MASKConfig(), size))
+	}
+	results, err := h.RunBatch(jobs)
+	if err != nil {
+		return nil, err
+	}
+	i := 0
+	for _, size := range sizes {
+		shared := sensMean(results, &i)
+		mask := sensMean(results, &i)
 		t.AddRowf(2, fmt.Sprintf("%d", size), shared, mask, 100*(mask/shared-1))
 	}
 	return t, nil
@@ -65,31 +80,26 @@ func SensPageSize(h *Harness, full bool) (*Table, error) {
 		Note:  "paper: SharedTLB 55.5% of Ideal, MASK 98.2% of Ideal with 2MB pages",
 		Cols:  []string{"pageSize", "SharedTLB/Ideal%", "MASK/Ideal%"},
 	}
-	for _, ps := range []int{pagetable.PageSize4K, pagetable.PageSize2M} {
-		run := func(base sim.Config) (float64, error) {
-			base.PageSize = ps
-			var xs []float64
-			for _, p := range sensPairs {
-				res, err := h.Run(base, []string{p.A, p.B})
-				if err != nil {
-					return 0, err
-				}
-				xs = append(xs, res.TotalIPC)
-			}
-			return metrics.Mean(xs), nil
-		}
-		ideal, err := run(sim.IdealConfig())
-		if err != nil {
-			return nil, err
-		}
-		shared, err := run(sim.SharedTLBConfig())
-		if err != nil {
-			return nil, err
-		}
-		mask, err := run(sim.MASKConfig())
-		if err != nil {
-			return nil, err
-		}
+	pageSizes := []int{pagetable.PageSize4K, pagetable.PageSize2M}
+	paged := func(base sim.Config, ps int) sim.Config {
+		base.PageSize = ps
+		return base
+	}
+	var jobs []BatchJob
+	for _, ps := range pageSizes {
+		jobs = sensJobs(jobs, paged(sim.IdealConfig(), ps))
+		jobs = sensJobs(jobs, paged(sim.SharedTLBConfig(), ps))
+		jobs = sensJobs(jobs, paged(sim.MASKConfig(), ps))
+	}
+	results, err := h.RunBatch(jobs)
+	if err != nil {
+		return nil, err
+	}
+	i := 0
+	for _, ps := range pageSizes {
+		ideal := sensMean(results, &i)
+		shared := sensMean(results, &i)
+		mask := sensMean(results, &i)
 		t.AddRowf(1, fmt.Sprintf("%dKB", ps>>10), 100*shared/ideal, 100*mask/ideal)
 	}
 	return t, nil
@@ -113,27 +123,23 @@ func SensMemPolicy(h *Harness, full bool) (*Table, error) {
 		{"FR-FCFS/closed-row", func(c *sim.Config) { c.DRAM.ClosedRowPolicy = true }},
 		{"FCFS/open-row", func(c *sim.Config) { c.FCFSSched = true }},
 	}
+	varied := func(base sim.Config, mut func(*sim.Config)) sim.Config {
+		mut(&base)
+		return base
+	}
+	var jobs []BatchJob
 	for _, v := range variants {
-		run := func(base sim.Config) (float64, error) {
-			v.mut(&base)
-			var xs []float64
-			for _, p := range sensPairs {
-				res, err := h.Run(base, []string{p.A, p.B})
-				if err != nil {
-					return 0, err
-				}
-				xs = append(xs, res.TotalIPC)
-			}
-			return metrics.Mean(xs), nil
-		}
-		shared, err := run(sim.SharedTLBConfig())
-		if err != nil {
-			return nil, err
-		}
-		mask, err := run(sim.MASKConfig())
-		if err != nil {
-			return nil, err
-		}
+		jobs = sensJobs(jobs, varied(sim.SharedTLBConfig(), v.mut))
+		jobs = sensJobs(jobs, varied(sim.MASKConfig(), v.mut))
+	}
+	results, err := h.RunBatch(jobs)
+	if err != nil {
+		return nil, err
+	}
+	i := 0
+	for _, v := range variants {
+		shared := sensMean(results, &i)
+		mask := sensMean(results, &i)
 		t.AddRowf(2, v.name, shared, mask, 100*(mask/shared-1))
 	}
 	return t, nil

@@ -20,30 +20,25 @@ func Tab3(h *Harness, full bool) (*Table, error) {
 		Note:  "paper: SharedTLB 47.1%..33.1%, MASK 68.5%..52.9% for 1..5 apps",
 		Cols:  []string{"apps", "SharedTLB/Ideal%", "MASK/Ideal%"},
 	}
+	cfgNames := []string{"Ideal", "SharedTLB", "MASK"}
+	var jobs []BatchJob
 	for n := 1; n <= 5; n++ {
-		names := appPool[:n]
-		run := func(cfgName string) (float64, error) {
+		for _, cfgName := range cfgNames {
 			cfg, _ := sim.ConfigByName(cfgName)
-			res, err := h.Run(cfg, names)
-			if err != nil {
-				return 0, err
-			}
-			// Total IPC is the cross-config comparable quantity here; the
-			// paper normalizes each design's throughput to Ideal's.
-			return res.TotalIPC, nil
+			jobs = append(jobs, BatchJob{Cfg: cfg, Names: appPool[:n]})
 		}
-		ideal, err := run("Ideal")
-		if err != nil {
-			return nil, err
-		}
-		shared, err := run("SharedTLB")
-		if err != nil {
-			return nil, err
-		}
-		mask, err := run("MASK")
-		if err != nil {
-			return nil, err
-		}
+	}
+	results, err := h.RunBatch(jobs)
+	if err != nil {
+		return nil, err
+	}
+	for n := 1; n <= 5; n++ {
+		// Total IPC is the cross-config comparable quantity here; the paper
+		// normalizes each design's throughput to Ideal's.
+		base := (n - 1) * len(cfgNames)
+		ideal := results[base].TotalIPC
+		shared := results[base+1].TotalIPC
+		mask := results[base+2].TotalIPC
 		t.AddRowf(1, fmt.Sprintf("%d", n), 100*shared/ideal, 100*mask/ideal)
 	}
 	return t, nil

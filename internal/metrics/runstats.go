@@ -18,6 +18,22 @@ type RunStats struct {
 	Aborted uint64
 	// Retried counts transient failures that were retried once.
 	Retried uint64
+
+	// CacheRequests counts simulation requests that consulted the campaign
+	// result cache (internal/simcache). Attempted only counts the requests
+	// that actually executed, so CacheRequests - Attempted is the number of
+	// simulations memoization saved.
+	CacheRequests uint64
+	// CacheHits counts requests served from an already-completed cache entry.
+	CacheHits uint64
+	// CacheInflightWaits counts requests that joined an in-flight computation
+	// of the same fingerprint (single-flight dedup).
+	CacheInflightWaits uint64
+	// CacheMisses counts requests that had to produce their cache entry.
+	CacheMisses uint64
+	// DiskHits counts misses resolved from the on-disk cache (-cache-dir)
+	// without simulating.
+	DiskHits uint64
 }
 
 // Merge accumulates o into s.
@@ -27,6 +43,11 @@ func (s *RunStats) Merge(o RunStats) {
 	s.Failed += o.Failed
 	s.Aborted += o.Aborted
 	s.Retried += o.Retried
+	s.CacheRequests += o.CacheRequests
+	s.CacheHits += o.CacheHits
+	s.CacheInflightWaits += o.CacheInflightWaits
+	s.CacheMisses += o.CacheMisses
+	s.DiskHits += o.DiskHits
 }
 
 // FailureFrac returns Failed/Attempted, or 0 when nothing was attempted.
@@ -37,8 +58,14 @@ func (s RunStats) FailureFrac() float64 {
 	return float64(s.Failed) / float64(s.Attempted)
 }
 
-// String renders a one-line campaign summary.
+// String renders a one-line campaign summary. The cache section appears only
+// when the campaign consulted a result cache.
 func (s RunStats) String() string {
-	return fmt.Sprintf("runs: attempted=%d completed=%d failed=%d aborted=%d retried=%d",
+	out := fmt.Sprintf("runs: attempted=%d completed=%d failed=%d aborted=%d retried=%d",
 		s.Attempted, s.Completed, s.Failed, s.Aborted, s.Retried)
+	if s.CacheRequests > 0 {
+		out += fmt.Sprintf(" cache: requests=%d hits=%d inflight=%d misses=%d disk=%d",
+			s.CacheRequests, s.CacheHits, s.CacheInflightWaits, s.CacheMisses, s.DiskHits)
+	}
+	return out
 }

@@ -1,0 +1,57 @@
+package simcache
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+
+	"masksim/sim"
+)
+
+// keyVersion is folded into every fingerprint so that a change to the
+// canonical encoding (or to the meaning of a Config field) invalidates old
+// on-disk entries instead of silently resurrecting stale results.
+const keyVersion = "v1"
+
+// Cacheable reports whether a run under cfg may be memoized. Fault-injected
+// runs are excluded: a Plan carries mutable counters and exists precisely to
+// exercise the supervision path, which serving a cached result would mask.
+func Cacheable(cfg sim.Config) bool { return cfg.FaultPlan == nil }
+
+// configString renders cfg in a canonical, content-only form.
+//
+// Name is presentation metadata — the simulation ignores it (it only flows
+// into Results.Config, which no experiment table prints) — so it is excluded:
+// identically-configured runs registered under different display names share
+// one simulation. FaultPlan is cleared because Cacheable gates it out before
+// any key is computed; clearing keeps the %+v rendering free of pointer
+// addresses either way.
+func configString(cfg sim.Config) string {
+	cfg.Name = ""
+	cfg.FaultPlan = nil
+	return fmt.Sprintf("%+v", cfg)
+}
+
+// RunKey fingerprints a shared multi-application run: sim.Run of names under
+// cfg for cycles.
+func RunKey(cfg sim.Config, names []string, cycles int64) string {
+	return fingerprint("run", cfg, strings.Join(names, ","), cycles)
+}
+
+// AloneKey fingerprints an uncontended single-application run: sim.RunAlone
+// of app on cores cores under cfg for cycles.
+func AloneKey(cfg sim.Config, app string, cores int, cycles int64) string {
+	// sim.RunAlone never partitions resources; normalize so direct RunAlone
+	// callers and AloneIPC agree on the key.
+	cfg.Static = false
+	return fingerprint("alone", cfg, fmt.Sprintf("%s/%d", app, cores), cycles)
+}
+
+// fingerprint hashes the canonical description of one simulation into a
+// stable hex key (also used as the on-disk entry name).
+func fingerprint(kind string, cfg sim.Config, apps string, cycles int64) string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("%s|%s|apps=%s|cycles=%d|cfg=%s",
+		keyVersion, kind, apps, cycles, configString(cfg))))
+	return hex.EncodeToString(sum[:])
+}

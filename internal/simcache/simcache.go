@@ -1,0 +1,205 @@
+// Package simcache is the campaign-wide, content-addressed simulation result
+// cache behind the experiments harness. A run is identified by a
+// deterministic fingerprint of its full sim.Config (minus presentation
+// metadata), application list and cycle budget; requesting the same
+// fingerprint twice — from the same experiment or from two different
+// experiments sharing one Cache — executes the simulation once and shares the
+// completed *sim.Results read-only.
+//
+// Memoization is single-flight: concurrent requests for one key block on the
+// single execution instead of racing to duplicate it. Failures are memoized
+// too, so a broken run surfaces once instead of being retried by every
+// dependent cell.
+//
+// An optional on-disk layer (New with a non-empty dir) persists successful
+// results as fingerprint-named JSON entries, written atomically, letting an
+// interrupted campaign resume without redoing completed cells. Corrupt or
+// version-mismatched entries are rejected and recomputed.
+package simcache
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"masksim/sim"
+)
+
+// Stats counts cache traffic. Requests = Hits + InflightWaits + Misses;
+// simulations actually executed = Misses - DiskHits.
+type Stats struct {
+	// Requests counts lookups.
+	Requests uint64
+	// Hits counts requests served from an already-completed entry.
+	Hits uint64
+	// InflightWaits counts requests that joined a computation already running
+	// for the same key (single-flight dedup).
+	InflightWaits uint64
+	// Misses counts requests that became the executing leader for their key.
+	Misses uint64
+	// DiskHits counts misses resolved from the on-disk cache without
+	// simulating.
+	DiskHits uint64
+	// DiskWrites counts entries persisted to the on-disk cache.
+	DiskWrites uint64
+	// DiskErrors counts unreadable, corrupt or unwritable disk entries; they
+	// are non-fatal (the run is recomputed or simply not persisted).
+	DiskErrors uint64
+}
+
+// Cache memoizes simulation results by fingerprint. The zero value is not
+// usable; construct with New.
+type Cache struct {
+	dir string
+
+	mu      sync.Mutex
+	entries map[string]*entry
+	stats   Stats
+}
+
+// entry is one key's slot: done closes when res/err are final.
+type entry struct {
+	done chan struct{}
+	res  *sim.Results
+	err  error
+}
+
+// New returns an empty cache. A non-empty dir enables the persistent layer:
+// successful results are written there and consulted before simulating.
+func New(dir string) *Cache {
+	return &Cache{dir: dir, entries: make(map[string]*entry)}
+}
+
+// Dir returns the on-disk cache directory ("" when persistence is disabled).
+func (c *Cache) Dir() string { return c.dir }
+
+// Do returns the memoized outcome for key, computing it with run on first
+// request. Concurrent callers of the same key block on the one execution;
+// every caller gets the same *sim.Results (shared read-only) and the same
+// error. Failures are memoized for the lifetime of the Cache.
+func (c *Cache) Do(key string, run func() (*sim.Results, error)) (*sim.Results, error) {
+	c.mu.Lock()
+	c.stats.Requests++
+	if e, ok := c.entries[key]; ok {
+		select {
+		case <-e.done:
+			c.stats.Hits++
+			c.mu.Unlock()
+		default:
+			c.stats.InflightWaits++
+			c.mu.Unlock()
+			<-e.done
+		}
+		return e.res, e.err
+	}
+	e := &entry{done: make(chan struct{})}
+	c.entries[key] = e
+	c.stats.Misses++
+	c.mu.Unlock()
+
+	defer close(e.done)
+	if res, ok := c.loadDisk(key); ok {
+		e.res = res
+		return e.res, nil
+	}
+	e.res, e.err = func() (res *sim.Results, err error) {
+		// The harness recovers panics itself; this guard only keeps a
+		// panicking run func from wedging every waiter on e.done.
+		defer func() {
+			if r := recover(); r != nil {
+				res, err = nil, fmt.Errorf("simcache: run panicked: %v", r)
+			}
+		}()
+		return run()
+	}()
+	if e.err == nil && e.res != nil && !e.res.Aborted {
+		c.storeDisk(key, e.res)
+	}
+	return e.res, e.err
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// diskEntry is the persisted form of one completed run.
+type diskEntry struct {
+	Version int
+	Key     string
+	Results *sim.Results
+}
+
+// diskVersion invalidates persisted entries when their encoding changes.
+const diskVersion = 1
+
+// path names the on-disk entry for key.
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}
+
+// loadDisk tries to resolve key from the persistent layer. Any defect —
+// unreadable file, bad JSON, version or key mismatch — rejects the entry and
+// falls back to simulating (which then overwrites it).
+func (c *Cache) loadDisk(key string) (*sim.Results, bool) {
+	if c.dir == "" {
+		return nil, false
+	}
+	b, err := os.ReadFile(c.path(key))
+	if err != nil {
+		if !os.IsNotExist(err) {
+			c.countDiskError()
+		}
+		return nil, false
+	}
+	var de diskEntry
+	if err := json.Unmarshal(b, &de); err != nil ||
+		de.Version != diskVersion || de.Key != key || de.Results == nil {
+		c.countDiskError()
+		return nil, false
+	}
+	c.mu.Lock()
+	c.stats.DiskHits++
+	c.mu.Unlock()
+	return de.Results, true
+}
+
+// storeDisk persists a successful result atomically (temp file + rename), so
+// an interrupted write can never leave a half-entry that parses.
+func (c *Cache) storeDisk(key string, res *sim.Results) {
+	if c.dir == "" {
+		return
+	}
+	b, err := json.Marshal(diskEntry{Version: diskVersion, Key: key, Results: res})
+	if err != nil {
+		c.countDiskError()
+		return
+	}
+	if err := os.MkdirAll(c.dir, 0o755); err != nil {
+		c.countDiskError()
+		return
+	}
+	tmp := c.path(key) + ".tmp"
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		c.countDiskError()
+		return
+	}
+	if err := os.Rename(tmp, c.path(key)); err != nil {
+		os.Remove(tmp)
+		c.countDiskError()
+		return
+	}
+	c.mu.Lock()
+	c.stats.DiskWrites++
+	c.mu.Unlock()
+}
+
+func (c *Cache) countDiskError() {
+	c.mu.Lock()
+	c.stats.DiskErrors++
+	c.mu.Unlock()
+}
