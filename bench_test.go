@@ -118,3 +118,67 @@ func benchTelemetry(b *testing.B, epoch int64) {
 
 func BenchmarkTelemetryDisabled(b *testing.B) { benchTelemetry(b, 0) }
 func BenchmarkTelemetryEnabled(b *testing.B)  { benchTelemetry(b, 1000) }
+
+// benchFastForward measures event-horizon fast-forward on the TLB-miss-heavy
+// MUM+GUP pair with demand paging: major faults drain the whole machine for
+// tens of thousands of cycles at a time, so almost the entire run is globally
+// quiescent and skippable. Results are bit-identical either way
+// (TestFastForwardEquivalence); only the cycles-ticked count and the
+// wall-clock change.
+func benchFastForward(b *testing.B, ff bool) {
+	b.ReportAllocs()
+	var ticked, skipped int64
+	for i := 0; i < b.N; i++ {
+		cfg := SharedTLBConfig()
+		cfg.FastForward = ff
+		cfg.DemandPaging = true
+		res, err := Run(context.Background(), cfg, []string{"MUM", "GUP"}, 100_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ticked, skipped = res.CyclesTicked, res.CyclesSkipped
+	}
+	b.ReportMetric(float64(ticked), "cycles-ticked")
+	b.ReportMetric(float64(ticked+skipped), "cycles-simulated")
+}
+
+func BenchmarkFastForwardOn(b *testing.B)  { benchFastForward(b, true) }
+func BenchmarkFastForwardOff(b *testing.B) { benchFastForward(b, false) }
+
+// benchFastForwardSaturated bounds the horizon-scan overhead in the regime
+// fast-forward cannot help: the contended MASK pair ticks nearly every cycle
+// (64 concurrent walks keep the L2 cache and DRAM busy), so the on/off delta
+// here is the pure cost of probing every component's NextEvent per cycle.
+func benchFastForwardSaturated(b *testing.B, ff bool) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := MASKConfig()
+		cfg.FastForward = ff
+		if _, err := Run(context.Background(), cfg, []string{"3DS", "CONS"}, benchCycles); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFastForwardSaturatedOn(b *testing.B)  { benchFastForwardSaturated(b, true) }
+func BenchmarkFastForwardSaturatedOff(b *testing.B) { benchFastForwardSaturated(b, false) }
+
+// TestAllocBudgetFastForwardOff re-runs the allocation gate with fast-forward
+// disabled: the -no-fastforward escape hatch must not regress allocation
+// behaviour either (TestAllocBudget covers the default fast-forward path).
+func TestAllocBudgetFastForwardOff(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation gate skipped in -short mode")
+	}
+	allocs := testing.AllocsPerRun(1, func() {
+		cfg := MASKConfig()
+		cfg.FastForward = false
+		if _, err := Run(context.Background(), cfg, []string{"3DS", "CONS"}, benchCycles); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > allocBudget {
+		t.Fatalf("simulator kernel (fast-forward off) allocated %.0f objects per run, budget is %d",
+			allocs, allocBudget)
+	}
+}

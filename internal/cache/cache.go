@@ -20,6 +20,7 @@ package cache
 import (
 	"fmt"
 
+	"masksim/internal/engine"
 	"masksim/internal/memreq"
 )
 
@@ -54,6 +55,44 @@ type Config struct {
 	// block storing to the same lines must not multiply downstream
 	// bandwidth. 0 disables combining.
 	WriteCombineWindow int64
+	// Arena, when non-nil, supplies the backing storage for the line array
+	// from a shared batch allocation (see LineArena). Nil allocates privately.
+	Arena *LineArena
+}
+
+// LineArena batch-allocates cache line arrays: the simulator sizes one arena
+// for every cache it will build (ArenaLines sums the geometry), and each
+// cache's New carves its line slice out of it with a full-capacity reslice,
+// so neighbouring caches cannot append into each other's storage. One
+// construction-time allocation replaces one per cache, which matters for
+// short runs and large campaign sweeps. An exhausted (or nil) arena falls
+// back to private allocation.
+type LineArena struct {
+	lines []line
+}
+
+// NewLineArena returns an arena with capacity for totalLines cache lines.
+func NewLineArena(totalLines int) *LineArena {
+	return &LineArena{lines: make([]line, totalLines)}
+}
+
+// take carves n lines off the arena, or allocates privately when the arena is
+// nil or short.
+func (a *LineArena) take(n int) []line {
+	if a == nil || len(a.lines) < n {
+		return make([]line, n)
+	}
+	out := a.lines[:n:n]
+	a.lines = a.lines[n:]
+	return out
+}
+
+// ArenaLines returns the number of lines New will allocate for a cache with
+// the given geometry, mirroring New's sets*ways rounding, so callers can size
+// a shared LineArena exactly.
+func ArenaLines(sizeBytes, lineSize, ways int) int {
+	numLines := sizeBytes / lineSize
+	return (numLines / ways) * ways
 }
 
 // Stats aggregates hit/miss counters for one traffic class. Translation
@@ -227,7 +266,7 @@ func New(cfg Config, backend Backend) *Cache {
 		cfg:         cfg,
 		lineShift:   shift,
 		sets:        sets,
-		lines:       make([]line, sets*cfg.Ways),
+		lines:       cfg.Arena.take(sets * cfg.Ways),
 		backend:     backend,
 		queues:      make([]bankQueue, cfg.Banks),
 		mshrs:       make(map[uint64]*mshr),
@@ -410,6 +449,59 @@ func (c *Cache) Tick(now int64) {
 			served++
 		}
 	}
+}
+
+// NextEvent implements engine.EventSource: the cache must be ticked when it
+// has rejected submissions to retry, and otherwise no earlier than the head
+// of its earliest-ready bank queue. Bank queues are strict FIFOs serviced
+// only from the front, so nothing behind the head can be served sooner than
+// the head's ready cycle even if its own readyAt is smaller (the MSHR-full
+// re-enqueue path produces such items). MSHR fills are completion callbacks
+// driven by the backend's ticks, and write-combine window swaps are replayed
+// exactly by SkipTo, so neither forces a wakeup.
+func (c *Cache) NextEvent(now int64) int64 {
+	if len(c.retry) > 0 {
+		return now
+	}
+	h := engine.NoEvent
+	for b := range c.queues {
+		q := &c.queues[b]
+		if q.n > 0 {
+			if r := q.front().readyAt; r < h {
+				h = r
+			}
+		}
+	}
+	return h
+}
+
+// SkipTo implements engine.Skipper: replay the write-combine generation swaps
+// Tick would have performed at each window boundary inside [from, to). No
+// stores arrive during a skipped span (the whole system is quiescent), so
+// each boundary's effect is mechanical: swap the generation sets and clear
+// the new current one. Two or more boundaries leave both sets empty; the
+// parity swap keeps even map identity equal to the single-stepped run.
+//
+// combineSwapAt >= from holds on entry: the tick at from-1 either performed a
+// swap (setting combineSwapAt = from-1+window > from-1) or found
+// combineSwapAt > from-1 already.
+func (c *Cache) SkipTo(from, to int64) {
+	w := c.cfg.WriteCombineWindow
+	if w <= 0 || c.combineSwapAt >= to {
+		return
+	}
+	n := (to-1-c.combineSwapAt)/w + 1 // boundaries combineSwapAt + k*w < to
+	if n == 1 {
+		c.combineCur, c.combinePrev = c.combinePrev, c.combineCur
+		clear(c.combineCur)
+	} else {
+		clear(c.combineCur)
+		clear(c.combinePrev)
+		if n%2 == 1 {
+			c.combineCur, c.combinePrev = c.combinePrev, c.combineCur
+		}
+	}
+	c.combineSwapAt += n * w
 }
 
 func (c *Cache) service(now int64, r *memreq.Request) {

@@ -10,6 +10,7 @@
 package dram
 
 import (
+	"masksim/internal/engine"
 	"masksim/internal/memreq"
 )
 
@@ -59,10 +60,14 @@ func DefaultConfig() Config {
 
 // Scheduler selects the next request to service on a channel. Enqueue may
 // refuse (queue full). Pick must return a request whose bank is ready at
-// now, or nil.
+// now, or nil. NextReady reports the earliest cycle >= now at which Pick
+// could possibly return non-nil (engine.NoEvent when the queue is empty); it
+// may be conservatively early but never late, so the engine can fast-forward
+// over spans in which the channel provably stays idle.
 type Scheduler interface {
 	Enqueue(now int64, q *Queued) bool
 	Pick(now int64, banks []Bank) *Queued
+	NextReady(now int64, banks []Bank) int64
 	Len() int
 }
 
@@ -302,6 +307,36 @@ func (d *DRAM) Tick(now int64) {
 			d.perAppBus[app] += uint64(d.cfg.BusCycles)
 		}
 	}
+}
+
+// NextEvent implements engine.EventSource: the minimum over channels of the
+// earliest in-flight completion and the scheduler's earliest possible issue.
+// Fault-injection drop hooks need no special case — they are consulted at
+// completion cycles, which are exactly the cycles this horizon wakes.
+func (d *DRAM) NextEvent(now int64) int64 {
+	h := engine.NoEvent
+	for i := range d.channels {
+		ch := &d.channels[i]
+		for _, q := range ch.inflight {
+			if q.finish < h {
+				h = q.finish
+			}
+		}
+		if g := ch.sched.NextReady(now, ch.banks); g < h {
+			h = g
+		}
+		if h <= now {
+			return now
+		}
+	}
+	return h
+}
+
+// SkipTo implements engine.Skipper: Tick stamps lastCycle on every cycle (it
+// feeds BandwidthUtil's elapsed-time denominator), so a skipped span must
+// leave the same stamp the tick at to-1 would have.
+func (d *DRAM) SkipTo(from, to int64) {
+	d.lastCycle = to - 1
 }
 
 // SetDropHook installs a fault-injection hook consulted when a transfer

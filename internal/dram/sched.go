@@ -1,6 +1,28 @@
 package dram
 
-import "masksim/internal/memreq"
+import (
+	"masksim/internal/engine"
+	"masksim/internal/memreq"
+)
+
+// nextReadySched returns the earliest cycle >= now at which some request in
+// queue could have a ready bank: now if any already does, the minimum bank
+// ReadyAt otherwise, engine.NoEvent for an empty queue. This is deliberately
+// conservative (early): a policy may decline to pick even with a ready bank
+// (MASKSched's golden-age deferral), but every such deferral resolves through
+// either a row-hit service or pure aging, both of which require ticking —
+// and a ready bank forces "now" here, so those cycles are never skipped.
+func nextReadySched(queue []*Queued, now int64, banks []Bank) int64 {
+	h := engine.NoEvent
+	for _, q := range queue {
+		if r := banks[q.Bank].ReadyAt; r <= now {
+			return now
+		} else if r < h {
+			h = r
+		}
+	}
+	return h
+}
 
 // FRFCFS is the baseline First-Ready, First-Come-First-Served scheduler
 // (Rixner et al. / Zuravleff & Robinson): among requests whose bank is ready,
@@ -44,6 +66,11 @@ func (s *FRFCFS) remove(idx int) *Queued {
 	copy(s.queue[idx:], s.queue[idx+1:])
 	s.queue = s.queue[:len(s.queue)-1]
 	return q
+}
+
+// NextReady implements Scheduler.
+func (s *FRFCFS) NextReady(now int64, banks []Bank) int64 {
+	return nextReadySched(s.queue, now, banks)
 }
 
 // pickFRFCFS returns the index of the FR-FCFS choice in queue, or -1.
@@ -258,6 +285,26 @@ func (s *MASKSched) Pick(now int64, banks []Bank) *Queued {
 	return nil
 }
 
+// NextReady implements Scheduler: the minimum over the three queues. The
+// helper's conservatism covers golden-age deferral: a deferred golden request
+// implies its bank is ready, which already pins the horizon to now.
+func (s *MASKSched) NextReady(now int64, banks []Bank) int64 {
+	h := nextReadySched(s.golden, now, banks)
+	if h == now {
+		return now
+	}
+	if g := nextReadySched(s.silver, now, banks); g < h {
+		h = g
+	}
+	if h == now {
+		return now
+	}
+	if g := nextReadySched(s.normal, now, banks); g < h {
+		h = g
+	}
+	return h
+}
+
 func (s *MASKSched) removeSilver(idx int) *Queued {
 	q := s.silver[idx]
 	copy(s.silver[idx:], s.silver[idx+1:])
@@ -320,6 +367,11 @@ func (s *FCFS) Enqueue(now int64, q *Queued) bool {
 
 // Len implements Scheduler.
 func (s *FCFS) Len() int { return len(s.queue) }
+
+// NextReady implements Scheduler.
+func (s *FCFS) NextReady(now int64, banks []Bank) int64 {
+	return nextReadySched(s.queue, now, banks)
+}
 
 // Pick implements Scheduler: the oldest request whose bank is ready.
 func (s *FCFS) Pick(now int64, banks []Bank) *Queued {

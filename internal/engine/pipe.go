@@ -75,6 +75,24 @@ func (p *Pipe[T]) Peek(now int64) (T, bool) {
 	return p.items[0].value, true
 }
 
+// NextReady returns the earliest cycle >= now at which a Pop could deliver an
+// item: now if the head is already ready, the head's arrival cycle otherwise,
+// NoEvent if the pipe is empty. With a stall hook installed it returns now —
+// the hook's future answers are unknowable, so the consumer must be ticked
+// every cycle (fault-injection runs trade fast-forward for the hook).
+func (p *Pipe[T]) NextReady(now int64) int64 {
+	if p.stall != nil {
+		return now
+	}
+	if len(p.items) == 0 {
+		return NoEvent
+	}
+	if r := p.items[0].readyAt; r > now {
+		return r
+	}
+	return now
+}
+
 // Len returns the number of in-flight items (ready or not).
 func (p *Pipe[T]) Len() int {
 	return len(p.items)

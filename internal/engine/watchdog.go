@@ -170,7 +170,35 @@ func (e *Engine) RunContext(ctx context.Context, n int64, wd *Watchdog) error {
 		return fmt.Errorf("engine: run canceled at cycle %d: %w", e.now, err)
 	}
 	end := e.now + n
+	ff := e.fastForward && e.allSources
 	for e.now < end {
+		if ff {
+			// Cap each jump at the next watchdog checkpoint so supervision
+			// observes the same cycle numbers as a single-stepped run: a
+			// wedged simulation whose components all report NoEvent still
+			// hits every checkpoint with frozen progress counters and aborts
+			// at the identical cycle, while a healthy jump lands exactly on
+			// the checkpoints it crosses (a skipped span has no progress by
+			// construction, so checks there see what single-stepping would).
+			limit := end
+			if wd != nil {
+				if next := (e.now/wd.CheckEvery + 1) * wd.CheckEvery; next < limit {
+					limit = next
+				}
+			}
+			if h := e.nextHorizon(limit); h > e.now {
+				e.skipTo(h)
+				if err := ctx.Err(); err != nil {
+					return fmt.Errorf("engine: run canceled at cycle %d: %w", e.now, err)
+				}
+				if wd != nil && e.now%wd.CheckEvery == 0 {
+					if err := wd.check(e.now); err != nil {
+						return err
+					}
+				}
+				continue
+			}
+		}
 		e.Step()
 		if e.now%ctxPollEvery == 0 {
 			if err := ctx.Err(); err != nil {

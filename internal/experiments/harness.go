@@ -171,6 +171,10 @@ func (h *Harness) supervised(label string, f func(ctx context.Context) (*sim.Res
 	defer h.mu.Unlock()
 	if err == nil {
 		h.stats.Completed++
+		if res != nil {
+			h.stats.CyclesSimulated += uint64(res.Cycles)
+			h.stats.CyclesTicked += uint64(res.CyclesTicked)
+		}
 		return res, nil
 	}
 	h.stats.Failed++

@@ -13,6 +13,7 @@ package gpu
 
 import (
 	"masksim/internal/cache"
+	"masksim/internal/engine"
 	"masksim/internal/memreq"
 	"masksim/internal/workload"
 )
@@ -229,6 +230,55 @@ func (c *Core) Tick(now int64) {
 		return
 	}
 	c.issue(now, w)
+}
+
+// NextEvent implements engine.EventSource. The core is quiescent exactly when
+// an immediate Tick would take the idle path: nothing queued for retry and no
+// warp both ready and issuable. A blocked core cannot wake itself — warps
+// unblock through translation/data callbacks fired by other components'
+// ticks, and group-sync barriers (workload.GroupSync) only advance when some
+// core issues, which cannot happen during a span in which every core is
+// quiescent — so the horizon is NoEvent rather than a future cycle.
+func (c *Core) NextEvent(now int64) int64 {
+	if len(c.retry) > 0 || c.canIssue() {
+		return now
+	}
+	return engine.NoEvent
+}
+
+// canIssue is pickWarp's selection predicate without the c.current mutation:
+// it must leave scheduler state untouched so probing quiescence cannot
+// perturb the GTO/round-robin pick order.
+func (c *Core) canIssue() bool {
+	if c.readyCount == 0 {
+		return false
+	}
+	for i := range c.warps {
+		w := &c.warps[i]
+		if w.state == warpReady && issuable(w) {
+			return true
+		}
+	}
+	return false
+}
+
+// SkipTo implements engine.Skipper: every skipped cycle is an idle cycle
+// (the engine only skips while NextEvent reports quiescence), charged to the
+// same attribution bucket Tick would have picked. waitTrans/waitData are
+// frozen across the span — they only change in callbacks, which only fire
+// from other components' ticks — so one bucket covers the whole span.
+func (c *Core) SkipTo(from, to int64) {
+	d := uint64(to - from)
+	c.Stats.Cycles += d
+	c.Stats.IdleCycles += d
+	switch {
+	case c.waitTrans > 0:
+		c.Stats.IdleTransCycles += d
+	case c.waitData > 0:
+		c.Stats.IdleDataCycles += d
+	default:
+		c.Stats.IdleOtherCycles += d
+	}
 }
 
 // pickWarp selects the next warp. Under GTO (default) it keeps issuing from

@@ -34,6 +34,12 @@ type RunStats struct {
 	// DiskHits counts misses resolved from the on-disk cache (-cache-dir)
 	// without simulating.
 	DiskHits uint64
+
+	// CyclesSimulated sums Results.Cycles over completed runs; CyclesTicked
+	// sums the cycles the engine actually single-stepped. The gap is what
+	// event-horizon fast-forward skipped — the campaign-wide speedup evidence.
+	CyclesSimulated uint64
+	CyclesTicked    uint64
 }
 
 // Merge accumulates o into s.
@@ -48,6 +54,8 @@ func (s *RunStats) Merge(o RunStats) {
 	s.CacheInflightWaits += o.CacheInflightWaits
 	s.CacheMisses += o.CacheMisses
 	s.DiskHits += o.DiskHits
+	s.CyclesSimulated += o.CyclesSimulated
+	s.CyclesTicked += o.CyclesTicked
 }
 
 // FailureFrac returns Failed/Attempted, or 0 when nothing was attempted.
@@ -66,6 +74,11 @@ func (s RunStats) String() string {
 	if s.CacheRequests > 0 {
 		out += fmt.Sprintf(" cache: requests=%d hits=%d inflight=%d misses=%d disk=%d",
 			s.CacheRequests, s.CacheHits, s.CacheInflightWaits, s.CacheMisses, s.DiskHits)
+	}
+	if s.CyclesSimulated > 0 {
+		out += fmt.Sprintf(" cycles: simulated=%d ticked=%d skipped=%.1f%%",
+			s.CyclesSimulated, s.CyclesTicked,
+			100*float64(s.CyclesSimulated-s.CyclesTicked)/float64(s.CyclesSimulated))
 	}
 	return out
 }

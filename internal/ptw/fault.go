@@ -1,5 +1,7 @@
 package ptw
 
+import "masksim/internal/engine"
+
 // FaultUnit implements the demand-paging extension the paper defers to
 // future work (§5.5, citing Pascal-style demand paging and Zheng et al.).
 //
@@ -118,6 +120,23 @@ func (f *FaultUnit) Tick(now int64) {
 		p.doneAt = now + f.Latency
 		f.inflight = append(f.inflight, p)
 	}
+}
+
+// NextEvent implements engine.EventSource: the earliest completion among
+// in-flight faults, now if a queued fault could start immediately, NoEvent
+// when idle. Queued faults behind a full in-flight set can only start after
+// some in-flight fault completes, so the completion horizon covers them.
+func (f *FaultUnit) NextEvent(now int64) int64 {
+	if len(f.queue) > 0 && len(f.inflight) < f.Concurrency {
+		return now
+	}
+	h := engine.NoEvent
+	for _, p := range f.inflight {
+		if p.doneAt < h {
+			h = p.doneAt
+		}
+	}
+	return h
 }
 
 // Outstanding returns in-flight plus queued fault counts.

@@ -14,6 +14,7 @@ package ptw
 
 import (
 	"masksim/internal/cache"
+	"masksim/internal/engine"
 	"masksim/internal/memreq"
 	"masksim/internal/metrics"
 	"masksim/internal/pagetable"
@@ -239,6 +240,54 @@ func (w *Walker) Tick(now int64) {
 			w.Stats.ActiveMax = len(w.active)
 		}
 	}
+}
+
+// NextEvent implements engine.EventSource. The walker must be ticked at now
+// when it has anything to do at its next tick: a finished walk to compact
+// (compaction promptly is load-bearing — ActiveWalks feeds the L2 TLB's
+// admission gate and telemetry, so deferring it would change results), a
+// pending walk with a free slot to admit, or an unblocked walk to issue.
+// Otherwise every active walk is waiting on a memory response delivered by
+// another component's tick, so the walker is purely reactive.
+func (w *Walker) NextEvent(now int64) int64 {
+	for _, wk := range w.active {
+		if wk.finished || !wk.waiting {
+			return now
+		}
+	}
+	if len(w.pending) > 0 && len(w.active) < w.max {
+		return now
+	}
+	return engine.NoEvent
+}
+
+// SkipTo implements engine.Skipper: replay the concurrency sampling Tick
+// performs at every multiple of sampleEvery inside [from, to). len(active) is
+// frozen across a skipped span (walks only change state via ticks and
+// callbacks, none of which run while everything is quiescent), so each missed
+// sample point contributes the same reading.
+func (w *Walker) SkipTo(from, to int64) {
+	if w.sampleEvery <= 0 {
+		return
+	}
+	n := multiplesIn(from, to, w.sampleEvery)
+	if n == 0 {
+		return
+	}
+	w.Stats.Samples += uint64(n)
+	w.Stats.ActiveSum += uint64(n) * uint64(len(w.active))
+	if len(w.active) > w.Stats.ActiveMax {
+		w.Stats.ActiveMax = len(w.active)
+	}
+}
+
+// multiplesIn counts the multiples of step in the half-open span [from, to).
+func multiplesIn(from, to, step int64) int64 {
+	first := ((from + step - 1) / step) * step
+	if first >= to {
+		return 0
+	}
+	return (to-1-first)/step + 1
 }
 
 // SetWedgeHook installs a fault-injection hook consulted each time a walk

@@ -30,6 +30,10 @@ func Cacheable(cfg sim.Config) bool { return cfg.FaultPlan == nil }
 func configString(cfg sim.Config) string {
 	cfg.Name = ""
 	cfg.FaultPlan = nil
+	// FastForward is a pure speed knob: the engine guarantees bit-identical
+	// Results with it on or off, so runs that differ only in it share one
+	// cache entry.
+	cfg.FastForward = false
 	return fmt.Sprintf("%+v", cfg)
 }
 

@@ -188,6 +188,17 @@ func (c *Collector) Tick(now int64) {
 	c.snapshot(now + 1)
 }
 
+// NextEvent implements the engine's EventSource capability: the collector
+// must run at every sampling cycle (the last cycle of each epoch), so it
+// reports the next one as its horizon and the engine's fast-forward never
+// jumps over an epoch boundary. Samples therefore land on exactly the same
+// cycles, reading the same counter values, as in a single-stepped run.
+func (c *Collector) NextEvent(now int64) int64 {
+	// Smallest cycle >= now whose tick triggers a snapshot: k*epoch - 1 for
+	// the smallest k with k*epoch - 1 >= now.
+	return ((now+c.epoch)/c.epoch)*c.epoch - 1
+}
+
 // Finish takes a final partial-epoch sample at cycle now (the end of the
 // run) unless now already fell on an epoch boundary. Counter columns then
 // telescope to the exact end-of-run totals regardless of run length.

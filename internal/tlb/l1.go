@@ -4,7 +4,10 @@
 // the Address-Space-Aware DRAM scheduler's pressure metrics (§5.4).
 package tlb
 
-import "masksim/internal/memreq"
+import (
+	"masksim/internal/engine"
+	"masksim/internal/memreq"
+)
 
 // TransBackend receives translation requests that miss in an L1 TLB — the
 // shared L2 TLB under the SharedTLB/MASK designs, or the page table walker
@@ -73,6 +76,13 @@ type L1TLB struct {
 	mshrs   map[uint64]*l1miss
 	pending []*memreq.TransReq
 
+	// entryBuf batch-allocates the TLB's steady-state entry objects: insert
+	// carves new entries out of it until the TLB is full, after which the
+	// eviction path recycles existing objects. One construction allocation
+	// replaces size per-insert ones.
+	entryBuf  []l1entry
+	entryUsed int
+
 	missFree []*l1miss
 	// pool recycles translation requests; NewL1 creates a private pool, the
 	// simulator injects its shared one.
@@ -84,14 +94,15 @@ type L1TLB struct {
 // NewL1 builds an L1 TLB of the given size for one core.
 func NewL1(coreID, appID int, asid uint8, size int, backend TransBackend) *L1TLB {
 	return &L1TLB{
-		coreID:  coreID,
-		appID:   appID,
-		asid:    asid,
-		size:    size,
-		entries: make(map[uint64]*l1entry, size),
-		mshrs:   make(map[uint64]*l1miss),
-		backend: backend,
-		pool:    &memreq.TransPool{},
+		coreID:   coreID,
+		appID:    appID,
+		asid:     asid,
+		size:     size,
+		entries:  make(map[uint64]*l1entry, size),
+		mshrs:    make(map[uint64]*l1miss),
+		backend:  backend,
+		pool:     &memreq.TransPool{},
+		entryBuf: make([]l1entry, size),
 	}
 }
 
@@ -195,7 +206,16 @@ func (t *L1TLB) insert(vpn, frame uint64) {
 		t.entries[vpn] = e
 		return
 	}
-	t.entries[vpn] = &l1entry{vpn: vpn, frame: frame, stamp: t.stamp}
+	var e *l1entry
+	if t.entryUsed < len(t.entryBuf) {
+		e = &t.entryBuf[t.entryUsed]
+		t.entryUsed++
+	} else {
+		// Flush dropped the original objects; allocate replacements.
+		e = &l1entry{}
+	}
+	e.vpn, e.frame, e.stamp = vpn, frame, t.stamp
+	t.entries[vpn] = e
 }
 
 // Tick retries backend submissions that were refused.
@@ -211,6 +231,16 @@ func (t *L1TLB) Tick(now int64) {
 		}
 	}
 	t.pending = t.pending[:nkeep]
+}
+
+// NextEvent implements engine.EventSource: the TLB acts on its own only to
+// retry refused backend submissions; everything else (lookups, fills) happens
+// inside callers' calls and completion callbacks.
+func (t *L1TLB) NextEvent(now int64) int64 {
+	if len(t.pending) > 0 {
+		return now
+	}
+	return engine.NoEvent
 }
 
 // Flush empties the TLB (e.g. on an address-space switch). In-flight misses

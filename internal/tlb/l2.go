@@ -216,6 +216,19 @@ func (t *L2TLB) Tick(now int64) {
 	}
 }
 
+// NextEvent implements engine.EventSource. Stalled lookups force a tick at
+// now only while the walker backlog has room: with the backlog full, Tick's
+// drain loop is a no-op, and the backlog can only drain through a walker tick
+// — the walker's (or its memory backend's) own horizon pins that cycle, after
+// which this horizon recomputes. Otherwise the horizon is the input pipe's
+// head arrival; fills are walk-completion callbacks and need no wakeup.
+func (t *L2TLB) NextEvent(now int64) int64 {
+	if len(t.stalled) > 0 && t.walker.QueuedWalks() < walkBacklogLimit {
+		return now
+	}
+	return t.in.NextReady(now)
+}
+
 // lookup resolves one translation request. Stats are recorded at resolution:
 // Accesses on first probe, Hits/Misses when the request hits, merges, or
 // starts a walk.

@@ -164,6 +164,14 @@ type Config struct {
 	// (wedged page-table walks, dropped DRAM responses, an engine-tick
 	// panic). Test-only: it exists to exercise the supervision layer.
 	FaultPlan *faultinject.Plan
+
+	// FastForward enables the engine's next-event fast-forward: spans in
+	// which every component is provably quiescent are jumped over instead of
+	// ticked cycle by cycle. Results are bit-identical either way (see
+	// docs/MODEL.md on the quiescence contract), so this is purely a speed
+	// knob; the standard configurations enable it, and masksim's
+	// -no-fastforward flag turns it off for A/B verification.
+	FastForward bool
 }
 
 // Baseline returns the paper's Table 1 system with the SharedTLB design and
@@ -213,6 +221,8 @@ func Baseline() Config {
 
 		WatchdogCheckEvery:  25_000,
 		WatchdogStallChecks: 4,
+
+		FastForward: true,
 	}
 }
 

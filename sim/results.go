@@ -37,6 +37,15 @@ type Results struct {
 	Cycles int64
 	Apps   []AppResult
 
+	// CyclesTicked / CyclesSkipped split the simulated cycles into those the
+	// engine single-stepped and those covered by fast-forward jumps
+	// (CyclesTicked + CyclesSkipped == Cycles). Purely a performance
+	// diagnostic: all other fields are bit-identical whichever way a cycle
+	// was covered, so these are excluded from the drift fingerprint and from
+	// String.
+	CyclesTicked  int64
+	CyclesSkipped int64
+
 	// TotalIPC is the sum of per-app IPCs ("IPC throughput", §7.1).
 	TotalIPC float64
 	// IdleFraction is the fraction of core-cycles with no schedulable warp —
@@ -93,8 +102,10 @@ type Results struct {
 // collect gathers statistics from every component after a run.
 func (s *Simulator) collect(cycles int64) *Results {
 	r := &Results{
-		Config: s.cfg.Name,
-		Cycles: cycles,
+		Config:        s.cfg.Name,
+		Cycles:        cycles,
+		CyclesTicked:  s.eng.Ticked(),
+		CyclesSkipped: s.eng.Skipped(),
 	}
 	if r.Config == "" {
 		r.Config = s.cfg.Design.String()

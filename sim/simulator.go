@@ -8,6 +8,7 @@ import (
 	"masksim/internal/cache"
 	"masksim/internal/dram"
 	"masksim/internal/engine"
+	"masksim/internal/faultinject"
 	"masksim/internal/gpu"
 	"masksim/internal/memreq"
 	"masksim/internal/pagetable"
@@ -105,9 +106,61 @@ func New(cfg Config, apps []workload.App, coresPerApp []int) (*Simulator, error)
 	return s, nil
 }
 
+// scheduledTick adapts a periodic action (epoch roll, time-mux eviction,
+// trace snapshot) to the engine's EventSource capability: Tick runs fn every
+// cycle exactly as the bare TickFunc did, and NextEvent reports the next
+// positive multiple of interval() so fast-forward never jumps over an
+// activation cycle. interval is a closure because the epoch length is
+// finalized in Run, after registration.
+type scheduledTick struct {
+	fn       func(now int64)
+	interval func() int64
+}
+
+func (t scheduledTick) Tick(now int64) { t.fn(now) }
+
+func (t scheduledTick) NextEvent(now int64) int64 {
+	iv := t.interval()
+	if iv <= 0 {
+		return engine.NoEvent
+	}
+	if now > 0 && now%iv == 0 {
+		return now
+	}
+	return (now/iv + 1) * iv
+}
+
+// panicTick wraps a fault plan's scheduled panic as an EventSource so a
+// fast-forwarded run still detonates at exactly the configured cycle.
+type panicTick struct{ plan *faultinject.Plan }
+
+func (t panicTick) Tick(now int64) { t.plan.TickPanic(now) }
+
+func (t panicTick) NextEvent(now int64) int64 {
+	if at := t.plan.PanicAtCycle; at > 0 && now <= at {
+		return at
+	}
+	return engine.NoEvent
+}
+
 func (s *Simulator) build() {
 	cfg := s.cfg
 	numApps := len(s.apps)
+	s.eng.SetFastForward(cfg.FastForward)
+
+	// One shared arena backs every cache's line array (L2, page walk cache,
+	// per-core L1Ds): a single construction-time allocation instead of one
+	// per cache.
+	arenaLines := cache.ArenaLines(cfg.L2Cache.SizeBytes, cfg.L2Cache.LineSize, cfg.L2Cache.Ways)
+	if cfg.Design == DesignPWCache && !cfg.Ideal {
+		arenaLines += cache.ArenaLines(cfg.PWCache.SizeBytes, cfg.PWCache.LineSize, cfg.PWCache.Ways)
+	}
+	assignedCores := 0
+	for _, n := range s.coresPerApp {
+		assignedCores += n
+	}
+	arenaLines += assignedCores * cache.ArenaLines(cfg.L1Cache.SizeBytes, cfg.L1Cache.LineSize, cfg.L1Cache.Ways)
+	arena := cache.NewLineArena(arenaLines)
 
 	// --- DRAM -----------------------------------------------------------
 	mkSched := func(chanIdx int) dram.Scheduler {
@@ -143,6 +196,7 @@ func (s *Simulator) build() {
 		QueueCap:     cfg.L2Cache.QueueCap,
 		MSHRs:        cfg.L2Cache.MSHRs,
 		WriteBack:    true,
+		Arena:        arena,
 	}, s.mem)
 	s.l2c.SetRequestPool(&s.reqPool)
 	if cfg.Static {
@@ -165,6 +219,7 @@ func (s *Simulator) build() {
 			Latency:      cfg.PWCache.Latency,
 			QueueCap:     cfg.PWCache.QueueCap,
 			MSHRs:        cfg.PWCache.MSHRs,
+			Arena:        arena,
 		}, s.l2c)
 		s.pwc.SetRequestPool(&s.reqPool)
 		walkBackend = s.pwc
@@ -254,6 +309,7 @@ func (s *Simulator) build() {
 				QueueCap:           cfg.L1Cache.QueueCap,
 				MSHRs:              cfg.L1Cache.MSHRs,
 				WriteCombineWindow: cfg.L1Cache.WriteCombineWindow,
+				Arena:              arena,
 			}, s.l2c)
 			l1d.SetRequestPool(&s.reqPool)
 			s.l1ds = append(s.l1ds, l1d)
@@ -327,12 +383,12 @@ func (s *Simulator) build() {
 	}
 	s.eng.Register(s.l2c)
 	s.eng.Register(s.mem)
-	s.eng.Register(engine.TickFunc(s.epochTick))
+	s.eng.Register(scheduledTick{fn: s.epochTick, interval: func() int64 { return s.epoch }})
 	if cfg.TimeMuxQuantum > 0 {
-		s.eng.Register(engine.TickFunc(s.timeMuxTick))
+		s.eng.Register(scheduledTick{fn: s.timeMuxTick, interval: func() int64 { return s.cfg.TimeMuxQuantum }})
 	}
 	if cfg.TraceInterval > 0 {
-		s.eng.Register(engine.TickFunc(s.traceTick))
+		s.eng.Register(scheduledTick{fn: s.traceTick, interval: func() int64 { return s.cfg.TraceInterval }})
 	}
 
 	// --- fault injection ---------------------------------------------------
@@ -341,7 +397,7 @@ func (s *Simulator) build() {
 			s.walker.SetWedgeHook(plan.WedgeWalk)
 		}
 		s.mem.SetDropHook(plan.DropResponse)
-		s.eng.Register(engine.TickFunc(plan.TickPanic))
+		s.eng.Register(panicTick{plan: plan})
 	}
 
 	// --- telemetry ---------------------------------------------------------
