@@ -3,6 +3,7 @@
 // Usage:
 //
 //	maskexp [-cycles N] [-full] [-workers N] [-timeout D] [-cache-dir DIR]
+//	        [-checkpoint-dir DIR] [-checkpoint-every N]
 //	        [-max-fail-frac F] <experiment-id>...
 //	maskexp -list
 //	maskexp all
@@ -18,7 +19,14 @@
 // byte-identical to a sequential run. With -cache-dir, completed results are
 // also persisted to disk so an interrupted campaign resumes without redoing
 // finished cells. The campaign-wide run accounting (including cache
-// hit/miss/inflight counters) is always printed to stderr at the end.
+// hit/miss/inflight counters, and checkpoint taken/restored/rejected counts
+// when -checkpoint-dir is set) is always printed to stderr at the end.
+//
+// With -checkpoint-dir, every in-flight simulation also writes periodic
+// mid-run checkpoints (-checkpoint-every cycles apart) and resumes from them,
+// so a campaign killed outright — not just interrupted between cells — loses
+// at most one checkpoint interval of each in-flight run when restarted with
+// the same flags.
 //
 // Individual simulation failures (panics, watchdog aborts, per-run timeouts)
 // do not kill the campaign: the failed cell is recorded, means are computed
@@ -48,6 +56,8 @@ func main() {
 		workers     = flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
 		timeout     = flag.Duration("timeout", 0, "wall-clock budget per simulation run (0 = none)")
 		cacheDir    = flag.String("cache-dir", "", "persist completed simulation results here and reuse them on later runs")
+		ckptDir     = flag.String("checkpoint-dir", "", "write mid-run checkpoints here and resume interrupted runs from them")
+		ckptEvery   = flag.Int64("checkpoint-every", 10_000, "cycles between mid-run checkpoints (with -checkpoint-dir)")
 		maxFailFrac = flag.Float64("max-fail-frac", 0, "tolerated fraction of failed runs before exiting non-zero")
 	)
 	flag.Parse()
@@ -77,12 +87,14 @@ func main() {
 	defer stop()
 
 	camp := experiments.RunCampaign(args, experiments.Options{
-		Cycles:     *cycles,
-		Full:       *full,
-		Workers:    *workers,
-		Ctx:        ctx,
-		RunTimeout: *timeout,
-		CacheDir:   *cacheDir,
+		Cycles:          *cycles,
+		Full:            *full,
+		Workers:         *workers,
+		Ctx:             ctx,
+		RunTimeout:      *timeout,
+		CacheDir:        *cacheDir,
+		CheckpointDir:   *ckptDir,
+		CheckpointEvery: *ckptEvery,
 	})
 
 	var broken []string

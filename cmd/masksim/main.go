@@ -5,10 +5,21 @@
 //
 //	masksim -config MASK -apps 3DS,HISTO -cycles 100000
 //	masksim -config SharedTLB -apps RED_RAY -cycles 50000 -speedup
+//	masksim -config MASK -apps 3DS,HISTO -cycles 100000 \
+//	        -checkpoint-dir ckpt -checkpoint-every 10000 -restore
 //	masksim -list
 //
 // With -speedup, each app is additionally run alone on the same core count
 // to report weighted speedup, IPC throughput, and unfairness.
+//
+// With -checkpoint-dir, the run writes an atomic, checksummed checkpoint of
+// the full simulator state every -checkpoint-every cycles, plus a final one
+// on SIGINT/SIGTERM (the run stops, prints partial results, and the
+// checkpoint captures the stopping cycle) and a crash dump if the watchdog
+// aborts. Restarting with the same flags and -restore resumes from the
+// newest valid checkpoint and prints results bit-identical to an
+// uninterrupted run; corrupt or mismatched checkpoint files are skipped in
+// favor of older ones (or a clean start) and reported on stderr.
 package main
 
 import (
@@ -20,7 +31,9 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"syscall"
 
+	"masksim/internal/faultinject"
 	"masksim/internal/workload"
 	"masksim/sim"
 )
@@ -41,6 +54,10 @@ func main() {
 		timeout    = flag.Duration("timeout", 0, "wall-clock budget for the run (0 = none); partial results are printed on expiry")
 		noFF       = flag.Bool("no-fastforward", false, "disable event-horizon fast-forward (tick every cycle); results are bit-identical either way")
 		traceFiles = flag.String("tracefiles", "", "comma-separated trace files to run instead of -apps (see workload.ParseTrace for the format)")
+		ckptDir    = flag.String("checkpoint-dir", "", "write mid-run checkpoints (and watchdog crash dumps) to this directory")
+		ckptEvery  = flag.Int64("checkpoint-every", 10_000, "cycles between checkpoints (with -checkpoint-dir)")
+		restore    = flag.Bool("restore", false, "resume from the newest valid checkpoint in -checkpoint-dir before simulating")
+		killAt     = flag.Int64("kill-at-cycle", 0, "TESTING: hard-exit (code 137, like SIGKILL) at this simulated cycle; with -checkpoint-dir this deterministically exercises kill-and-restore")
 	)
 	flag.Parse()
 
@@ -74,7 +91,20 @@ func main() {
 	if *noFF {
 		cfg.FastForward = false
 	}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	if *ckptDir != "" {
+		cfg.CheckpointDir = *ckptDir
+		cfg.CheckpointEvery = *ckptEvery
+		cfg.Resume = *restore
+	} else if *restore {
+		fatal(fmt.Errorf("-restore requires -checkpoint-dir"))
+	}
+	if *killAt > 0 {
+		cfg.FaultPlan = &faultinject.Plan{KillAtCycle: *killAt, AllowKill: true}
+	}
+	// SIGINT and SIGTERM stop the run gracefully: partial results are printed
+	// and, with -checkpoint-dir, a final checkpoint records the stopping cycle
+	// so -restore can pick the run back up.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
@@ -87,7 +117,18 @@ func main() {
 	if *traceFiles != "" {
 		res, err2 = runTraceFiles(ctx, cfg, strings.Split(*traceFiles, ","), *cycles)
 	} else {
-		res, err2 = sim.Run(ctx, cfg, names, *cycles)
+		s, err := sim.Prepare(cfg, names)
+		if err != nil {
+			fatal(err)
+		}
+		res, err2 = s.Run(ctx, *cycles)
+		if *ckptDir != "" {
+			// Stats go to stderr so checkpointed and clean runs stay
+			// byte-identical on stdout.
+			cs := s.CheckpointStats()
+			fmt.Fprintf(os.Stderr, "masksim: checkpoints: taken=%d restored=%d rejected=%d\n",
+				cs.Taken, cs.Restored, cs.Rejected)
+		}
 	}
 	if err2 != nil && res == nil {
 		// Config/build errors: report cleanly, no stack trace.

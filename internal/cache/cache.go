@@ -168,6 +168,11 @@ type Cache struct {
 	// to its allowed ways (Static partitioning). Indexed by AppID.
 	wayMask []uint64
 
+	// snapID identifies this cache instance inside a checkpoint: requests
+	// whose Done is one of this cache's MSHR fills carry it as their SiteRef
+	// so restore can find the owning cache again (docs/MODEL.md §9).
+	snapID uint64
+
 	stamp int64
 
 	// Write-combining state: two generation sets swapped every window, so a
@@ -294,11 +299,17 @@ func (c *Cache) getMSHR(lineAddr uint64, bypass bool) *mshr {
 		c.mshrFree[n-1] = nil
 		c.mshrFree = c.mshrFree[:n-1]
 	} else {
-		m = &mshr{}
-		m.fillDone = func(now int64, fr *memreq.Request) { c.fillArrived(now, m, fr) }
+		m = c.newMSHR()
 	}
 	m.lineAddr = lineAddr
 	m.bypass = bypass
+	return m
+}
+
+// newMSHR builds a fresh mshr with its completion closure bound.
+func (c *Cache) newMSHR() *mshr {
+	m := &mshr{}
+	m.fillDone = func(now int64, fr *memreq.Request) { c.fillArrived(now, m, fr) }
 	return m
 }
 
@@ -391,6 +402,7 @@ func (c *Cache) Submit(now int64, r *memreq.Request) bool {
 		fetch.Kind, fetch.Class, fetch.WalkLevel = memreq.Read, r.Class, r.WalkLevel
 		fetch.Addr, fetch.Issue = lineAddr<<c.lineShift, r.Issue
 		fetch.Done = m.fillDone
+		fetch.Site, fetch.SiteRef = memreq.SiteCacheBypassFill, c.snapID
 		if !c.backend.Submit(now, fetch) {
 			c.retry = append(c.retry, fetch)
 		}
@@ -556,6 +568,7 @@ func (c *Cache) service(now int64, r *memreq.Request) {
 	fill.Kind, fill.Class, fill.WalkLevel = memreq.Read, r.Class, r.WalkLevel
 	fill.Addr, fill.Issue = lineAddr<<c.lineShift, r.Issue
 	fill.Done = m.fillDone
+	fill.Site, fill.SiteRef = memreq.SiteCacheFill, c.snapID
 	if !c.backend.Submit(now, fill) {
 		c.retry = append(c.retry, fill)
 	}

@@ -69,6 +69,11 @@ type Scheduler interface {
 	Pick(now int64, banks []Bank) *Queued
 	NextReady(now int64, banks []Bank) int64
 	Len() int
+	// SnapshotQueue and RestoreQueue serialize the scheduler's queued
+	// requests (and any policy state) for checkpointing; enc/dec convert
+	// between live Queued wrappers and their serializable form (ckpt.go).
+	SnapshotQueue(enc func(*Queued) QueuedState) SchedState
+	RestoreQueue(st SchedState, dec func(QueuedState) *Queued) error
 }
 
 // Queued is a request waiting in (or in flight from) a channel.

@@ -59,11 +59,18 @@ type Engine struct {
 	// tracks whether every registered ticker is an EventSource — fast-forward
 	// is only sound when the whole system can report quiescence, so a single
 	// opaque ticker disables it.
-	sources    []EventSource
-	skippers   []Skipper
-	allSources bool
+	sources      []EventSource
+	skippers     []Skipper
+	snapshotters []Snapshotter
+	allSources   bool
 
 	fastForward bool
+
+	// ckptEvery/ckptFn is the periodic checkpoint hook (SetCheckpointHook):
+	// fn runs whenever the clock lands on a multiple of every at a
+	// supervision boundary. Zero/nil when checkpointing is off.
+	ckptEvery int64
+	ckptFn    func(now int64)
 
 	// ticked counts cycles advanced by Step (every component ticked);
 	// skipped counts cycles covered by fast-forward jumps. Their sum is the
@@ -84,8 +91,10 @@ func (e *Engine) Register(t Ticker) {
 	e.tickers = append(e.tickers, t)
 	src, _ := t.(EventSource)
 	skp, _ := t.(Skipper)
+	snp, _ := t.(Snapshotter)
 	e.sources = append(e.sources, src)
 	e.skippers = append(e.skippers, skp)
+	e.snapshotters = append(e.snapshotters, snp)
 	if src == nil {
 		e.allSources = false
 	}

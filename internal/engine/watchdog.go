@@ -169,6 +169,13 @@ func (e *Engine) RunContext(ctx context.Context, n int64, wd *Watchdog) error {
 	if err := ctx.Err(); err != nil {
 		return fmt.Errorf("engine: run canceled at cycle %d: %w", e.now, err)
 	}
+	// A watchdog restored from a crash checkpoint is already tripped: the
+	// original run aborted at exactly this cycle, so re-raise the same
+	// DeadlockError (the dump regenerates from the restored component state)
+	// before simulating anything.
+	if wd != nil && wd.Tripped() {
+		return wd.TripError(e.now)
+	}
 	end := e.now + n
 	ff := e.fastForward && e.allSources
 	for e.now < end {
@@ -180,9 +187,17 @@ func (e *Engine) RunContext(ctx context.Context, n int64, wd *Watchdog) error {
 			// at the identical cycle, while a healthy jump lands exactly on
 			// the checkpoints it crosses (a skipped span has no progress by
 			// construction, so checks there see what single-stepping would).
+			// Checkpoint boundaries cap the jump the same way, so periodic
+			// checkpoints land on their exact cycles even inside a quiescent
+			// span.
 			limit := end
 			if wd != nil {
 				if next := (e.now/wd.CheckEvery + 1) * wd.CheckEvery; next < limit {
+					limit = next
+				}
+			}
+			if e.ckptEvery > 0 {
+				if next := (e.now/e.ckptEvery + 1) * e.ckptEvery; next < limit {
 					limit = next
 				}
 			}
@@ -195,6 +210,12 @@ func (e *Engine) RunContext(ctx context.Context, n int64, wd *Watchdog) error {
 					if err := wd.check(e.now); err != nil {
 						return err
 					}
+				}
+				// Checkpoint after the boundary's watchdog check so the
+				// captured supervision state includes it; a restored run
+				// resumes with the next boundary, exactly like the original.
+				if e.ckptFn != nil && e.now%e.ckptEvery == 0 {
+					e.ckptFn(e.now)
 				}
 				continue
 			}
@@ -209,6 +230,9 @@ func (e *Engine) RunContext(ctx context.Context, n int64, wd *Watchdog) error {
 			if err := wd.check(e.now); err != nil {
 				return err
 			}
+		}
+		if e.ckptFn != nil && e.now%e.ckptEvery == 0 {
+			e.ckptFn(e.now)
 		}
 	}
 	return nil

@@ -51,6 +51,20 @@ type Harness struct {
 	// then simulates afresh).
 	Cache *simcache.Cache
 
+	// CheckpointDir, when non-empty, makes every supervised run write
+	// periodic mid-run checkpoints there and resume from the newest valid one
+	// before simulating. A worker killed or panicked mid-cell retries from
+	// its last checkpoint instead of cycle zero, and a whole campaign
+	// restarted after a kill picks its in-flight cells back up mid-run
+	// (checkpoint files are fingerprint-keyed, so cells never collide).
+	// Results are bit-identical either way, so resumed cells share cache
+	// entries with clean ones.
+	CheckpointDir string
+	// CheckpointEvery is the checkpoint cadence in simulated cycles (only
+	// meaningful with CheckpointDir; 0 disables periodic checkpoints but
+	// still resumes from — and crash-dumps to — CheckpointDir).
+	CheckpointEvery int64
+
 	semOnce sync.Once
 	sem     chan struct{}
 
@@ -187,6 +201,43 @@ func (h *Harness) supervised(label string, f func(ctx context.Context) (*sim.Res
 	return res, re
 }
 
+// checkpointed overlays the harness checkpoint policy onto one run's config.
+// With no CheckpointDir it is the identity; otherwise the run checkpoints
+// periodically and resumes from existing state, which makes both retry paths
+// (same-process retry after a panic, fresh-process retry after a kill)
+// continue mid-run. Checkpoint knobs are canonicalized out of cache and
+// checkpoint fingerprints, so the overlay never changes a run's identity.
+func (h *Harness) checkpointed(cfg sim.Config) sim.Config {
+	if h.CheckpointDir == "" {
+		return cfg
+	}
+	cfg.CheckpointDir = h.CheckpointDir
+	if h.CheckpointEvery > 0 {
+		cfg.CheckpointEvery = h.CheckpointEvery
+	}
+	cfg.Resume = true
+	return cfg
+}
+
+// runPrepared executes one prepared simulator and folds its checkpoint
+// accounting into the campaign stats — even for aborted runs, whose
+// checkpoints (and rejected resume candidates) are part of the campaign
+// story. A completed run's periodic checkpoints are deleted: they exist only
+// to make the run survivable, and the result cache now owns its outcome.
+func (h *Harness) runPrepared(ctx context.Context, s *sim.Simulator, cycles int64) (*sim.Results, error) {
+	res, err := s.Run(ctx, cycles)
+	cs := s.CheckpointStats()
+	h.mu.Lock()
+	h.stats.CheckpointsTaken += uint64(cs.Taken)
+	h.stats.CheckpointsRestored += uint64(cs.Restored)
+	h.stats.CheckpointsRejected += uint64(cs.Rejected)
+	h.mu.Unlock()
+	if err == nil {
+		s.RemoveCheckpoints()
+	}
+	return res, err
+}
+
 // Run simulates the named benchmarks under cfg for h.Cycles, supervised and
 // memoized: a second request for the same (config, apps, cycles) fingerprint
 // — from any experiment sharing this Harness — returns the first run's
@@ -196,7 +247,11 @@ func (h *Harness) Run(cfg sim.Config, names []string) (*sim.Results, error) {
 	label := fmt.Sprintf("run(%s, %v)", cfg.Name, names)
 	exec := func() (*sim.Results, error) {
 		return h.supervised(label, func(ctx context.Context) (*sim.Results, error) {
-			return sim.Run(ctx, cfg, names, h.Cycles)
+			s, err := sim.Prepare(h.checkpointed(cfg), names)
+			if err != nil {
+				return nil, err
+			}
+			return h.runPrepared(ctx, s, h.Cycles)
 		})
 	}
 	if h.Cache == nil || !simcache.Cacheable(cfg) {
@@ -211,7 +266,11 @@ func (h *Harness) RunAlone(cfg sim.Config, app string, cores int) (*sim.Results,
 	label := fmt.Sprintf("alone(%s, %s, %d cores)", cfg.Name, app, cores)
 	exec := func() (*sim.Results, error) {
 		return h.supervised(label, func(ctx context.Context) (*sim.Results, error) {
-			return sim.RunAlone(ctx, cfg, app, cores, h.AloneCycles)
+			s, err := sim.PrepareAlone(h.checkpointed(cfg), app, cores)
+			if err != nil {
+				return nil, err
+			}
+			return h.runPrepared(ctx, s, h.AloneCycles)
 		})
 	}
 	if h.Cache == nil || !simcache.Cacheable(cfg) {

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"masksim/sim"
+)
+
+// countCheckpoints returns the number of *.ckpt files in dir.
+func countCheckpoints(t *testing.T, dir string) int {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) == ".ckpt" {
+			n++
+		}
+	}
+	return n
+}
+
+// TestHarnessCheckpointResume proves the kill-safe campaign path end to end:
+// a worker that wrote periodic checkpoints and then died leaves its files
+// behind; a fresh harness pointed at the same checkpoint directory resumes
+// the cell mid-run, produces Results bit-identical to an uninterrupted
+// simulation, counts the resume in the campaign stats, and deletes the
+// now-useless checkpoints once the cell completes.
+func TestHarnessCheckpointResume(t *testing.T) {
+	dir := t.TempDir()
+	cfg := sim.SharedTLBConfig()
+	names := []string{"MM", "RED"}
+	const cycles = 4000
+
+	ref, err := sim.Run(context.Background(), cfg, names, cycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The "interrupted" worker: same cell with checkpointing on. Its periodic
+	// checkpoints (cycles 1700 and 3400) survive it; nobody cleans them up.
+	icfg := cfg
+	icfg.CheckpointDir = dir
+	icfg.CheckpointEvery = 1700
+	s, err := sim.Prepare(icfg, names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(context.Background(), cycles); err != nil {
+		t.Fatal(err)
+	}
+	if n := countCheckpoints(t, dir); n != 2 {
+		t.Fatalf("seed run left %d checkpoints, want 2", n)
+	}
+
+	h := NewHarness(cycles)
+	h.CheckpointDir = dir
+	h.CheckpointEvery = 1700
+	res, err := h.Run(cfg, names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, ref) {
+		t.Fatal("resumed harness run diverged from uninterrupted reference")
+	}
+	st := h.Stats()
+	if st.CheckpointsRestored != 1 || st.CheckpointsRejected != 0 {
+		t.Fatalf("stats = restored=%d rejected=%d, want restored=1 rejected=0",
+			st.CheckpointsRestored, st.CheckpointsRejected)
+	}
+	if n := countCheckpoints(t, dir); n != 0 {
+		t.Fatalf("completed cell left %d checkpoints behind, want 0", n)
+	}
+}
+
+// TestHarnessCheckpointCleanStart checks the no-prior-state path: with a
+// checkpoint directory configured but empty, runs start clean (nothing to
+// restore, nothing rejected) and still take their periodic checkpoints, which
+// are removed on completion.
+func TestHarnessCheckpointCleanStart(t *testing.T) {
+	dir := t.TempDir()
+	h := NewHarness(4000)
+	h.CheckpointDir = dir
+	h.CheckpointEvery = 1700
+	ref, err := sim.Run(context.Background(), sim.SharedTLBConfig(), []string{"MM"}, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := h.Run(sim.SharedTLBConfig(), []string{"MM"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, ref) {
+		t.Fatal("checkpointed harness run diverged from plain reference")
+	}
+	st := h.Stats()
+	if st.CheckpointsTaken != 2 || st.CheckpointsRestored != 0 || st.CheckpointsRejected != 0 {
+		t.Fatalf("stats = taken=%d restored=%d rejected=%d, want taken=2 restored=0 rejected=0",
+			st.CheckpointsTaken, st.CheckpointsRestored, st.CheckpointsRejected)
+	}
+	if n := countCheckpoints(t, dir); n != 0 {
+		t.Fatalf("completed run left %d checkpoints behind, want 0", n)
+	}
+}

@@ -66,6 +66,14 @@ type Options struct {
 	// (fingerprint-named JSON entries) and consults them before simulating,
 	// so an interrupted campaign resumes without redoing finished cells.
 	CacheDir string
+	// CheckpointDir, when non-empty, writes periodic mid-run checkpoints
+	// there and resumes interrupted cells from them, so a killed campaign
+	// loses at most CheckpointEvery cycles of any in-flight simulation.
+	// Composes with CacheDir: finished cells come from the result cache,
+	// in-flight ones from their checkpoints.
+	CheckpointDir string
+	// CheckpointEvery is the checkpoint cadence in simulated cycles.
+	CheckpointEvery int64
 }
 
 // newHarness builds the supervised, cache-backed harness for opt.
@@ -77,6 +85,8 @@ func newHarness(opt Options) *Harness {
 	if opt.CacheDir != "" {
 		h.Cache = simcache.New(opt.CacheDir)
 	}
+	h.CheckpointDir = opt.CheckpointDir
+	h.CheckpointEvery = opt.CheckpointEvery
 	return h
 }
 

@@ -10,7 +10,13 @@
 // code, so a Plan needs no locking; read its counters after the run returns.
 package faultinject
 
-import "fmt"
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+)
 
 // Plan describes the faults to inject into one simulation run. The zero
 // value injects nothing. A Plan accumulates hit counters across a run (and
@@ -39,13 +45,54 @@ type Plan struct {
 	// campaign.
 	PanicAtCycle int64
 
+	// KillAtCycle, when > 0, hard-kills the process (os.Exit, no deferred
+	// functions, no checkpoint flush) from inside the engine tick at that
+	// cycle — a stand-in for SIGKILL / OOM-kill / power loss, used to prove
+	// that campaign resume survives a worker that never got to say goodbye.
+	// It only fires when AllowKill is also set, so a stray Plan value can
+	// never take down a real campaign.
+	KillAtCycle int64
+	// AllowKill arms KillAtCycle. Test-only: the simulator never sets it.
+	AllowKill bool
+
 	// Counters recording what actually fired, for test assertions.
 	WedgedWalks      int64
 	DroppedResponses int64
+	// KillsArmed counts KillAtCycle activations observed before the exit;
+	// readable only if the kill was disarmed (AllowKill false).
+	KillsArmed int64
 
 	dropSeen int64
 
 	sink EventSink
+}
+
+// PlanState is the plan's checkpoint image: the hit counters and the drop
+// phase, so a run restored mid-fault-injection counts and drops exactly like
+// the uninterrupted one.
+type PlanState struct {
+	WedgedWalks      int64
+	DroppedResponses int64
+	KillsArmed       int64
+	DropSeen         int64
+}
+
+// State captures the plan's mutable counters for checkpointing.
+func (p *Plan) State() PlanState {
+	return PlanState{
+		WedgedWalks:      p.WedgedWalks,
+		DroppedResponses: p.DroppedResponses,
+		KillsArmed:       p.KillsArmed,
+		DropSeen:         p.dropSeen,
+	}
+}
+
+// SetState restores counters captured by State.
+func (p *Plan) SetState(st PlanState) {
+	p.WedgedWalks = st.WedgedWalks
+	p.DroppedResponses = st.DroppedResponses
+	p.KillsArmed = st.KillsArmed
+	p.dropSeen = st.DropSeen
 }
 
 // EventSink receives one instant event per injected fault; telemetry.Collector
@@ -65,7 +112,8 @@ func (p *Plan) Active() bool {
 	if p == nil {
 		return false
 	}
-	return p.WedgePTWAfter > 0 || p.DropDRAMOneIn > 0 || p.PanicAtCycle > 0
+	return p.WedgePTWAfter > 0 || p.DropDRAMOneIn > 0 || p.PanicAtCycle > 0 ||
+		p.KillAtCycle > 0
 }
 
 // WedgeWalk implements the page-table-walker wedge hook.
@@ -110,4 +158,68 @@ func (p *Plan) TickPanic(now int64) {
 		}
 		panic(fmt.Sprintf("faultinject: injected panic at cycle %d", now))
 	}
+}
+
+// TickKill hard-exits the process at KillAtCycle when armed (see AllowKill).
+// os.Exit bypasses deferred functions and signal handlers — exactly the
+// "pulled the plug" failure campaign resume must survive. Exit code 137
+// matches a SIGKILLed process so CI scripts treat both paths identically.
+func (p *Plan) TickKill(now int64) {
+	if p.KillAtCycle <= 0 || now != p.KillAtCycle {
+		return
+	}
+	p.KillsArmed++
+	if p.sink != nil {
+		p.sink.Emit(now, "fault.kill", "faults", map[string]string{
+			"cycle": fmt.Sprintf("%d", now),
+			"armed": fmt.Sprintf("%t", p.AllowKill),
+		})
+	}
+	if p.AllowKill {
+		os.Exit(137)
+	}
+}
+
+// CorruptCheckpointByte flips one byte (at offset, wrapped to the file size)
+// of the most recently modified *.ckpt file under dir, simulating bit rot or
+// a torn write. Returns the corrupted file's path. Restore paths must reject
+// such a file with snapshot.ErrChecksum and fall back to a clean start.
+func CorruptCheckpointByte(dir string, offset int64) (string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", fmt.Errorf("faultinject: corrupt checkpoint: %w", err)
+	}
+	var newest string
+	var newestMod time.Time
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".ckpt") {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		if newest == "" || info.ModTime().After(newestMod) {
+			newest = filepath.Join(dir, e.Name())
+			newestMod = info.ModTime()
+		}
+	}
+	if newest == "" {
+		return "", fmt.Errorf("faultinject: no checkpoint files in %s", dir)
+	}
+	data, err := os.ReadFile(newest)
+	if err != nil {
+		return "", fmt.Errorf("faultinject: corrupt checkpoint: %w", err)
+	}
+	if len(data) == 0 {
+		return "", fmt.Errorf("faultinject: checkpoint %s is empty", newest)
+	}
+	if offset < 0 {
+		offset = -offset
+	}
+	data[offset%int64(len(data))] ^= 0xFF
+	if err := os.WriteFile(newest, data, 0o644); err != nil {
+		return "", fmt.Errorf("faultinject: corrupt checkpoint: %w", err)
+	}
+	return newest, nil
 }

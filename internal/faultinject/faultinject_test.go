@@ -57,6 +57,50 @@ func TestDropResponseOneIn(t *testing.T) {
 	}
 }
 
+// TestTickKillDisarmed checks the safety interlock: without AllowKill,
+// reaching KillAtCycle only counts the activation — the process survives.
+// (The armed path is os.Exit(137) and is exercised by the CI kill-and-resume
+// smoke job, not by in-process tests.)
+func TestTickKillDisarmed(t *testing.T) {
+	p := &Plan{KillAtCycle: 42}
+	if !p.Active() {
+		t.Fatal("kill plan not active")
+	}
+	p.TickKill(41)
+	p.TickKill(43)
+	if p.KillsArmed != 0 {
+		t.Fatalf("KillsArmed=%d before KillAtCycle, want 0", p.KillsArmed)
+	}
+	p.TickKill(42) // must return: AllowKill is false
+	if p.KillsArmed != 1 {
+		t.Fatalf("KillsArmed=%d, want 1", p.KillsArmed)
+	}
+}
+
+// TestPlanStateRoundTrip checks the checkpoint image: counters and the drop
+// phase survive State/SetState, so a restored run keeps dropping on the same
+// one-in-N schedule as the uninterrupted one.
+func TestPlanStateRoundTrip(t *testing.T) {
+	p := &Plan{WedgePTWAfter: 1, DropDRAMOneIn: 3, KillAtCycle: 9}
+	p.WedgeWalk(5)
+	p.DropResponse(5) // dropSeen=1
+	p.TickKill(9)
+	st := p.State()
+
+	q := &Plan{WedgePTWAfter: 1, DropDRAMOneIn: 3, KillAtCycle: 9}
+	q.SetState(st)
+	if q.State() != st {
+		t.Fatalf("restored state %+v != captured %+v", q.State(), st)
+	}
+	// dropSeen=1 restored: the next two responses complete the one-in-three.
+	if q.DropResponse(6) {
+		t.Fatal("dropped at phase 2 of 3")
+	}
+	if !q.DropResponse(7) {
+		t.Fatal("did not drop at phase 3 of 3")
+	}
+}
+
 func TestTickPanicFiresAtCycle(t *testing.T) {
 	p := &Plan{PanicAtCycle: 42}
 	p.TickPanic(41)

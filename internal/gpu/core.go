@@ -107,6 +107,12 @@ type transCtx struct {
 	lines   []uint64
 	isWrite bool
 	done    func(now int64, frame uint64)
+
+	// prev/next thread the core's live-context list (liveHead/liveTail):
+	// every context currently waiting on a translation callback, in creation
+	// order. Checkpoint restore replays this list to rebuild the L1 TLB MSHR
+	// waiting lists in their original order.
+	prev, next *transCtx
 }
 
 // Core is one shader core running a single application's warps.
@@ -126,6 +132,13 @@ type Core struct {
 	// simulator injects its shared one.
 	pool    *memreq.Pool
 	ctxFree []*transCtx
+
+	// liveHead/liveTail anchor the in-flight translation contexts in creation
+	// order (see transCtx.prev/next). attachWaiter, installed by the
+	// simulator, re-registers a restored context's callback with the L1 TLB
+	// during checkpoint restore.
+	liveHead, liveTail *transCtx
+	attachWaiter       func(vpn uint64, done func(now int64, frame uint64))
 
 	retry []*memreq.Request
 
@@ -173,22 +186,58 @@ func (c *Core) SetRequestPool(p *memreq.Pool) { c.pool = p }
 // getCtx takes a recycled translation context or builds one with its done
 // handler bound.
 func (c *Core) getCtx() *transCtx {
+	var ctx *transCtx
 	if n := len(c.ctxFree); n > 0 {
-		ctx := c.ctxFree[n-1]
+		ctx = c.ctxFree[n-1]
 		c.ctxFree[n-1] = nil
 		c.ctxFree = c.ctxFree[:n-1]
-		return ctx
+	} else {
+		ctx = c.newCtx()
 	}
+	c.linkCtx(ctx)
+	return ctx
+}
+
+// newCtx allocates a context with its done handler bound.
+func (c *Core) newCtx() *transCtx {
 	ctx := &transCtx{}
 	ctx.done = func(tnow int64, frame uint64) {
 		// Copy out and recycle first: onTranslated never re-enters getCtx,
 		// and releasing here keeps the context live for exactly one callback.
 		w, lines, isWrite := ctx.w, ctx.lines, ctx.isWrite
 		ctx.w, ctx.lines = nil, nil
+		c.unlinkCtx(ctx)
 		c.ctxFree = append(c.ctxFree, ctx)
 		c.onTranslated(tnow, w, lines, frame, isWrite)
 	}
 	return ctx
+}
+
+// linkCtx appends ctx to the live list.
+func (c *Core) linkCtx(ctx *transCtx) {
+	ctx.prev = c.liveTail
+	ctx.next = nil
+	if c.liveTail != nil {
+		c.liveTail.next = ctx
+	} else {
+		c.liveHead = ctx
+	}
+	c.liveTail = ctx
+}
+
+// unlinkCtx removes ctx from the live list.
+func (c *Core) unlinkCtx(ctx *transCtx) {
+	if ctx.prev != nil {
+		ctx.prev.next = ctx.next
+	} else {
+		c.liveHead = ctx.next
+	}
+	if ctx.next != nil {
+		ctx.next.prev = ctx.prev
+	} else {
+		c.liveTail = ctx.prev
+	}
+	ctx.prev, ctx.next = nil, nil
 }
 
 // ID returns the core's global index.
@@ -375,6 +424,7 @@ func (c *Core) onTranslated(now int64, w *warp, lines []uint64, frame uint64, is
 			req.Kind = memreq.Read
 			w.outstandingData++
 			req.Done = w.dataDone
+			req.Site = memreq.SiteCoreData
 		}
 		if !c.l1d.Submit(now, req) {
 			c.retry = append(c.retry, req)

@@ -118,6 +118,15 @@ type Request struct {
 
 	Done func(now int64, r *Request)
 
+	// Site and SiteRef are the checkpoint continuation descriptor: because
+	// Done is a closure, it cannot be serialized — instead every bind site
+	// stamps Site (which kind of component owns the callback) and SiteRef
+	// (which instance) when it assigns Done, and a checkpoint restore rebinds
+	// an equivalent callback from those coordinates (docs/MODEL.md §9).
+	// Requests with a nil Done carry SiteNone.
+	Site    Site
+	SiteRef uint64
+
 	// pool, when non-nil, is the free list this request returns to after
 	// Complete; set only by Pool.Get.
 	pool *Pool

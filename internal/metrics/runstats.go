@@ -35,6 +35,17 @@ type RunStats struct {
 	// without simulating.
 	DiskHits uint64
 
+	// CheckpointsTaken counts mid-run checkpoints written (-checkpoint-dir).
+	CheckpointsTaken uint64
+	// CheckpointsRestored counts runs that resumed from a checkpoint instead
+	// of simulating from cycle zero — the kill-safe campaign-resume evidence.
+	CheckpointsRestored uint64
+	// CheckpointsRejected counts checkpoint files skipped during resume
+	// because they were corrupt, truncated, version-mismatched or belonged to
+	// a different simulation; each rejection fell back to an older checkpoint
+	// or a clean start.
+	CheckpointsRejected uint64
+
 	// CyclesSimulated sums Results.Cycles over completed runs; CyclesTicked
 	// sums the cycles the engine actually single-stepped. The gap is what
 	// event-horizon fast-forward skipped — the campaign-wide speedup evidence.
@@ -54,6 +65,9 @@ func (s *RunStats) Merge(o RunStats) {
 	s.CacheInflightWaits += o.CacheInflightWaits
 	s.CacheMisses += o.CacheMisses
 	s.DiskHits += o.DiskHits
+	s.CheckpointsTaken += o.CheckpointsTaken
+	s.CheckpointsRestored += o.CheckpointsRestored
+	s.CheckpointsRejected += o.CheckpointsRejected
 	s.CyclesSimulated += o.CyclesSimulated
 	s.CyclesTicked += o.CyclesTicked
 }
@@ -74,6 +88,10 @@ func (s RunStats) String() string {
 	if s.CacheRequests > 0 {
 		out += fmt.Sprintf(" cache: requests=%d hits=%d inflight=%d misses=%d disk=%d",
 			s.CacheRequests, s.CacheHits, s.CacheInflightWaits, s.CacheMisses, s.DiskHits)
+	}
+	if s.CheckpointsTaken > 0 || s.CheckpointsRestored > 0 || s.CheckpointsRejected > 0 {
+		out += fmt.Sprintf(" checkpoints: taken=%d restored=%d rejected=%d",
+			s.CheckpointsTaken, s.CheckpointsRestored, s.CheckpointsRejected)
 	}
 	if s.CyclesSimulated > 0 {
 		out += fmt.Sprintf(" cycles: simulated=%d ticked=%d skipped=%.1f%%",

@@ -1,6 +1,9 @@
 package ptw
 
-import "masksim/internal/engine"
+import (
+	"masksim/internal/engine"
+	"masksim/internal/memreq"
+)
 
 // FaultUnit implements the demand-paging extension the paper defers to
 // future work (§5.5, citing Pascal-style demand paging and Zheng et al.).
@@ -22,6 +25,10 @@ type FaultUnit struct {
 	resident map[faultKey]bool
 	inflight []*pendingFault
 	queue    []*pendingFault
+
+	// walker, set by SetFaultUnit, rebuilds held continuations on checkpoint
+	// restore.
+	walker *Walker
 
 	Stats FaultStats
 }
@@ -50,7 +57,26 @@ type pendingFault struct {
 	key    faultKey
 	start  int64
 	doneAt int64
-	notify []func(now int64)
+	notify []faultNotify
+}
+
+// faultNotify pairs a held continuation with the serializable description the
+// walker needs to rebuild it after a checkpoint restore.
+type faultNotify struct {
+	fn   func(now int64)
+	meta FaultMeta
+}
+
+// FaultMeta describes a fault-held walk continuation: the walk's start cycle
+// and origin coordinates. The physical frame is recomputed from the page
+// table on restore, and Tr is serialized through the request registry.
+type FaultMeta struct {
+	Start  int64
+	Origin WalkOrigin
+	AppID  int
+	ASID   uint8
+	VPN    uint64
+	Tr     *memreq.TransReq
 }
 
 // NewFaultUnit builds a fault unit.
@@ -67,7 +93,13 @@ func NewFaultUnit(latency int64, concurrency int) *FaultUnit {
 
 // Touch reports whether (asid, vpn) is resident. If not, done is queued and
 // invoked when the fault completes; Touch returns false in that case.
+// Continuations registered through Touch carry no relink metadata and so
+// cannot survive a checkpoint (the walker uses touch with a FaultMeta).
 func (f *FaultUnit) Touch(now int64, asid uint8, vpn uint64, done func(now int64)) bool {
+	return f.touch(now, asid, vpn, done, FaultMeta{})
+}
+
+func (f *FaultUnit) touch(now int64, asid uint8, vpn uint64, done func(now int64), meta FaultMeta) bool {
 	key := faultKey{asid, vpn}
 	if f.resident[key] {
 		return true
@@ -75,12 +107,12 @@ func (f *FaultUnit) Touch(now int64, asid uint8, vpn uint64, done func(now int64
 	// Merge into an in-flight or queued fault for the same page.
 	for _, p := range append(f.inflight, f.queue...) {
 		if p.key == key {
-			p.notify = append(p.notify, done)
+			p.notify = append(p.notify, faultNotify{fn: done, meta: meta})
 			return false
 		}
 	}
 	f.Stats.Faults++
-	p := &pendingFault{key: key, start: now, notify: []func(int64){done}}
+	p := &pendingFault{key: key, start: now, notify: []faultNotify{{fn: done, meta: meta}}}
 	if len(f.inflight) < f.Concurrency {
 		p.doneAt = now + f.Latency
 		f.inflight = append(f.inflight, p)
@@ -105,7 +137,7 @@ func (f *FaultUnit) Tick(now int64) {
 			f.Stats.Completed++
 			f.Stats.LatSum += uint64(now - p.start)
 			for _, cb := range p.notify {
-				cb(now)
+				cb.fn(now)
 			}
 		} else {
 			f.inflight[nkeep] = p
@@ -144,7 +176,7 @@ func (f *FaultUnit) Outstanding() int { return len(f.inflight) + len(f.queue) }
 
 // SetFaultUnit attaches demand paging to the walker: a completed walk for a
 // non-resident page is held until its fault is serviced.
-func (w *Walker) SetFaultUnit(f *FaultUnit) { w.faults = f }
+func (w *Walker) SetFaultUnit(f *FaultUnit) { w.faults = f; f.walker = w }
 
 // Faults returns the attached fault unit (nil when demand paging is off).
 func (w *Walker) Faults() *FaultUnit { return w.faults }

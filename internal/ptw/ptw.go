@@ -71,8 +71,31 @@ type walk struct {
 	start    int64
 	buf      [4]uint64
 
+	// origin records which kind of continuation done/tr is, and serial is a
+	// per-walker monotonic walk number; together they let checkpoint restore
+	// rebind the walk's callbacks (docs/MODEL.md §9).
+	origin WalkOrigin
+	serial uint64
+
 	reqDone func(now int64, r *memreq.Request)
 }
+
+// WalkOrigin identifies where a walk's completion continuation lives, so a
+// restored walk can be relinked to it.
+type WalkOrigin uint8
+
+const (
+	// OriginExternal: a caller outside the simulator's wiring (tests); the
+	// continuation cannot be rebuilt across a checkpoint.
+	OriginExternal WalkOrigin = iota
+	// OriginL2Miss: done is a shared-TLB MSHR fill (tlb.L2TLB.MissDone).
+	OriginL2Miss
+	// OriginPrefetch: done installs a prefetched translation
+	// (tlb.L2TLB.PrefetchDone).
+	OriginPrefetch
+	// OriginTrans: tr is set; completion is tr.Complete (PWCache design).
+	OriginTrans
+)
 
 // Walker is the shared page table walker.
 type Walker struct {
@@ -90,6 +113,15 @@ type Walker struct {
 	pool *memreq.Pool
 
 	perAppActive []int
+
+	// serialSeq numbers walks for checkpoint relinking (walk.serial).
+	serialSeq uint64
+	// resolveDone, installed by the simulator, rebuilds a restored walk's
+	// completion callback from its origin coordinates.
+	resolveDone func(origin WalkOrigin, asid uint8, appID int, vpn uint64) (func(now int64, frame uint64), error)
+	// bySerial indexes restored walks for the request link pass; populated
+	// only by RestoreState.
+	bySerial map[uint64]*walk
 
 	// sampleEvery controls concurrency sampling (cycles); 0 disables.
 	sampleEvery int64
@@ -141,6 +173,11 @@ func (w *Walker) getWalk() *walk {
 		w.walkFree = w.walkFree[:n-1]
 		return wk
 	}
+	return w.newWalk()
+}
+
+// newWalk allocates a walk with its request completion handler bound.
+func (w *Walker) newWalk() *walk {
 	wk := &walk{}
 	wk.reqDone = func(now int64, _ *memreq.Request) { w.advance(now, wk) }
 	return wk
@@ -158,12 +195,20 @@ func (w *Walker) AddSpace(s *pagetable.Space) {
 	w.spaces[s.ASID()] = s
 }
 
-// StartWalk implements tlb.WalkStarter: queue a walk for (asid, vpn).
+// StartWalk implements tlb.WalkStarter: queue a walk for (asid, vpn). The
+// walk is tagged as a shared-TLB miss fill; callers outside the simulator's
+// wiring (tests) get the same behavior but their walks cannot be relinked
+// across a checkpoint.
 func (w *Walker) StartWalk(now int64, asid uint8, appID int, vpn uint64, done func(now int64, frame uint64)) {
-	w.start(now, asid, appID, vpn, done, nil)
+	w.start(now, asid, appID, vpn, done, nil, OriginL2Miss)
 }
 
-func (w *Walker) start(now int64, asid uint8, appID int, vpn uint64, done func(now int64, frame uint64), tr *memreq.TransReq) {
+// StartPrefetchWalk implements tlb.WalkStarter for prediction-driven walks.
+func (w *Walker) StartPrefetchWalk(now int64, asid uint8, appID int, vpn uint64, done func(now int64, frame uint64)) {
+	w.start(now, asid, appID, vpn, done, nil, OriginPrefetch)
+}
+
+func (w *Walker) start(now int64, asid uint8, appID int, vpn uint64, done func(now int64, frame uint64), tr *memreq.TransReq, origin WalkOrigin) {
 	sp, ok := w.spaces[asid]
 	if !ok {
 		panic("ptw: walk for unregistered ASID")
@@ -171,6 +216,8 @@ func (w *Walker) start(now int64, asid uint8, appID int, vpn uint64, done func(n
 	wk := w.getWalk()
 	wk.asid, wk.appID, wk.vpn = asid, appID, vpn
 	wk.done, wk.tr = done, tr
+	wk.origin, wk.serial = origin, w.serialSeq
+	w.serialSeq++
 	wk.level, wk.start = 1, now
 	wk.addrs = sp.WalkAddrsInto(vpn, wk.buf[:0])
 	w.Stats.Started++
@@ -191,7 +238,7 @@ func (w *Walker) start(now int64, asid uint8, appID int, vpn uint64, done func(n
 // shared L2 TLB (Figure 3). FIFO order keeps walker admission fair across
 // applications regardless of core tick order.
 func (w *Walker) SubmitTrans(now int64, tr *memreq.TransReq) bool {
-	w.start(now, tr.ASID, tr.AppID, tr.VPN, nil, tr)
+	w.start(now, tr.ASID, tr.AppID, tr.VPN, nil, tr, OriginTrans)
 	return true
 }
 
@@ -315,6 +362,7 @@ func (w *Walker) issue(now int64, wk *walk) {
 	r.Kind, r.Class, r.WalkLevel = memreq.Read, memreq.Translation, uint8(lvl)
 	r.Addr, r.Issue = wk.addrs[lvl-1], now
 	r.Done = wk.reqDone
+	r.Site, r.SiteRef = memreq.SiteWalk, wk.serial
 	if w.backend.Submit(now, r) {
 		wk.waiting = true
 		return
@@ -346,11 +394,14 @@ func (w *Walker) advance(now int64, wk *walk) {
 	// never wk itself.
 	done, tr, start := wk.done, wk.tr, wk.start
 	// Demand paging (§5.5): the walk found the PTE, but a non-resident page
-	// must be faulted in before the translation is usable.
+	// must be faulted in before the translation is usable. The meta mirrors
+	// the closure's captures so a checkpoint can serialize the held
+	// continuation (frame is recomputed from the page table on restore).
 	if w.faults != nil {
-		if !w.faults.Touch(now, wk.asid, wk.vpn, func(fnow int64) {
+		meta := FaultMeta{Start: start, Origin: wk.origin, AppID: wk.appID, ASID: wk.asid, VPN: wk.vpn, Tr: tr}
+		if !w.faults.touch(now, wk.asid, wk.vpn, func(fnow int64) {
 			w.finishWalk(fnow, start, frame, done, tr)
-		}) {
+		}, meta) {
 			return
 		}
 	}

@@ -27,6 +27,18 @@ func New(seed uint64) *Source {
 	return s
 }
 
+// State returns the generator's internal state for checkpointing.
+func (s *Source) State() uint64 { return s.state }
+
+// SetState restores a state previously returned by State. A zero state is
+// remapped like a zero seed so the generator can never stick.
+func (s *Source) SetState(state uint64) {
+	if state == 0 {
+		state = 0x9E3779B97F4A7C15
+	}
+	s.state = state
+}
+
 // Uint64 returns the next 64 pseudo-random bits.
 func (s *Source) Uint64() uint64 {
 	x := s.state

@@ -19,22 +19,14 @@ const keyVersion = "v1"
 // exercise the supervision path, which serving a cached result would mask.
 func Cacheable(cfg sim.Config) bool { return cfg.FaultPlan == nil }
 
-// configString renders cfg in a canonical, content-only form.
-//
-// Name is presentation metadata — the simulation ignores it (it only flows
-// into Results.Config, which no experiment table prints) — so it is excluded:
-// identically-configured runs registered under different display names share
-// one simulation. FaultPlan is cleared because Cacheable gates it out before
-// any key is computed; clearing keeps the %+v rendering free of pointer
-// addresses either way.
+// configString renders cfg in a canonical, content-only form, delegating the
+// canonicalization to sim.CanonicalConfig (the same normalization checkpoint
+// fingerprints use): the display name, fault injection, the fast-forward
+// speed knob, and the checkpoint/resume orchestration are all stripped, so
+// behaviorally equal runs — including a cell resumed from a checkpoint and a
+// cell run clean — share one cache entry.
 func configString(cfg sim.Config) string {
-	cfg.Name = ""
-	cfg.FaultPlan = nil
-	// FastForward is a pure speed knob: the engine guarantees bit-identical
-	// Results with it on or off, so runs that differ only in it share one
-	// cache entry.
-	cfg.FastForward = false
-	return fmt.Sprintf("%+v", cfg)
+	return fmt.Sprintf("%+v", sim.CanonicalConfig(cfg))
 }
 
 // RunKey fingerprints a shared multi-application run: sim.Run of names under

@@ -24,6 +24,7 @@ import (
 	"path/filepath"
 	"sync"
 
+	"masksim/internal/snapshot"
 	"masksim/sim"
 )
 
@@ -168,8 +169,10 @@ func (c *Cache) loadDisk(key string) (*sim.Results, bool) {
 	return de.Results, true
 }
 
-// storeDisk persists a successful result atomically (temp file + rename), so
-// an interrupted write can never leave a half-entry that parses.
+// storeDisk persists a successful result durably: snapshot.WriteFileAtomic
+// writes a temp file, fsyncs it, renames it into place and fsyncs the
+// directory, so neither an interrupted write nor a post-rename power loss can
+// leave a half-entry (or no entry) where a completed one was reported.
 func (c *Cache) storeDisk(key string, res *sim.Results) {
 	if c.dir == "" {
 		return
@@ -183,13 +186,7 @@ func (c *Cache) storeDisk(key string, res *sim.Results) {
 		c.countDiskError()
 		return
 	}
-	tmp := c.path(key) + ".tmp"
-	if err := os.WriteFile(tmp, b, 0o644); err != nil {
-		c.countDiskError()
-		return
-	}
-	if err := os.Rename(tmp, c.path(key)); err != nil {
-		os.Remove(tmp)
+	if err := snapshot.WriteFileAtomic(c.path(key), b, 0o644); err != nil {
 		c.countDiskError()
 		return
 	}

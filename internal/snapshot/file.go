@@ -1,0 +1,54 @@
+package snapshot
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic commits data to path so that a reader can never observe a
+// partial or empty file, even across a machine crash: the bytes are written
+// to a temporary sibling, fsynced, renamed over path, and the parent
+// directory is fsynced so the rename itself is durable. Without the two
+// fsyncs an OS crash shortly after rename can leave a zero-length file at
+// path — a "committed" entry with no content, which is exactly the poison a
+// resuming campaign must never trust.
+func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	cleanup := func() {
+		tmp.Close()
+		os.Remove(tmpName)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		cleanup()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		cleanup()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Chmod(tmpName, perm); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	// Persist the rename: fsync the directory. Failure here is reported (the
+	// entry exists but may not survive a crash), not rolled back.
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

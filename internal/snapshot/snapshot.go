@@ -1,0 +1,158 @@
+// Package snapshot implements the on-disk envelope for simulator
+// checkpoints: a magic-tagged, version-stamped, fingerprint-keyed container
+// whose payload is guarded by a SHA-256 checksum. The envelope is
+// deliberately dumb — it carries opaque payload bytes and enough metadata to
+// reject the three ways a checkpoint can be unusable (wrong format, wrong
+// simulation, corrupted bytes) with a structured error each, so callers can
+// fall back to a clean start instead of panicking on garbage.
+//
+// The package also owns WriteFileAtomic, the crash-durable tmp+rename+fsync
+// helper shared by checkpoint writes and the simcache on-disk layer.
+package snapshot
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// magic identifies a masksim checkpoint file.
+var magic = [4]byte{'M', 'S', 'K', 'P'}
+
+// Version is the current envelope+payload format version. Bump it whenever
+// any component's serialized state changes shape or meaning (see
+// docs/MODEL.md §9); old files are then rejected with a *VersionError
+// instead of being misdecoded.
+const Version uint32 = 1
+
+// maxMetaLen bounds the fingerprint length so a corrupt header cannot make
+// Read attempt a huge allocation.
+const maxMetaLen = 1 << 16
+
+// Header is the envelope metadata stored alongside the payload.
+type Header struct {
+	// Fingerprint identifies the simulation this checkpoint belongs to
+	// (config + apps + cycle budget, sim.Simulator.Fingerprint).
+	Fingerprint string
+	// Cycle is the simulated cycle the state was captured at.
+	Cycle int64
+	// TotalCycles is the cycle budget of the interrupted run; a restored run
+	// must be resumed with the same budget to stay bit-identical.
+	TotalCycles int64
+}
+
+// Structured rejection errors. Every defect a checkpoint file can have maps
+// to exactly one of these (wrapped with context), so restore paths can
+// distinguish "not a checkpoint" from "stale format" from "bit rot".
+var (
+	// ErrBadMagic: the file does not start with the checkpoint magic.
+	ErrBadMagic = errors.New("snapshot: bad magic (not a checkpoint file)")
+	// ErrChecksum: the trailing SHA-256 does not match the content.
+	ErrChecksum = errors.New("snapshot: checksum mismatch (corrupt checkpoint)")
+	// ErrTruncated: the file ends before the declared content does.
+	ErrTruncated = errors.New("snapshot: truncated checkpoint")
+)
+
+// VersionError reports a version-stamped envelope from a different format
+// generation.
+type VersionError struct {
+	Got, Want uint32
+}
+
+func (e *VersionError) Error() string {
+	return fmt.Sprintf("snapshot: version %d not supported (want %d)", e.Got, e.Want)
+}
+
+// Write serializes header and payload to w:
+//
+//	magic[4] | version u32 | fpLen u32 | fingerprint | cycle i64 |
+//	totalCycles i64 | payloadLen u64 | payload | sha256[32]
+//
+// all little-endian, with the checksum covering every preceding byte.
+func Write(w io.Writer, h Header, payload []byte) error {
+	var buf bytes.Buffer
+	buf.Write(magic[:])
+	le := binary.LittleEndian
+	var u32 [4]byte
+	var u64 [8]byte
+	le.PutUint32(u32[:], Version)
+	buf.Write(u32[:])
+	le.PutUint32(u32[:], uint32(len(h.Fingerprint)))
+	buf.Write(u32[:])
+	buf.WriteString(h.Fingerprint)
+	le.PutUint64(u64[:], uint64(h.Cycle))
+	buf.Write(u64[:])
+	le.PutUint64(u64[:], uint64(h.TotalCycles))
+	buf.Write(u64[:])
+	le.PutUint64(u64[:], uint64(len(payload)))
+	buf.Write(u64[:])
+	buf.Write(payload)
+	sum := sha256.Sum256(buf.Bytes())
+	buf.Write(sum[:])
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// Seal computes the trailing checksum Write appends over body. Exposed so
+// tests can craft envelopes whose only defect is the field under test.
+func Seal(body []byte) []byte {
+	sum := sha256.Sum256(body)
+	return sum[:]
+}
+
+// Read parses an envelope written by Write, verifying magic, version and
+// checksum. On success it returns the header and payload; on any defect it
+// returns one of the structured errors above (possibly wrapped).
+func Read(r io.Reader) (Header, []byte, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return Header{}, nil, fmt.Errorf("snapshot: read: %w", err)
+	}
+	return Decode(raw)
+}
+
+// Decode parses an in-memory envelope (see Read).
+func Decode(raw []byte) (Header, []byte, error) {
+	var h Header
+	if len(raw) < len(magic) {
+		return h, nil, ErrTruncated
+	}
+	if !bytes.Equal(raw[:len(magic)], magic[:]) {
+		return h, nil, ErrBadMagic
+	}
+	// Checksum first: any flipped byte — header or payload — is reported as
+	// corruption rather than decoded into nonsense.
+	if len(raw) < len(magic)+sha256.Size {
+		return h, nil, ErrTruncated
+	}
+	body, sum := raw[:len(raw)-sha256.Size], raw[len(raw)-sha256.Size:]
+	if got := sha256.Sum256(body); !bytes.Equal(got[:], sum) {
+		return h, nil, ErrChecksum
+	}
+	le := binary.LittleEndian
+	p := body[len(magic):]
+	if len(p) < 8 {
+		return h, nil, ErrTruncated
+	}
+	if v := le.Uint32(p); v != Version {
+		return h, nil, &VersionError{Got: v, Want: Version}
+	}
+	fpLen := le.Uint32(p[4:])
+	p = p[8:]
+	if fpLen > maxMetaLen || uint64(len(p)) < uint64(fpLen)+24 {
+		return h, nil, ErrTruncated
+	}
+	h.Fingerprint = string(p[:fpLen])
+	p = p[fpLen:]
+	h.Cycle = int64(le.Uint64(p))
+	h.TotalCycles = int64(le.Uint64(p[8:]))
+	payloadLen := le.Uint64(p[16:])
+	p = p[24:]
+	if uint64(len(p)) != payloadLen {
+		return h, nil, ErrTruncated
+	}
+	return h, p, nil
+}

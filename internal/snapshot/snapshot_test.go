@@ -1,0 +1,166 @@
+package snapshot
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// seal replaces raw's trailing checksum so a deliberately altered envelope
+// reaches the check under test instead of dying at the checksum gate.
+func reseal(raw []byte) {
+	copy(raw[len(raw)-sha256.Size:], Seal(raw[:len(raw)-sha256.Size]))
+}
+
+func encode(t *testing.T, h Header, payload []byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, h, payload); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestRoundTrip(t *testing.T) {
+	in := Header{Fingerprint: "abc123", Cycle: 42, TotalCycles: 1000}
+	payload := []byte("simulator state bytes")
+	raw := encode(t, in, payload)
+
+	h, p, err := Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h != in {
+		t.Fatalf("header = %+v, want %+v", h, in)
+	}
+	if !bytes.Equal(p, payload) {
+		t.Fatalf("payload = %q, want %q", p, payload)
+	}
+
+	// Read (the io.Reader path) agrees with Decode.
+	h2, p2, err := Read(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2 != in || !bytes.Equal(p2, payload) {
+		t.Fatal("Read disagrees with Decode")
+	}
+}
+
+func TestRoundTripEmpty(t *testing.T) {
+	raw := encode(t, Header{}, nil)
+	h, p, err := Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h != (Header{}) || len(p) != 0 {
+		t.Fatalf("got header %+v payload %d bytes, want zero values", h, len(p))
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	raw := encode(t, Header{Fingerprint: "fp"}, []byte("x"))
+	raw[0] = 'X'
+	if _, _, err := Decode(raw); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestChecksumCatchesEveryByte(t *testing.T) {
+	raw := encode(t, Header{Fingerprint: "fp", Cycle: 7, TotalCycles: 9}, []byte("payload"))
+	// Flip each byte after the magic in turn (magic flips are ErrBadMagic;
+	// checksum-region flips also surface as ErrChecksum).
+	for i := 4; i < len(raw); i++ {
+		mut := append([]byte(nil), raw...)
+		mut[i] ^= 0xFF
+		if _, _, err := Decode(mut); !errors.Is(err, ErrChecksum) {
+			t.Fatalf("flip at %d: err = %v, want ErrChecksum", i, err)
+		}
+	}
+}
+
+func TestTruncated(t *testing.T) {
+	raw := encode(t, Header{Fingerprint: "fp"}, []byte("payload"))
+	for _, n := range []int{0, 2, 4, len(raw) / 2, len(raw) - 1} {
+		if _, _, err := Decode(raw[:n]); !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrChecksum) {
+			t.Fatalf("truncate to %d: err = %v, want ErrTruncated or ErrChecksum", n, err)
+		}
+	}
+	// An empty file is truncated, not corrupt.
+	if _, _, err := Decode(nil); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("empty: err = %v, want ErrTruncated", err)
+	}
+}
+
+func TestVersionMismatch(t *testing.T) {
+	raw := encode(t, Header{Fingerprint: "fp"}, []byte("payload"))
+	binary.LittleEndian.PutUint32(raw[4:], Version+1)
+	reseal(raw)
+	var ve *VersionError
+	_, _, err := Decode(raw)
+	if !errors.As(err, &ve) {
+		t.Fatalf("err = %v, want *VersionError", err)
+	}
+	if ve.Got != Version+1 || ve.Want != Version {
+		t.Fatalf("VersionError = %+v", ve)
+	}
+}
+
+func TestOversizedFingerprintRejected(t *testing.T) {
+	// A corrupt-but-resealed header declaring a huge fingerprint must be
+	// rejected without attempting the allocation.
+	raw := encode(t, Header{Fingerprint: "fp"}, nil)
+	binary.LittleEndian.PutUint32(raw[8:], maxMetaLen+1)
+	reseal(raw)
+	if _, _, err := Decode(raw); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("err = %v, want ErrTruncated", err)
+	}
+}
+
+func TestPayloadLengthMismatch(t *testing.T) {
+	raw := encode(t, Header{Fingerprint: "fp"}, []byte("payload"))
+	// Declare one payload byte fewer than present, reseal.
+	off := 4 + 4 + 4 + 2 + 8 + 8 // magic, version, fpLen, "fp", cycle, total
+	binary.LittleEndian.PutUint64(raw[off:], uint64(len("payload"))-1)
+	reseal(raw)
+	if _, _, err := Decode(raw); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("err = %v, want ErrTruncated", err)
+	}
+}
+
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "entry.bin")
+	if err := WriteFileAtomic(path, []byte("v1"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if b, _ := os.ReadFile(path); string(b) != "v1" {
+		t.Fatalf("content = %q, want v1", b)
+	}
+	// Overwrite is atomic too: the old content is fully replaced.
+	if err := WriteFileAtomic(path, []byte("v2 longer"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if b, _ := os.ReadFile(path); string(b) != "v2 longer" {
+		t.Fatalf("content = %q, want v2 longer", b)
+	}
+	// No temp files are left behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "entry.bin" {
+		t.Fatalf("dir contents = %v, want just entry.bin", entries)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perm := info.Mode().Perm(); perm != 0o644 {
+		t.Fatalf("perm = %o, want 644", perm)
+	}
+}

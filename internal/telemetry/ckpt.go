@@ -1,0 +1,62 @@
+package telemetry
+
+import "fmt"
+
+// ProbeState is one probe's delta-tracking state, index-aligned with the
+// registry's (deterministic) registration order.
+type ProbeState struct {
+	Last    float64
+	LastDen float64
+}
+
+// CollectorState is the collector's checkpoint image.
+type CollectorState struct {
+	Probes  []ProbeState
+	Samples []Sample
+	Events  []Event
+	Sampled int64
+}
+
+// SnapshotState implements engine.Snapshotter; the collector needs no request
+// registry, so ctx is ignored.
+func (c *Collector) SnapshotState(ctx any) (any, error) {
+	st := CollectorState{Sampled: c.sampled}
+	st.Probes = make([]ProbeState, len(c.probes))
+	for i, p := range c.probes {
+		st.Probes[i] = ProbeState{Last: p.last, LastDen: p.lastDen}
+	}
+	for _, s := range c.samples {
+		st.Samples = append(st.Samples, Sample{Cycle: s.Cycle, Values: append([]float64(nil), s.Values...)})
+	}
+	for _, ev := range c.events {
+		cp := ev
+		if ev.Args != nil {
+			cp.Args = make(map[string]string, len(ev.Args))
+			for k, v := range ev.Args {
+				cp.Args[k] = v
+			}
+		}
+		st.Events = append(st.Events, cp)
+	}
+	return st, nil
+}
+
+// RestoreState implements engine.Snapshotter. Probe states are matched by
+// registration order, which is identical between the checkpointing and the
+// restoring simulator because both build the probe set from the same config.
+func (c *Collector) RestoreState(ctx any, state any) error {
+	st, ok := state.(CollectorState)
+	if !ok {
+		return fmt.Errorf("telemetry: restore state is %T, want CollectorState", state)
+	}
+	if len(st.Probes) != len(c.probes) {
+		return fmt.Errorf("telemetry: checkpoint has %d probes, collector has %d", len(st.Probes), len(c.probes))
+	}
+	for i, p := range c.probes {
+		p.last, p.lastDen = st.Probes[i].Last, st.Probes[i].LastDen
+	}
+	c.samples = append(c.samples[:0], st.Samples...)
+	c.events = append(c.events[:0], st.Events...)
+	c.sampled = st.Sampled
+	return nil
+}

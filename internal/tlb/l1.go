@@ -119,6 +119,11 @@ func (t *L1TLB) getMiss() *l1miss {
 		t.missFree = t.missFree[:n-1]
 		return m
 	}
+	return t.newMiss()
+}
+
+// newMiss allocates a miss tracker with its fill handler bound.
+func (t *L1TLB) newMiss() *l1miss {
 	m := &l1miss{}
 	m.done = func(dnow int64, frame uint64) { t.fill(dnow, m, frame) }
 	return m

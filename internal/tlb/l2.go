@@ -8,8 +8,12 @@ import (
 // WalkStarter begins a page table walk; the walker queues internally, so
 // StartWalk always succeeds. QueuedWalks exposes the backlog so the TLB can
 // apply back-pressure instead of queueing walks without bound.
+// StartPrefetchWalk is StartWalk for prediction-driven walks; the walker tags
+// the walk's origin so checkpoint restore can rebind its completion callback
+// (an L2 MSHR fill vs a prefetch install).
 type WalkStarter interface {
 	StartWalk(now int64, asid uint8, appID int, vpn uint64, done func(now int64, frame uint64))
+	StartPrefetchWalk(now int64, asid uint8, appID int, vpn uint64, done func(now int64, frame uint64))
 	QueuedWalks() int
 }
 
@@ -172,11 +176,18 @@ func (t *L2TLB) maybePrefetch(now int64, asid uint8, appID int, vpn uint64) {
 	}
 	t.pf.Stats.Issued++
 	t.pfInFlight[key] = true
-	t.walker.StartWalk(now, asid, appID, next, func(dnow int64, frame uint64) {
+	t.walker.StartPrefetchWalk(now, asid, appID, next, t.prefetchDone(key, appID))
+}
+
+// prefetchDone builds the completion callback for a prefetch walk of key.
+// Checkpoint restore rebuilds the identical callback for in-flight prefetch
+// walks (the walker records only the walk's origin and coordinates).
+func (t *L2TLB) prefetchDone(key l2key, appID int) func(now int64, frame uint64) {
+	return func(dnow int64, frame uint64) {
 		delete(t.pfInFlight, key)
 		t.install(key, frame, appID)
 		t.markPrefetched(key)
-	})
+	}
 }
 
 func (t *L2TLB) markPrefetched(key l2key) {
@@ -288,6 +299,11 @@ func (t *L2TLB) getMiss() *l2miss {
 		t.missFree = t.missFree[:n-1]
 		return m
 	}
+	return t.newMiss()
+}
+
+// newMiss allocates a miss tracker with its walk-completion handler bound.
+func (t *L2TLB) newMiss() *l2miss {
 	m := &l2miss{}
 	m.done = func(dnow int64, frame uint64) { t.fill(dnow, m, frame) }
 	return m

@@ -129,6 +129,9 @@ func (f *fakeWalker) StartWalk(now int64, asid uint8, appID int, vpn uint64, don
 	f.walks = append(f.walks, done)
 	f.vpns = append(f.vpns, vpn)
 }
+func (f *fakeWalker) StartPrefetchWalk(now int64, asid uint8, appID int, vpn uint64, done func(int64, uint64)) {
+	f.StartWalk(now, asid, appID, vpn, done)
+}
 func (f *fakeWalker) QueuedWalks() int { return f.queued }
 
 func (f *fakeWalker) completeAll(now int64, frame uint64) {

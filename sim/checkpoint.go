@@ -1,0 +1,558 @@
+package sim
+
+// Mid-run checkpoint/restore (docs/MODEL.md §9). A checkpoint is the complete
+// mutable state of a live simulator — clock, per-component state, every
+// in-flight request — captured between two cycles and wrapped in the
+// internal/snapshot envelope (versioned, fingerprint-keyed, checksummed).
+// Restoring it onto a freshly built simulator with the identical
+// configuration makes every subsequent cycle bit-identical to the
+// uninterrupted run.
+//
+// Closures cannot serialize, so completion callbacks are captured as
+// continuation descriptors (memreq.Site stamps, walk origins, L1 MSHR keys)
+// and rebound here in a final link pass once every component has restored
+// its trackers.
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/gob"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"masksim/internal/cache"
+	"masksim/internal/dram"
+	"masksim/internal/engine"
+	"masksim/internal/faultinject"
+	"masksim/internal/gpu"
+	"masksim/internal/memreq"
+	"masksim/internal/ptw"
+	"masksim/internal/snapshot"
+	"masksim/internal/telemetry"
+	"masksim/internal/tlb"
+	"masksim/internal/workload"
+)
+
+// The per-ticker states travel as map[int]any, so gob needs every concrete
+// type registered. Kept in one place: a type added to a component's
+// Snapshotter but missing here fails loudly on the first Checkpoint call.
+func init() {
+	gob.Register(gpu.CoreState{})
+	gob.Register(tlb.L1State{})
+	gob.Register(tlb.L2State{})
+	gob.Register(ptw.WalkerState{})
+	gob.Register(ptw.FaultUnitState{})
+	gob.Register(cache.CacheState{})
+	gob.Register(dram.DRAMState{})
+	gob.Register(telemetry.CollectorState{})
+}
+
+// checkpointPayload is the gob-encoded body inside the snapshot envelope.
+type checkpointPayload struct {
+	Clock  engine.ClockState
+	States map[int]any
+
+	// The request registry: every live Request/TransReq once, by index, plus
+	// the pool and ID-generator counters so allocation behavior after restore
+	// matches the interrupted run.
+	Reqs      []memreq.RequestDTO
+	Trans     []memreq.TransReqDTO
+	ReqPool   memreq.PoolState
+	TransPool memreq.PoolState
+	IDGen     uint64
+
+	// Watchdog is the supervision state mid-run (nil when unsupervised). A
+	// crash checkpoint carries a tripped watchdog, which re-raises its
+	// DeadlockError at the restored cycle.
+	Watchdog *engine.WatchdogState
+
+	// Syncs holds the deduplicated group-barrier states in deterministic
+	// core/warp traversal order.
+	Syncs []workload.GroupSyncState
+
+	// ATA is the L2 bypass policy's state (nil unless Mask.L2Bypass).
+	ATA *cache.ATAState
+
+	// Trace is the -trace time series accumulated so far plus its window
+	// counters.
+	TraceSamples []TraceSample
+	TraceCycle   int64
+	TraceInstr   uint64
+	TraceL2Acc   uint64
+	TraceL2Miss  uint64
+
+	// FaultPlan carries the injection counters when a plan is wired.
+	FaultPlan *faultinject.PlanState
+}
+
+// CheckpointStats counts checkpoint activity on one simulator.
+type CheckpointStats struct {
+	// Taken is the number of checkpoint files successfully written.
+	Taken int
+	// Restored is 1 if this simulator adopted a checkpoint, else 0.
+	Restored int
+	// Rejected counts unusable checkpoint files skipped during resume
+	// (corrupt, truncated, stale format, wrong simulation or budget).
+	Rejected int
+	// WriteErrors counts periodic checkpoint writes that failed (best-effort:
+	// a full disk does not abort a healthy run).
+	WriteErrors int
+}
+
+// CheckpointStats reports this simulator's checkpoint activity.
+func (s *Simulator) CheckpointStats() CheckpointStats { return s.ckptStats }
+
+// ErrWrongSimulation rejects a checkpoint whose fingerprint names a different
+// simulation (config, apps, or core split differ).
+var ErrWrongSimulation = errors.New("sim: checkpoint fingerprint does not match this simulation")
+
+// CanonicalConfig strips the fields that do not affect simulated behavior —
+// the display name, test-only fault injection, the fast-forward speed knob
+// (bit-identical by contract), and the checkpoint/resume orchestration
+// itself — so fingerprints and result-cache keys treat behaviorally equal
+// configs as equal.
+func CanonicalConfig(cfg Config) Config {
+	cfg.Name = ""
+	cfg.FaultPlan = nil
+	cfg.FastForward = false
+	cfg.CheckpointEvery = 0
+	cfg.CheckpointDir = ""
+	cfg.Resume = false
+	return cfg
+}
+
+// Fingerprint identifies this exact simulation: canonical config plus every
+// application's identity, seed and core share. Two simulators with equal
+// fingerprints simulate bit-identically, so a checkpoint may only restore
+// onto a matching one.
+func (s *Simulator) Fingerprint() string {
+	if s.fp != "" {
+		return s.fp
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "%+v|", CanonicalConfig(s.cfg))
+	for i, app := range s.apps {
+		name := app.Profile.Name
+		if app.Trace != nil {
+			name = app.Trace.Name
+		}
+		fmt.Fprintf(h, "%d:%s:%d:%d|", app.ID, name, app.Seed, s.coresPerApp[i])
+	}
+	s.fp = hex.EncodeToString(h.Sum(nil))[:16]
+	return s.fp
+}
+
+// Checkpoint serializes the simulator's complete state to w inside the
+// snapshot envelope. Callable between any two cycles: the engine's
+// checkpoint hook calls it at CheckpointEvery boundaries, and tests call it
+// directly after stepping the engine.
+func (s *Simulator) Checkpoint(w io.Writer) error {
+	tab := memreq.NewTable()
+	states, err := s.eng.SnapshotStates(tab)
+	if err != nil {
+		return fmt.Errorf("sim: checkpoint: %w", err)
+	}
+	p := checkpointPayload{
+		Clock:     s.eng.Clock(),
+		States:    states,
+		Reqs:      tab.Requests(),
+		Trans:     tab.TransReqs(),
+		ReqPool:   s.reqPool.State(),
+		TransPool: s.transPool.State(),
+		IDGen:     s.idgen.State(),
+
+		TraceSamples: s.trace.samples,
+		TraceCycle:   s.trace.lastCycle,
+		TraceInstr:   s.trace.lastInstr,
+		TraceL2Acc:   s.trace.lastL2Access,
+		TraceL2Miss:  s.trace.lastL2Miss,
+	}
+	if s.curWD != nil {
+		st := s.curWD.State()
+		p.Watchdog = &st
+	}
+	s.forEachSync(func(g *workload.GroupSync) {
+		p.Syncs = append(p.Syncs, g.State())
+	})
+	if s.ata != nil {
+		st := s.ata.State()
+		p.ATA = &st
+	}
+	if s.cfg.FaultPlan != nil {
+		st := s.cfg.FaultPlan.State()
+		p.FaultPlan = &st
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&p); err != nil {
+		return fmt.Errorf("sim: encode checkpoint: %w", err)
+	}
+	return snapshot.Write(w, snapshot.Header{
+		Fingerprint: s.Fingerprint(),
+		Cycle:       s.eng.Now(),
+		TotalCycles: s.totalCycles,
+	}, buf.Bytes())
+}
+
+// RestoreCheckpoint restores a checkpoint written by Checkpoint onto this
+// freshly built simulator. Must be called before Run; the subsequent Run must
+// use the same total cycle budget as the interrupted run. Envelope defects
+// and wrong-simulation checkpoints are rejected with structured errors
+// (snapshot.ErrBadMagic/ErrChecksum/ErrTruncated, *snapshot.VersionError,
+// ErrWrongSimulation) before any state is touched.
+func (s *Simulator) RestoreCheckpoint(r io.Reader) error {
+	h, payload, err := snapshot.Read(r)
+	if err != nil {
+		return err
+	}
+	return s.restoreDecoded(h, payload)
+}
+
+// restoreDecoded applies a verified envelope. Rejections (fingerprint, gob
+// shape) happen before any mutation; errors after that indicate a payload
+// inconsistent with this build and leave the simulator unusable.
+func (s *Simulator) restoreDecoded(h snapshot.Header, payload []byte) error {
+	if s.ran && !s.resuming {
+		return fmt.Errorf("sim: RestoreCheckpoint must precede Run")
+	}
+	if s.restored {
+		return fmt.Errorf("sim: simulator already restored from a checkpoint")
+	}
+	if h.Fingerprint != s.Fingerprint() {
+		return fmt.Errorf("%w (checkpoint %s, simulation %s)", ErrWrongSimulation, h.Fingerprint, s.Fingerprint())
+	}
+	var p checkpointPayload
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&p); err != nil {
+		return fmt.Errorf("sim: decode checkpoint payload: %w", err)
+	}
+
+	// Phase 1: materialize every live request from the pools. Components
+	// resolve indices against this table during their RestoreState.
+	rt := memreq.NewRestoreTable(p.Reqs, p.Trans, &s.reqPool, &s.transPool)
+	if err := s.eng.RestoreStates(rt, p.States); err != nil {
+		return fmt.Errorf("sim: restore checkpoint: %w", err)
+	}
+	s.eng.SetClock(p.Clock)
+
+	// Phase 2: rebind the callbacks that could not serialize.
+	if err := s.linkRestored(rt); err != nil {
+		return fmt.Errorf("sim: restore link pass: %w", err)
+	}
+
+	// Phase 3: simulator-owned state outside the tick list.
+	nSyncs := 0
+	var syncErr error
+	s.forEachSync(func(g *workload.GroupSync) {
+		if nSyncs < len(p.Syncs) {
+			g.SetState(p.Syncs[nSyncs])
+		}
+		nSyncs++
+	})
+	if syncErr == nil && nSyncs != len(p.Syncs) {
+		syncErr = fmt.Errorf("sim: checkpoint has %d group syncs, simulator has %d", len(p.Syncs), nSyncs)
+	}
+	if syncErr != nil {
+		return syncErr
+	}
+	if p.ATA != nil {
+		if s.ata == nil {
+			return fmt.Errorf("sim: checkpoint carries L2-bypass state but Mask.L2Bypass is off")
+		}
+		s.ata.SetState(*p.ATA)
+	}
+	if p.FaultPlan != nil && s.cfg.FaultPlan != nil {
+		s.cfg.FaultPlan.SetState(*p.FaultPlan)
+	}
+	s.trace.samples = p.TraceSamples
+	s.trace.lastCycle = p.TraceCycle
+	s.trace.lastInstr = p.TraceInstr
+	s.trace.lastL2Access = p.TraceL2Acc
+	s.trace.lastL2Miss = p.TraceL2Miss
+
+	// Pools and ID generator last, after every materialization Get, so the
+	// counters reflect the checkpointed run rather than the restore work.
+	s.reqPool.SetState(p.ReqPool)
+	s.transPool.SetState(p.TransPool)
+	s.idgen.SetState(p.IDGen)
+
+	s.restored = true
+	s.restoredWD = p.Watchdog
+	s.restoredTotal = h.TotalCycles
+	s.ckptStats.Restored++
+	return nil
+}
+
+// linkRestored is the final link pass: every continuation descriptor becomes
+// a live callback again. Runs after all components restored, so every MSHR
+// tracker and walk exists.
+func (s *Simulator) linkRestored(rt *memreq.RestoreTable) error {
+	// Core warps parked on a translation re-register with their L1 TLB MSHR
+	// in original waiting order.
+	s.attachErr = nil
+	for _, c := range s.cores {
+		if err := c.ReattachWaiters(); err != nil {
+			return err
+		}
+	}
+	if s.attachErr != nil {
+		return s.attachErr
+	}
+
+	// A live TransReq's Done is always its owning L1 TLB MSHR fill,
+	// identified by (core, vpn); l1tlbs is core-indexed by construction.
+	nReq, nTrans := rt.Len()
+	for i := 0; i < nTrans; i++ {
+		tr := rt.Trans(int32(i))
+		if tr.CoreID < 0 || tr.CoreID >= len(s.l1tlbs) {
+			return fmt.Errorf("restored translation names core %d of %d", tr.CoreID, len(s.l1tlbs))
+		}
+		done, ok := s.l1tlbs[tr.CoreID].MissDone(tr.VPN)
+		if !ok {
+			return fmt.Errorf("restored translation (core %d, vpn %#x) has no L1 TLB tracker", tr.CoreID, tr.VPN)
+		}
+		tr.Done = done
+	}
+
+	// Requests carry a Site descriptor stamped at Done-bind time.
+	for i := 0; i < nReq; i++ {
+		r := rt.Req(int32(i))
+		switch r.Site {
+		case memreq.SiteNone:
+			// Fire-and-forget (writes, writebacks, forwards): Done stays nil.
+		case memreq.SiteCoreData:
+			if r.CoreID < 0 || r.CoreID >= len(s.cores) {
+				return fmt.Errorf("restored request names core %d of %d", r.CoreID, len(s.cores))
+			}
+			if r.WarpID < 0 || r.WarpID >= s.cfg.WarpsPerCore {
+				return fmt.Errorf("restored request names warp %d of %d", r.WarpID, s.cfg.WarpsPerCore)
+			}
+			r.Done = s.cores[r.CoreID].DataDone(r.WarpID)
+		case memreq.SiteCacheFill, memreq.SiteCacheBypassFill:
+			c := s.snapCaches[r.SiteRef]
+			if c == nil {
+				return fmt.Errorf("restored fill names unknown cache %d", r.SiteRef)
+			}
+			done, ok := c.FillDone(c.LineAddr(r.Addr), r.Site == memreq.SiteCacheBypassFill)
+			if !ok {
+				return fmt.Errorf("restored fill (cache %d, addr %#x) has no MSHR", r.SiteRef, r.Addr)
+			}
+			r.Done = done
+		case memreq.SiteWalk:
+			if s.walker == nil {
+				return fmt.Errorf("restored walk request but no walker built")
+			}
+			done, ok := s.walker.ReqDoneBySerial(r.SiteRef)
+			if !ok {
+				return fmt.Errorf("restored walk request names unknown walk %d", r.SiteRef)
+			}
+			r.Done = done
+		default:
+			return fmt.Errorf("restored request has unknown continuation site %d", r.Site)
+		}
+	}
+	return nil
+}
+
+// resolveWalkDone rebuilds a restored walk's completion callback from its
+// origin descriptor; installed on the walker at build time. Walks submitted
+// with a TransReq rebind through the request registry instead and never
+// reach here.
+func (s *Simulator) resolveWalkDone(origin ptw.WalkOrigin, asid uint8, appID int, vpn uint64) (func(now int64, frame uint64), error) {
+	switch origin {
+	case ptw.OriginL2Miss:
+		if s.l2tlb == nil {
+			return nil, fmt.Errorf("sim: L2-miss walk restored without a shared TLB")
+		}
+		done, ok := s.l2tlb.MissDone(asid, vpn)
+		if !ok {
+			return nil, fmt.Errorf("sim: L2-miss walk (asid %d, vpn %#x) has no L2 TLB tracker", asid, vpn)
+		}
+		return done, nil
+	case ptw.OriginPrefetch:
+		if s.l2tlb == nil {
+			return nil, fmt.Errorf("sim: prefetch walk restored without a shared TLB")
+		}
+		return s.l2tlb.PrefetchDone(asid, appID, vpn), nil
+	default:
+		return nil, fmt.Errorf("sim: walk origin %d has no resolvable continuation", origin)
+	}
+}
+
+// forEachSync visits every distinct group-barrier object once, in
+// deterministic core/warp build order — the same order on the checkpointing
+// and the restoring simulator.
+func (s *Simulator) forEachSync(fn func(g *workload.GroupSync)) {
+	seen := make(map[*workload.GroupSync]bool)
+	for _, c := range s.cores {
+		for w := 0; w < s.cfg.WarpsPerCore; w++ {
+			g := c.Stream(w).Sync()
+			if g == nil || seen[g] {
+				continue
+			}
+			seen[g] = true
+			fn(g)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint files
+
+// checkpointPath names a periodic checkpoint: <fingerprint>-<cycle>.ckpt,
+// zero-padded so lexical and numeric order agree.
+func (s *Simulator) checkpointPath(cycle int64) string {
+	return filepath.Join(s.cfg.CheckpointDir, fmt.Sprintf("%s-%012d.ckpt", s.Fingerprint(), cycle))
+}
+
+// crashCheckpointPath names the watchdog's crash dump: <fingerprint>-crash.ckpt.
+func (s *Simulator) crashCheckpointPath() string {
+	return filepath.Join(s.cfg.CheckpointDir, s.Fingerprint()+"-crash.ckpt")
+}
+
+// CrashCheckpointPath exposes the crash-dump location for post-mortem
+// tooling.
+func (s *Simulator) CrashCheckpointPath() string { return s.crashCheckpointPath() }
+
+// writeCheckpointFile serializes the current state and writes it atomically
+// (tmp+rename+fsync), so a kill mid-write can never leave a truncated file
+// under the final name.
+func (s *Simulator) writeCheckpointFile(path string) error {
+	var buf bytes.Buffer
+	if err := s.Checkpoint(&buf); err != nil {
+		s.ckptStats.WriteErrors++
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		s.ckptStats.WriteErrors++
+		return err
+	}
+	if err := snapshot.WriteFileAtomic(path, buf.Bytes(), 0o644); err != nil {
+		s.ckptStats.WriteErrors++
+		return err
+	}
+	s.ckptStats.Taken++
+	return nil
+}
+
+// WriteCheckpointNow captures the current state into CheckpointDir and
+// returns the file path (the masksim signal handler's graceful save).
+func (s *Simulator) WriteCheckpointNow() (string, error) {
+	if s.cfg.CheckpointDir == "" {
+		return "", fmt.Errorf("sim: no CheckpointDir configured")
+	}
+	path := s.checkpointPath(s.eng.Now())
+	if err := s.writeCheckpointFile(path); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// ckptCandidate is one on-disk checkpoint of this simulation.
+type ckptCandidate struct {
+	path  string
+	cycle int64
+}
+
+// listCheckpoints returns this fingerprint's periodic checkpoints under dir,
+// newest (highest cycle) first. Crash dumps are excluded: resume must not
+// silently adopt a state that immediately re-raises its DeadlockError.
+func listCheckpoints(dir, fp string) []ckptCandidate {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil
+	}
+	var out []ckptCandidate
+	prefix := fp + "-"
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, ".ckpt") {
+			continue
+		}
+		num := strings.TrimSuffix(strings.TrimPrefix(name, prefix), ".ckpt")
+		cycle, err := strconv.ParseInt(num, 10, 64)
+		if err != nil {
+			continue // crash dump or foreign file
+		}
+		out = append(out, ckptCandidate{path: filepath.Join(dir, name), cycle: cycle})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].cycle > out[j].cycle })
+	return out
+}
+
+// RestoreFromDir adopts the newest valid checkpoint of this simulation found
+// in dir, for a run with the given total cycle budget. Unusable files —
+// unreadable, corrupt, truncated, stale format, wrong simulation or budget —
+// are counted in CheckpointStats.Rejected and skipped (older checkpoints are
+// tried next); these defects are detected before any state mutation, so the
+// simulator stays cleanly startable. Returns whether a checkpoint was
+// adopted; a non-nil error means a structurally valid checkpoint failed
+// mid-restore and the simulator must be discarded.
+func (s *Simulator) RestoreFromDir(dir string, cycles int64) (bool, error) {
+	fp := s.Fingerprint()
+	for _, cand := range listCheckpoints(dir, fp) {
+		data, err := os.ReadFile(cand.path)
+		if err != nil {
+			s.ckptStats.Rejected++
+			continue
+		}
+		h, payload, err := snapshot.Decode(data)
+		if err != nil {
+			s.ckptStats.Rejected++
+			continue
+		}
+		if h.Fingerprint != fp || h.TotalCycles != cycles || h.Cycle > cycles {
+			s.ckptStats.Rejected++
+			continue
+		}
+		if err := s.restoreDecoded(h, payload); err != nil {
+			return false, fmt.Errorf("sim: restore %s: %w", cand.path, err)
+		}
+		return true, nil
+	}
+	return false, nil
+}
+
+// RestoreCrashCheckpoint adopts the watchdog crash dump from dir, if present.
+// Running the restored simulator re-raises the original DeadlockError at the
+// abort cycle with the diagnostic dump regenerated from the restored state.
+func (s *Simulator) RestoreCrashCheckpoint(dir string) (bool, error) {
+	data, err := os.ReadFile(filepath.Join(dir, s.Fingerprint()+"-crash.ckpt"))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return false, nil
+		}
+		return false, err
+	}
+	h, payload, err := snapshot.Decode(data)
+	if err != nil {
+		s.ckptStats.Rejected++
+		return false, err
+	}
+	if err := s.restoreDecoded(h, payload); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// RemoveCheckpoints deletes this simulation's periodic checkpoint files from
+// the configured checkpoint directory. Crash dumps are kept — they are
+// diagnostic evidence, not resume state. Harnesses call this after a run
+// completes so a long campaign does not accumulate stale checkpoints.
+func (s *Simulator) RemoveCheckpoints() error {
+	if s.cfg.CheckpointDir == "" {
+		return nil
+	}
+	var first error
+	for _, cand := range listCheckpoints(s.cfg.CheckpointDir, s.Fingerprint()) {
+		if err := os.Remove(cand.path); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

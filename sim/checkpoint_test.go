@@ -1,0 +1,462 @@
+package sim
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"masksim/internal/engine"
+	"masksim/internal/faultinject"
+	"masksim/internal/snapshot"
+)
+
+// ckptScenarios mirror the drift scenarios (every design the hot path flows
+// through) plus a demand-paging pair and a fully instrumented MASK run, so
+// checkpoint/restore equivalence is proven over every serialized subsystem.
+var ckptScenarios = []struct {
+	name  string
+	cfg   func() Config
+	names []string
+	alone int // >0: single-app alone run on this many cores
+}{
+	{name: "mask-3DS+CONS", cfg: MASKConfig, names: []string{"3DS", "CONS"}},
+	{name: "sharedtlb-MUM+GUP", cfg: SharedTLBConfig, names: []string{"MUM", "GUP"}},
+	{name: "pwcache-3DS+CONS", cfg: PWCacheConfig, names: []string{"3DS", "CONS"}},
+	{name: "static-RED+BP", cfg: StaticConfig, names: []string{"RED", "BP"}},
+	{name: "alone-3DS", cfg: SharedTLBConfig, names: []string{"3DS"}, alone: 30},
+	{name: "alone-GUP", cfg: SharedTLBConfig, names: []string{"GUP"}, alone: 30},
+	{name: "alone-NN", cfg: SharedTLBConfig, names: []string{"NN"}, alone: 30},
+	{name: "alone-MUM", cfg: SharedTLBConfig, names: []string{"MUM"}, alone: 30},
+	{name: "paging-MUM+GUP", cfg: func() Config {
+		c := SharedTLBConfig()
+		c.DemandPaging = true
+		c.FaultLatency = 500
+		c.FaultConcurrency = 4
+		return c
+	}, names: []string{"MUM", "GUP"}},
+	{name: "mask-instrumented", cfg: func() Config {
+		c := MASKConfig()
+		c.TraceInterval = 700
+		c.TelemetryEpoch = 900
+		c.TLBPrefetch = true
+		c.WatchdogCheckEvery = 1000
+		return c
+	}, names: []string{"3DS", "CONS"}},
+}
+
+func (s *Simulator) mustRun(t *testing.T, cycles int64) *Results {
+	t.Helper()
+	res, err := s.Run(context.Background(), cycles)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return res
+}
+
+func prepareScenario(t *testing.T, cfg Config, names []string, alone int) *Simulator {
+	t.Helper()
+	var (
+		s   *Simulator
+		err error
+	)
+	if alone > 0 {
+		s, err = PrepareAlone(cfg, names[0], alone)
+	} else {
+		s, err = Prepare(cfg, names)
+	}
+	if err != nil {
+		t.Fatalf("prepare: %v", err)
+	}
+	return s
+}
+
+// TestCheckpointRestoreEquivalence is the acceptance test of docs/MODEL.md §9:
+// checkpoint at cycle k, restore in a fresh simulator, run to completion —
+// the Results must be deeply equal to an uninterrupted run's, across every
+// scenario and with fast-forward both on and off. The checkpoint interval is
+// chosen to not divide the run length, so the resumed run restarts mid-span.
+func TestCheckpointRestoreEquivalence(t *testing.T) {
+	const cycles = 4000
+	const every = 1700 // checkpoints at 1700 and 3400; resume runs the last 600
+
+	for _, sc := range ckptScenarios {
+		for _, ff := range []bool{true, false} {
+			t.Run(fmt.Sprintf("%s/ff=%t", sc.name, ff), func(t *testing.T) {
+				cfg := sc.cfg()
+				cfg.FastForward = ff
+				ref := prepareScenario(t, cfg, sc.names, sc.alone).mustRun(t, cycles)
+
+				dir := t.TempDir()
+				ckCfg := cfg
+				ckCfg.CheckpointEvery = every
+				ckCfg.CheckpointDir = dir
+				ckSim := prepareScenario(t, ckCfg, sc.names, sc.alone)
+				full := ckSim.mustRun(t, cycles)
+				if !reflect.DeepEqual(ref, full) {
+					t.Fatalf("taking checkpoints perturbed the run:\nref:  %+v\nfull: %+v", ref, full)
+				}
+				if got := ckSim.CheckpointStats().Taken; got != 2 {
+					t.Fatalf("expected 2 checkpoints taken, got %d", got)
+				}
+
+				rsCfg := ckCfg
+				rsCfg.Resume = true
+				rsSim := prepareScenario(t, rsCfg, sc.names, sc.alone)
+				resumed := rsSim.mustRun(t, cycles)
+				if rsSim.CheckpointStats().Restored != 1 {
+					t.Fatalf("resume did not adopt a checkpoint: %+v", rsSim.CheckpointStats())
+				}
+				if rsSim.Engine().Now() != cycles {
+					t.Fatalf("resumed run ended at cycle %d, want %d", rsSim.Engine().Now(), cycles)
+				}
+				if !reflect.DeepEqual(ref, resumed) {
+					t.Fatalf("restored run diverged from uninterrupted run:\nref:     %+v\nresumed: %+v", ref, resumed)
+				}
+			})
+		}
+	}
+}
+
+// TestCheckpointStreamRoundTrip checkpoints directly to a buffer (no files)
+// and restores it, proving the Checkpoint/RestoreCheckpoint API works
+// standalone at an arbitrary cycle.
+func TestCheckpointStreamRoundTrip(t *testing.T) {
+	const cycles = 3000
+	cfg := MASKConfig()
+	ref := prepareScenario(t, cfg, []string{"3DS", "CONS"}, 0).mustRun(t, cycles)
+
+	dir := t.TempDir()
+	ckCfg := cfg
+	ckCfg.CheckpointEvery = 1300
+	ckCfg.CheckpointDir = dir
+	src := prepareScenario(t, ckCfg, []string{"3DS", "CONS"}, 0)
+	src.mustRun(t, cycles)
+
+	data, err := os.ReadFile(src.checkpointPath(2600))
+	if err != nil {
+		t.Fatalf("read checkpoint: %v", err)
+	}
+	dst := prepareScenario(t, cfg, []string{"3DS", "CONS"}, 0)
+	if err := dst.RestoreCheckpoint(bytes.NewReader(data)); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if dst.Engine().Now() != 2600 {
+		t.Fatalf("restored to cycle %d, want 2600", dst.Engine().Now())
+	}
+	resumed := dst.mustRun(t, cycles)
+	if !reflect.DeepEqual(ref, resumed) {
+		t.Fatalf("stream-restored run diverged:\nref:     %+v\nresumed: %+v", ref, resumed)
+	}
+}
+
+// TestCheckpointRejection proves every way a checkpoint file can be unusable
+// is rejected with a structured error and a clean start — never a panic, and
+// never silently adopting garbage.
+func TestCheckpointRejection(t *testing.T) {
+	const cycles = 3000
+	cfg := SharedTLBConfig()
+	names := []string{"MUM", "GUP"}
+	ref := prepareScenario(t, cfg, names, 0).mustRun(t, cycles)
+
+	// Produce a valid checkpoint set to mutilate.
+	makeDir := func(t *testing.T) string {
+		dir := t.TempDir()
+		c := cfg
+		c.CheckpointEvery = 1300
+		c.CheckpointDir = dir
+		prepareScenario(t, c, names, 0).mustRun(t, cycles)
+		return dir
+	}
+	resumeClean := func(t *testing.T, dir string, wantRejected int) {
+		t.Helper()
+		c := cfg
+		c.CheckpointEvery = 1300
+		c.CheckpointDir = dir
+		c.Resume = true
+		s := prepareScenario(t, c, names, 0)
+		res := s.mustRun(t, cycles)
+		if !reflect.DeepEqual(ref, res) {
+			t.Fatalf("fallback run diverged from reference")
+		}
+		if got := s.CheckpointStats().Rejected; got < wantRejected {
+			t.Fatalf("expected >= %d rejected checkpoints, got %d", wantRejected, got)
+		}
+	}
+
+	t.Run("corrupt-byte", func(t *testing.T) {
+		dir := makeDir(t)
+		// Flip a byte in the newest checkpoint: resume must reject it with
+		// ErrChecksum and fall back to the older one, still matching the
+		// reference bit-for-bit.
+		path, err := faultinject.CorruptCheckpointByte(dir, 1234)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, _ := os.ReadFile(path)
+		if _, _, err := snapshot.Decode(data); !errors.Is(err, snapshot.ErrChecksum) {
+			t.Fatalf("corrupted file decoded with err=%v, want ErrChecksum", err)
+		}
+		c := cfg
+		c.CheckpointEvery = 1300
+		c.CheckpointDir = dir
+		c.Resume = true
+		s := prepareScenario(t, c, names, 0)
+		res := s.mustRun(t, cycles)
+		if s.CheckpointStats().Rejected != 1 || s.CheckpointStats().Restored != 1 {
+			t.Fatalf("want 1 rejected + fallback restore, got %+v", s.CheckpointStats())
+		}
+		if !reflect.DeepEqual(ref, res) {
+			t.Fatalf("fallback-restored run diverged from reference")
+		}
+	})
+
+	t.Run("all-corrupt-falls-back-clean", func(t *testing.T) {
+		dir := makeDir(t)
+		// Corrupt one byte in every checkpoint file (CorruptCheckpointByte
+		// targets the newest; after it runs, touch the other by hand).
+		ents, _ := os.ReadDir(dir)
+		if len(ents) != 2 {
+			t.Fatalf("expected 2 checkpoints, found %d", len(ents))
+		}
+		for _, e := range ents {
+			p := filepath.Join(dir, e.Name())
+			data, _ := os.ReadFile(p)
+			data[len(data)/2] ^= 0xFF
+			if err := os.WriteFile(p, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Both periodic checkpoints now corrupt: clean start, same results.
+		resumeClean(t, dir, 2)
+	})
+
+	t.Run("truncated", func(t *testing.T) {
+		dir := makeDir(t)
+		ents, _ := os.ReadDir(dir)
+		for _, e := range ents {
+			p := filepath.Join(dir, e.Name())
+			data, _ := os.ReadFile(p)
+			if err := os.WriteFile(p, data[:len(data)/3], 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		resumeClean(t, dir, 2)
+	})
+
+	t.Run("not-a-checkpoint", func(t *testing.T) {
+		dir := makeDir(t)
+		ents, _ := os.ReadDir(dir)
+		for _, e := range ents {
+			if err := os.WriteFile(filepath.Join(dir, e.Name()), []byte("definitely not a checkpoint"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		resumeClean(t, dir, 2)
+	})
+
+	t.Run("version-mismatch", func(t *testing.T) {
+		dir := makeDir(t)
+		ents, _ := os.ReadDir(dir)
+		for _, e := range ents {
+			p := filepath.Join(dir, e.Name())
+			data, _ := os.ReadFile(p)
+			// Stamp a future version and re-seal the checksum so the only
+			// defect is the version field.
+			data[4] = 0xFE
+			resealChecksum(data)
+			if err := os.WriteFile(p, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			var ve *snapshot.VersionError
+			if _, _, err := snapshot.Decode(data); !errors.As(err, &ve) {
+				t.Fatalf("restamped file decoded with err=%v, want *VersionError", err)
+			}
+		}
+		resumeClean(t, dir, 2)
+	})
+
+	t.Run("wrong-simulation", func(t *testing.T) {
+		// A checkpoint from a different config must not restore even if the
+		// file is pristine.
+		dir := makeDir(t)
+		pathCfg := cfg
+		pathCfg.CheckpointDir = dir
+		data, err := os.ReadFile(prepareScenario(t, pathCfg, names, 0).checkpointPath(2600))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := prepareScenario(t, MASKConfig(), names, 0)
+		if err := s.RestoreCheckpoint(bytes.NewReader(data)); !errors.Is(err, ErrWrongSimulation) {
+			t.Fatalf("cross-config restore err=%v, want ErrWrongSimulation", err)
+		}
+	})
+
+	t.Run("wrong-budget", func(t *testing.T) {
+		dir := makeDir(t)
+		c := cfg
+		c.CheckpointEvery = 1300
+		c.CheckpointDir = dir
+		c.Resume = true
+		s := prepareScenario(t, c, names, 0)
+		// Different total budget: both checkpoints rejected, clean start.
+		if _, err := s.Run(context.Background(), cycles+1000); err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		if got := s.CheckpointStats(); got.Restored != 0 || got.Rejected != 2 {
+			t.Fatalf("want 0 restored / 2 rejected under budget mismatch, got %+v", got)
+		}
+	})
+}
+
+// resealChecksum recomputes the trailing SHA-256 over a mutated envelope so
+// tests can craft files whose only defect is the field under test.
+func resealChecksum(data []byte) {
+	sum := snapshot.Seal(data[:len(data)-32])
+	copy(data[len(data)-32:], sum)
+}
+
+// TestWatchdogCrashCheckpoint wedges the page-table walker so the watchdog
+// aborts, then proves (a) a crash checkpoint was written at the abort cycle,
+// and (b) restoring it re-raises the same DeadlockError at the same cycle.
+func TestWatchdogCrashCheckpoint(t *testing.T) {
+	const cycles = 60_000
+	cfg := SharedTLBConfig()
+	cfg.WatchdogCheckEvery = 2000
+	cfg.WatchdogStallChecks = 3
+	cfg.CheckpointDir = t.TempDir()
+	names := []string{"MUM", "GUP"}
+
+	run := func(plan *faultinject.Plan) (*Simulator, *Results, error) {
+		c := cfg
+		c.FaultPlan = plan
+		s := prepareScenario(t, c, names, 0)
+		res, err := s.Run(context.Background(), cycles)
+		return s, res, err
+	}
+
+	_, res, err := run(&faultinject.Plan{WedgePTWAfter: 3000})
+	var dead *engine.DeadlockError
+	if !errors.As(err, &dead) {
+		t.Fatalf("wedged run returned %v, want DeadlockError", err)
+	}
+	if !res.Aborted {
+		t.Fatal("aborted run did not set Results.Aborted")
+	}
+
+	// The crash dump restores to the exact abort cycle and re-raises.
+	c := cfg
+	c.FaultPlan = &faultinject.Plan{WedgePTWAfter: 3000}
+	s2 := prepareScenario(t, c, names, 0)
+	ok, rerr := s2.RestoreCrashCheckpoint(cfg.CheckpointDir)
+	if rerr != nil || !ok {
+		t.Fatalf("crash restore: ok=%t err=%v", ok, rerr)
+	}
+	if s2.Engine().Now() != dead.Cycle {
+		t.Fatalf("crash checkpoint at cycle %d, abort was at %d", s2.Engine().Now(), dead.Cycle)
+	}
+	_, err2 := s2.Run(context.Background(), cycles)
+	var dead2 *engine.DeadlockError
+	if !errors.As(err2, &dead2) {
+		t.Fatalf("restored crash run returned %v, want DeadlockError", err2)
+	}
+	if dead2.Cycle != dead.Cycle {
+		t.Fatalf("re-raised abort at cycle %d, original at %d", dead2.Cycle, dead.Cycle)
+	}
+	if dead2.Error() != dead.Error() {
+		t.Fatalf("re-raised error differs:\noriginal: %s\nrestored: %s", dead.Error(), dead2.Error())
+	}
+
+	// Resume must NOT adopt the crash dump: with no periodic checkpoints in
+	// the directory the run starts clean (and wedges again on its own).
+	c2 := cfg
+	c2.Resume = true
+	c2.FaultPlan = &faultinject.Plan{WedgePTWAfter: 3000}
+	s3 := prepareScenario(t, c2, names, 0)
+	if _, err := s3.Run(context.Background(), cycles); err == nil {
+		t.Fatal("wedged rerun unexpectedly succeeded")
+	}
+	if s3.CheckpointStats().Restored != 0 {
+		t.Fatalf("resume adopted the crash dump: %+v", s3.CheckpointStats())
+	}
+}
+
+// TestConcurrentRestoreIsolation restores the same checkpoint bytes into
+// several simulators running concurrently (run under -race in CI): restored
+// requests must come from per-instance pools with zero sharing.
+func TestConcurrentRestoreIsolation(t *testing.T) {
+	const cycles = 3000
+	cfg := MASKConfig()
+	names := []string{"3DS", "CONS"}
+
+	dir := t.TempDir()
+	c := cfg
+	c.CheckpointEvery = 1300
+	c.CheckpointDir = dir
+	src := prepareScenario(t, c, names, 0)
+	ref := src.mustRun(t, cycles)
+	data, err := os.ReadFile(src.checkpointPath(1300))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 4
+	results := make([]*Results, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s := prepareScenario(t, cfg, names, 0)
+			if err := s.RestoreCheckpoint(bytes.NewReader(data)); err != nil {
+				t.Errorf("worker %d restore: %v", i, err)
+				return
+			}
+			res, err := s.Run(context.Background(), cycles)
+			if err != nil {
+				t.Errorf("worker %d run: %v", i, err)
+				return
+			}
+			results[i] = res
+		}(i)
+	}
+	wg.Wait()
+	for i, res := range results {
+		if res == nil {
+			continue
+		}
+		if !reflect.DeepEqual(ref, res) {
+			t.Errorf("worker %d diverged from reference", i)
+		}
+	}
+}
+
+// TestCheckpointBudgetMismatch ensures a restored simulator refuses to run
+// with a different cycle budget than the interrupted run.
+func TestCheckpointBudgetMismatch(t *testing.T) {
+	const cycles = 3000
+	cfg := SharedTLBConfig()
+	names := []string{"MUM", "GUP"}
+	dir := t.TempDir()
+	c := cfg
+	c.CheckpointEvery = 1300
+	c.CheckpointDir = dir
+	src := prepareScenario(t, c, names, 0)
+	src.mustRun(t, cycles)
+	data, err := os.ReadFile(src.checkpointPath(1300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := prepareScenario(t, cfg, names, 0)
+	if err := s.RestoreCheckpoint(bytes.NewReader(data)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(context.Background(), cycles*2); err == nil {
+		t.Fatal("budget-mismatched resume unexpectedly succeeded")
+	}
+}

@@ -172,6 +172,23 @@ type Config struct {
 	// knob; the standard configurations enable it, and masksim's
 	// -no-fastforward flag turns it off for A/B verification.
 	FastForward bool
+
+	// CheckpointEvery, when positive (and CheckpointDir is set), writes a
+	// full simulator checkpoint every CheckpointEvery cycles, at the same
+	// supervision boundaries as watchdog checks; fast-forward jumps are
+	// capped so checkpoints land on exact cycles (docs/MODEL.md §9). Zero
+	// (the default) takes no checkpoints and adds no per-cycle work.
+	CheckpointEvery int64
+	// CheckpointDir is the directory checkpoint files are written to as
+	// <fingerprint>-<cycle>.ckpt (crash checkpoints as
+	// <fingerprint>-crash.ckpt), via atomic tmp+rename writes.
+	CheckpointDir string
+	// Resume makes Run look for the newest valid checkpoint of this exact
+	// simulation in CheckpointDir before simulating, restoring it and
+	// running only the remaining cycles. Rejected (corrupt, truncated,
+	// stale-format, wrong-simulation) files are skipped; with no usable
+	// checkpoint the run starts clean.
+	Resume bool
 }
 
 // Baseline returns the paper's Table 1 system with the SharedTLB design and
@@ -374,6 +391,12 @@ func (c Config) Validate() error {
 		return fmt.Errorf("sim: WatchdogCheckEvery must be >= 0, got %d", c.WatchdogCheckEvery)
 	case c.WatchdogStallChecks < 0:
 		return fmt.Errorf("sim: WatchdogStallChecks must be >= 0, got %d", c.WatchdogStallChecks)
+	case c.CheckpointEvery < 0:
+		return fmt.Errorf("sim: CheckpointEvery must be >= 0, got %d", c.CheckpointEvery)
+	case c.CheckpointEvery > 0 && c.CheckpointDir == "":
+		return fmt.Errorf("sim: CheckpointEvery requires CheckpointDir")
+	case c.Resume && c.CheckpointDir == "":
+		return fmt.Errorf("sim: Resume requires CheckpointDir")
 	case c.DemandPaging && c.FaultLatency < 1:
 		return fmt.Errorf("sim: DemandPaging needs FaultLatency >= 1, got %d", c.FaultLatency)
 	case c.DemandPaging && c.FaultConcurrency < 1:

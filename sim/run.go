@@ -43,6 +43,29 @@ func Run(ctx context.Context, cfg Config, names []string, cycles int64) (*Result
 	return s.Run(ctx, cycles)
 }
 
+// Prepare builds the simulator Run would use without running it, for callers
+// that need a handle on the instance — checkpoint control, resume after a
+// killed worker, fingerprint inspection.
+func Prepare(cfg Config, names []string) (*Simulator, error) {
+	apps := make([]workload.App, len(names))
+	for i, n := range names {
+		if _, err := workload.ByName(n); err != nil {
+			return nil, err
+		}
+		apps[i] = workload.NewApp(i, n)
+	}
+	return New(cfg, apps, EvenSplit(cfg.Cores, len(apps)))
+}
+
+// PrepareAlone builds the simulator RunAlone would use without running it.
+func PrepareAlone(cfg Config, name string, cores int) (*Simulator, error) {
+	if cores < 1 || cores > cfg.Cores {
+		return nil, fmt.Errorf("sim: invalid alone core count %d", cores)
+	}
+	cfg.Static = false
+	return New(cfg, []workload.App{workload.NewApp(0, name)}, []int{cores})
+}
+
 // RunAlone measures one app running by itself on cores cores with the whole
 // uncontended memory system — the paper's IPC_alone condition ("runs on the
 // same number of GPU cores, but does not share GPU resources", §6).

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strings"
 
@@ -65,6 +66,38 @@ type Simulator struct {
 
 	epoch int64
 	ran   bool
+
+	// Checkpoint machinery (docs/MODEL.md §9). snapCaches maps the build-order
+	// snapshot IDs stamped on fill requests back to their caches for the
+	// restore link pass.
+	snapCaches  map[uint64]*cache.Cache
+	ckptStats   CheckpointStats
+	totalCycles int64  // current run's cycle budget, for checkpoint headers
+	fp          string // cached Fingerprint
+
+	// curWD is the watchdog supervising the in-progress run; the checkpoint
+	// hook captures its state mid-run.
+	curWD *engine.Watchdog
+	// restored* carry state from RestoreCheckpoint into the next Run.
+	restored      bool
+	resuming      bool // Run's own auto-resume is exempt from the ran guard
+	restoredWD    *engine.WatchdogState
+	restoredTotal int64
+	// attachErr captures an AddWaiter failure raised inside the waiter-attach
+	// closure during the restore link pass (the hook signature has no error).
+	attachErr error
+}
+
+// registerSnapCache assigns the next build-order snapshot ID to c and indexes
+// it for the restore link pass. Build order is deterministic for a given
+// config, so IDs match between the checkpointing and the restoring simulator.
+func (s *Simulator) registerSnapCache(c *cache.Cache) {
+	if s.snapCaches == nil {
+		s.snapCaches = make(map[uint64]*cache.Cache)
+	}
+	id := uint64(len(s.snapCaches) + 1)
+	c.SetSnapKey(id)
+	s.snapCaches[id] = c
 }
 
 // New wires a simulator for the given applications. coresPerApp[i] cores are
@@ -130,17 +163,24 @@ func (t scheduledTick) NextEvent(now int64) int64 {
 	return (now/iv + 1) * iv
 }
 
-// panicTick wraps a fault plan's scheduled panic as an EventSource so a
+// panicTick wraps a fault plan's scheduled panic/kill as an EventSource so a
 // fast-forwarded run still detonates at exactly the configured cycle.
 type panicTick struct{ plan *faultinject.Plan }
 
-func (t panicTick) Tick(now int64) { t.plan.TickPanic(now) }
+func (t panicTick) Tick(now int64) {
+	t.plan.TickPanic(now)
+	t.plan.TickKill(now)
+}
 
 func (t panicTick) NextEvent(now int64) int64 {
+	next := int64(engine.NoEvent)
 	if at := t.plan.PanicAtCycle; at > 0 && now <= at {
-		return at
+		next = at
 	}
-	return engine.NoEvent
+	if at := t.plan.KillAtCycle; at > 0 && now <= at && (next == engine.NoEvent || at < next) {
+		next = at
+	}
+	return next
 }
 
 func (s *Simulator) build() {
@@ -199,6 +239,7 @@ func (s *Simulator) build() {
 		Arena:        arena,
 	}, s.mem)
 	s.l2c.SetRequestPool(&s.reqPool)
+	s.registerSnapCache(s.l2c)
 	if cfg.Static {
 		s.l2c.SetWayPartition(wayMasks(cfg.L2Cache.Ways, numApps))
 	}
@@ -222,12 +263,14 @@ func (s *Simulator) build() {
 			Arena:        arena,
 		}, s.l2c)
 		s.pwc.SetRequestPool(&s.reqPool)
+		s.registerSnapCache(s.pwc)
 		walkBackend = s.pwc
 	}
 
 	// --- walker and shared L2 TLB ----------------------------------------
 	s.walker = ptw.New(cfg.WalkerConcurrency, walkBackend, numApps)
 	s.walker.SetRequestPool(&s.reqPool)
+	s.walker.SetDoneResolver(s.resolveWalkDone)
 	if cfg.DemandPaging && !cfg.Ideal {
 		s.faults = ptw.NewFaultUnit(cfg.FaultLatency, cfg.FaultConcurrency)
 		s.walker.SetFaultUnit(s.faults)
@@ -312,8 +355,10 @@ func (s *Simulator) build() {
 				Arena:              arena,
 			}, s.l2c)
 			l1d.SetRequestPool(&s.reqPool)
+			s.registerSnapCache(l1d)
 			s.l1ds = append(s.l1ds, l1d)
 
+			var coreL1 *tlb.L1TLB
 			var translate gpu.TranslateFn
 			if cfg.Ideal {
 				translate = func(now int64, vpn uint64, warpID int, done func(int64, uint64)) {
@@ -331,6 +376,7 @@ func (s *Simulator) build() {
 				l1 := tlb.NewL1(coreID, appIdx, space.ASID(), cfg.L1TLBEntries, transBackend)
 				l1.SetTransPool(&s.transPool)
 				s.l1tlbs = append(s.l1tlbs, l1)
+				coreL1 = l1
 				app := appIdx
 				translate = func(now int64, vpn uint64, warpID int, done func(int64, uint64)) {
 					l1.Lookup(now, vpn, warpID, s.tokens.HasToken(app, warpID), done)
@@ -354,6 +400,14 @@ func (s *Simulator) build() {
 				RoundRobin:   cfg.RoundRobinSched,
 			}, streams, translate, l1d, &s.idgen)
 			core.SetRequestPool(&s.reqPool)
+			if coreL1 != nil {
+				l1 := coreL1
+				core.SetWaiterAttach(func(vpn uint64, done func(now int64, frame uint64)) {
+					if err := l1.AddWaiter(vpn, done); err != nil && s.attachErr == nil {
+						s.attachErr = err
+					}
+				})
+			}
 			s.cores = append(s.cores, core)
 			coreID++
 		}
@@ -563,6 +617,10 @@ func channelPartition(channels, numApps, i int) []bool {
 // aborts wedged runs. On abort the returned Results still carry the
 // statistics accumulated up to the abort cycle (Results.Aborted is set) along
 // with a non-nil error. A Simulator is single-use.
+//
+// cycles is the total cycle budget of the simulation. On a simulator restored
+// from a checkpoint (RestoreCheckpoint, or Config.Resume) only the remaining
+// cycles are simulated, and the budget must match the interrupted run's.
 func (s *Simulator) Run(ctx context.Context, cycles int64) (*Results, error) {
 	if s.ran {
 		return nil, fmt.Errorf("sim: Simulator is single-use; build a new one per run")
@@ -571,9 +629,32 @@ func (s *Simulator) Run(ctx context.Context, cycles int64) (*Results, error) {
 		return nil, fmt.Errorf("sim: run length must be >= 1 cycle, got %d", cycles)
 	}
 	s.ran = true
+	s.totalCycles = cycles
+
+	// Auto-resume: adopt the newest valid checkpoint of this exact
+	// simulation, if one exists. Unusable files are skipped (counted in
+	// CheckpointStats.Rejected); with none the run starts clean.
+	if !s.restored && s.cfg.Resume && s.cfg.CheckpointDir != "" {
+		s.resuming = true
+		_, err := s.RestoreFromDir(s.cfg.CheckpointDir, cycles)
+		s.resuming = false
+		if err != nil {
+			return nil, err
+		}
+	}
+	if s.restored {
+		if s.restoredTotal != cycles {
+			return nil, fmt.Errorf("sim: checkpoint was taken in a %d-cycle run, resumed with %d",
+				s.restoredTotal, cycles)
+		}
+		if s.eng.Now() > cycles {
+			return nil, fmt.Errorf("sim: checkpoint cycle %d past the %d-cycle budget", s.eng.Now(), cycles)
+		}
+	}
 
 	// Scale the adaptation epoch for short runs so tokens and the bypass
-	// policy still adapt several times (DESIGN.md §5).
+	// policy still adapt several times (DESIGN.md §5). Pure function of the
+	// budget, so a restored run reproduces it.
 	s.epoch = s.cfg.EpochCycles
 	if e := cycles / 8; e < s.epoch {
 		s.epoch = e
@@ -582,7 +663,36 @@ func (s *Simulator) Run(ctx context.Context, cycles int64) (*Results, error) {
 		s.epoch = 1
 	}
 
-	err := s.eng.RunContext(ctx, cycles, s.watchdog())
+	wd := s.watchdog()
+	if s.restoredWD != nil && wd != nil {
+		wd.SetState(*s.restoredWD)
+	}
+	s.curWD = wd
+	if s.cfg.CheckpointEvery > 0 && s.cfg.CheckpointDir != "" {
+		s.eng.SetCheckpointHook(s.cfg.CheckpointEvery, func(now int64) {
+			// Periodic checkpoints are best-effort: a full disk must not
+			// abort an otherwise healthy run.
+			s.writeCheckpointFile(s.checkpointPath(now))
+		})
+	}
+
+	err := s.eng.RunContext(ctx, cycles-s.eng.Now(), wd)
+	s.curWD = nil
+	if err != nil && s.cfg.CheckpointDir != "" {
+		var dead *engine.DeadlockError
+		if errors.As(err, &dead) {
+			// Crash checkpoint: the full wedged state at the abort cycle,
+			// restorable for post-mortem debugging (restoring it re-raises
+			// the same DeadlockError).
+			s.curWD = wd
+			s.writeCheckpointFile(s.crashCheckpointPath())
+			s.curWD = nil
+		} else if ctx != nil && ctx.Err() != nil && s.cfg.CheckpointEvery > 0 {
+			// Graceful interruption (SIGINT/SIGTERM via context cancel):
+			// save exactly where we stopped so a restart loses nothing.
+			s.writeCheckpointFile(s.checkpointPath(s.eng.Now()))
+		}
+	}
 	res := s.collect(s.eng.Now())
 	if err != nil {
 		res.Aborted = true
