@@ -1,0 +1,120 @@
+// Command maskd serves simulation campaigns over HTTP: a
+// simulation-as-a-service daemon with per-tenant fairness and a shared
+// content-addressed result store (docs/SERVICE.md).
+//
+// Usage:
+//
+//	maskd -addr :7070 -cache-dir /var/cache/masksim -workers 8
+//	maskd -addr :7070 -cache-dir store -reserve 2 \
+//	      -tenant-rate 0.5 -tenant-burst 5 \
+//	      -gc-max-bytes 10737418240 -gc-max-age 168h -gc-every 1h
+//
+// Jobs (experiment sets or raw simulation specs) are submitted as JSON to
+// POST /v1/jobs, identified by the X-API-Key tenant header, and polled via
+// GET /v1/jobs/{id} (long-poll with ?since=V&wait=D) or streamed via
+// GET /v1/jobs/{id}/events (server-sent events). All jobs share one
+// content-addressed single-flight result cache, so identical requests from
+// any number of clients execute each distinct simulation exactly once.
+// Execution slots are spread across tenants Silver-Queue style: every tenant
+// with queued work is guaranteed -reserve slots before anyone gets surplus.
+//
+// The on-disk cache doubles as a shared store: remote maskexp -remote
+// campaigns GET and PUT entries by fingerprint via /v1/cache/{key}. A
+// size/age retention policy garbage-collects the store and checkpoint
+// directories in the background.
+//
+// SIGTERM/SIGINT drain gracefully: new submissions get 503, running jobs
+// finish (bounded by -drain-timeout), then the process exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"masksim/internal/maskd"
+	"masksim/internal/simcache"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":7070", "listen address")
+		cacheDir     = flag.String("cache-dir", "", "on-disk result store (shared content-addressed cache); empty = in-memory dedup only")
+		ckptDir      = flag.String("checkpoint-dir", "", "mid-run checkpoint directory for server-side executions")
+		ckptEvery    = flag.Int64("checkpoint-every", 10_000, "cycles between mid-run checkpoints (with -checkpoint-dir)")
+		workers      = flag.Int("workers", 4, "machine-wide execution slots")
+		reserve      = flag.Int("reserve", 1, "guaranteed execution slots per tenant with queued work")
+		tenantRate   = flag.Float64("tenant-rate", 0, "admission quota: jobs per second per tenant (0 = unlimited)")
+		tenantBurst  = flag.Float64("tenant-burst", 5, "admission quota bucket size")
+		maxJobs      = flag.Int("max-active-jobs", 64, "queued+running job bound before submissions get 429 (0 = unlimited)")
+		runTimeout   = flag.Duration("run-timeout", 0, "wall-clock budget per simulation (0 = none)")
+		gcMaxBytes   = flag.Int64("gc-max-bytes", 0, "retention: total store+checkpoint size cap in bytes (0 = unbounded)")
+		gcMaxAge     = flag.Duration("gc-max-age", 0, "retention: age limit for superseded artifacts (0 = none)")
+		gcKeep       = flag.Int("gc-keep-per-key", 1, "retention: newest files kept per fingerprint")
+		gcEvery      = flag.Duration("gc-every", time.Hour, "retention sweep cadence (0 = no background GC)")
+		drainTimeout = flag.Duration("drain-timeout", 10*time.Minute, "graceful shutdown budget before in-flight jobs are canceled")
+	)
+	flag.Parse()
+
+	srv, err := maskd.NewServer(maskd.Config{
+		CacheDir:        *cacheDir,
+		CheckpointDir:   *ckptDir,
+		CheckpointEvery: *ckptEvery,
+		Workers:         *workers,
+		Reserve:         *reserve,
+		TenantRate:      *tenantRate,
+		TenantBurst:     *tenantBurst,
+		MaxActiveJobs:   *maxJobs,
+		RunTimeout:      *runTimeout,
+		GC: simcache.GCPolicy{
+			MaxBytes:   *gcMaxBytes,
+			MaxAge:     *gcMaxAge,
+			KeepPerKey: *gcKeep,
+		},
+		GCEvery: *gcEvery,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "maskd:", err)
+		os.Exit(1)
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "maskd: listening on %s (workers=%d reserve=%d store=%q)\n",
+		*addr, *workers, *reserve, *cacheDir)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "maskd:", err)
+		os.Exit(1)
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "maskd: %v: draining (budget %s)\n", sig, *drainTimeout)
+	}
+
+	// Drain: stop admitting, let running jobs finish, then stop serving. A
+	// second signal — or the budget expiring — cancels in-flight jobs.
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	go func() {
+		<-sigc
+		fmt.Fprintln(os.Stderr, "maskd: second signal: canceling in-flight jobs")
+		srv.CancelAll()
+	}()
+	if err := srv.Drain(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "maskd: drain expired: canceling in-flight jobs")
+		srv.CancelAll()
+		srv.Drain(context.Background())
+	}
+	shutdownCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	hs.Shutdown(shutdownCtx)
+	fmt.Fprintln(os.Stderr, "maskd: drained, bye")
+}

@@ -4,6 +4,7 @@
 //
 //	maskexp [-cycles N] [-full] [-workers N] [-timeout D] [-cache-dir DIR]
 //	        [-checkpoint-dir DIR] [-checkpoint-every N]
+//	        [-remote URL] [-api-key KEY]
 //	        [-max-fail-frac F] <experiment-id>...
 //	maskexp -list
 //	maskexp all
@@ -21,6 +22,12 @@
 // finished cells. The campaign-wide run accounting (including cache
 // hit/miss/inflight counters, and checkpoint taken/restored/rejected counts
 // when -checkpoint-dir is set) is always printed to stderr at the end.
+//
+// With -remote, the campaign consults a maskd server's shared
+// content-addressed store before simulating any cell and publishes completed
+// results back, so a fleet of maskexp invocations across machines executes
+// each distinct simulation once fleet-wide (see docs/SERVICE.md). The store
+// is best-effort: an unreachable server degrades to local execution.
 //
 // With -checkpoint-dir, every in-flight simulation also writes periodic
 // mid-run checkpoints (-checkpoint-every cycles apart) and resumes from them,
@@ -45,6 +52,7 @@ import (
 	"path/filepath"
 
 	"masksim/internal/experiments"
+	"masksim/internal/maskd"
 )
 
 func main() {
@@ -59,6 +67,8 @@ func main() {
 		ckptDir     = flag.String("checkpoint-dir", "", "write mid-run checkpoints here and resume interrupted runs from them")
 		ckptEvery   = flag.Int64("checkpoint-every", 10_000, "cycles between mid-run checkpoints (with -checkpoint-dir)")
 		maxFailFrac = flag.Float64("max-fail-frac", 0, "tolerated fraction of failed runs before exiting non-zero")
+		remote      = flag.String("remote", "", "maskd server URL: consult its shared result store before simulating and publish completed results back")
+		apiKey      = flag.String("api-key", "", "tenant API key for -remote")
 	)
 	flag.Parse()
 
@@ -86,7 +96,7 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	camp := experiments.RunCampaign(args, experiments.Options{
+	opt := experiments.Options{
 		Cycles:          *cycles,
 		Full:            *full,
 		Workers:         *workers,
@@ -95,7 +105,13 @@ func main() {
 		CacheDir:        *cacheDir,
 		CheckpointDir:   *ckptDir,
 		CheckpointEvery: *ckptEvery,
-	})
+	}
+	var store *maskd.Client
+	if *remote != "" {
+		store = &maskd.Client{Base: *remote, APIKey: *apiKey}
+		opt.Remote = store
+	}
+	camp := experiments.RunCampaign(args, opt)
 
 	var broken []string
 	var csvErrs []error
@@ -118,6 +134,11 @@ func main() {
 
 	total := camp.Stats
 	fmt.Fprintf(os.Stderr, "maskexp: %s\n", total.String())
+	if store != nil {
+		if n := store.TransportErrors(); n > 0 {
+			fmt.Fprintf(os.Stderr, "maskexp: remote: %d store round-trips failed (fell back to local execution)\n", n)
+		}
+	}
 	for _, f := range camp.Failures {
 		fmt.Fprintf(os.Stderr, "maskexp:   %v\n", f)
 	}

@@ -1,0 +1,64 @@
+package main
+
+// masksim -inspect-checkpoint: a human-readable dump of one checkpoint file.
+// Lenient by design — a corrupt file still prints whatever the envelope
+// preserved, and the exit status is non-zero only when the file cannot be
+// read at all.
+
+import (
+	"fmt"
+	"io"
+
+	"masksim/sim"
+)
+
+func inspectCheckpoint(w io.Writer, path string) error {
+	info, err := sim.InspectCheckpoint(path)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "checkpoint: %s (%d bytes)\n", info.Path, info.Size)
+	fmt.Fprintf(w, "  version:     %d\n", info.Version)
+	status := "ok"
+	if !info.ChecksumOK {
+		status = "MISMATCH"
+	}
+	fmt.Fprintf(w, "  checksum:    %s\n", status)
+	if info.Err != nil {
+		fmt.Fprintf(w, "  defect:      %v\n", info.Err)
+	}
+	fmt.Fprintf(w, "  fingerprint: %s\n", info.Header.Fingerprint)
+	fmt.Fprintf(w, "  cycle:       %d / %d\n", info.Header.Cycle, info.Header.TotalCycles)
+	fmt.Fprintf(w, "  payload:     %d bytes\n", info.PayloadLen)
+	if !info.PayloadOK {
+		if info.PayloadErr != nil {
+			fmt.Fprintf(w, "  payload defect: %v\n", info.PayloadErr)
+		}
+		return nil
+	}
+	fmt.Fprintf(w, "  clock:       now=%d ticked=%d skipped=%d\n",
+		info.Clock.Now, info.Clock.Ticked, info.Clock.Skipped)
+	fmt.Fprintf(w, "  in-flight:   %d requests, %d translations, %d group syncs\n",
+		info.Requests, info.TransReqs, info.Syncs)
+	var extras []string
+	if info.HasWatchdog {
+		extras = append(extras, "watchdog")
+	}
+	if info.HasATA {
+		extras = append(extras, "l2-bypass")
+	}
+	if info.HasFaultPlan {
+		extras = append(extras, "fault-plan")
+	}
+	if info.TraceSamples > 0 {
+		extras = append(extras, fmt.Sprintf("%d trace samples", info.TraceSamples))
+	}
+	if len(extras) > 0 {
+		fmt.Fprintf(w, "  carries:     %v\n", extras)
+	}
+	fmt.Fprintf(w, "  components (%d, by serialized size):\n", len(info.Components))
+	for _, c := range info.Components {
+		fmt.Fprintf(w, "    %-28s %8d bytes  (ticker %d)\n", c.Type, c.Bytes, c.Index)
+	}
+	return nil
+}

@@ -58,8 +58,16 @@ func main() {
 		ckptEvery  = flag.Int64("checkpoint-every", 10_000, "cycles between checkpoints (with -checkpoint-dir)")
 		restore    = flag.Bool("restore", false, "resume from the newest valid checkpoint in -checkpoint-dir before simulating")
 		killAt     = flag.Int64("kill-at-cycle", 0, "TESTING: hard-exit (code 137, like SIGKILL) at this simulated cycle; with -checkpoint-dir this deterministically exercises kill-and-restore")
+		inspect    = flag.String("inspect-checkpoint", "", "describe a checkpoint file (header, checksum, per-component state sizes) and exit")
 	)
 	flag.Parse()
+
+	if *inspect != "" {
+		if err := inspectCheckpoint(os.Stdout, *inspect); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *list {
 		fmt.Println("configurations:", strings.Join(sim.ConfigNames(), " "))

@@ -65,6 +65,13 @@ type Harness struct {
 	// still resumes from — and crash-dumps to — CheckpointDir).
 	CheckpointEvery int64
 
+	// Slots, when non-nil, replaces the harness's own Workers semaphore with
+	// an external execution-slot source, so several harnesses — maskd builds
+	// one per job — draw from a single machine-wide execution budget (with
+	// whatever fairness the Acquirer implements). Workers then only bounds
+	// batch submission parallelism.
+	Slots Acquirer
+
 	semOnce sync.Once
 	sem     chan struct{}
 
@@ -126,10 +133,23 @@ func isTransient(err error) bool {
 	return errors.As(err, &pe)
 }
 
+// Acquirer grants execution slots to supervised runs. Acquire blocks until a
+// slot is granted or ctx is done; every successful Acquire must be paired
+// with exactly one Release. maskd's fair limiter implements this to spread
+// one machine-wide slot pool across tenants.
+type Acquirer interface {
+	Acquire(ctx context.Context) error
+	Release()
+}
+
 // acquire takes one global execution slot, so the total number of
-// simulations running at once stays within Workers no matter how many
-// experiments and batches submit work concurrently.
+// simulations running at once stays within Workers (or the shared Slots
+// budget) no matter how many experiments and batches submit work
+// concurrently.
 func (h *Harness) acquire(ctx context.Context) error {
+	if h.Slots != nil {
+		return h.Slots.Acquire(ctx)
+	}
 	h.semOnce.Do(func() { h.sem = make(chan struct{}, h.workers()) })
 	select {
 	case h.sem <- struct{}{}:
@@ -139,7 +159,13 @@ func (h *Harness) acquire(ctx context.Context) error {
 	}
 }
 
-func (h *Harness) release() { <-h.sem }
+func (h *Harness) release() {
+	if h.Slots != nil {
+		h.Slots.Release()
+		return
+	}
+	<-h.sem
+}
 
 // attempt runs f once under the harness context, a global execution slot and
 // the per-run timeout, converting panics into errors. The timeout clock
@@ -238,12 +264,28 @@ func (h *Harness) runPrepared(ctx context.Context, s *sim.Simulator, cycles int6
 	return res, err
 }
 
+// RunInfo reports how a memoized request was satisfied.
+type RunInfo struct {
+	// Executed is true when this request became the executing leader — a
+	// cache miss that actually simulated. False means the result came from a
+	// completed entry, an in-flight execution it joined, or the disk/remote
+	// layers.
+	Executed bool
+}
+
 // Run simulates the named benchmarks under cfg for h.Cycles, supervised and
 // memoized: a second request for the same (config, apps, cycles) fingerprint
 // — from any experiment sharing this Harness — returns the first run's
 // Results without simulating. The returned Results are shared; treat them as
 // read-only.
 func (h *Harness) Run(cfg sim.Config, names []string) (*sim.Results, error) {
+	res, _, err := h.RunEx(cfg, names)
+	return res, err
+}
+
+// RunEx is Run plus a RunInfo telling whether this request executed (maskd
+// uses it to report per-cell cache attribution).
+func (h *Harness) RunEx(cfg sim.Config, names []string) (*sim.Results, RunInfo, error) {
 	label := fmt.Sprintf("run(%s, %v)", cfg.Name, names)
 	exec := func() (*sim.Results, error) {
 		return h.supervised(label, func(ctx context.Context) (*sim.Results, error) {
@@ -255,14 +297,23 @@ func (h *Harness) Run(cfg sim.Config, names []string) (*sim.Results, error) {
 		})
 	}
 	if h.Cache == nil || !simcache.Cacheable(cfg) {
-		return exec()
+		res, err := exec()
+		return res, RunInfo{Executed: true}, err
 	}
-	return h.Cache.Do(simcache.RunKey(cfg, names, h.Cycles), exec)
+	h.countCacheRequest()
+	res, executed, err := h.Cache.DoInfo(simcache.RunKey(cfg, names, h.Cycles), exec)
+	return res, RunInfo{Executed: executed}, err
 }
 
 // RunAlone measures one app with uncontended resources for h.AloneCycles,
 // supervised and memoized like Run.
 func (h *Harness) RunAlone(cfg sim.Config, app string, cores int) (*sim.Results, error) {
+	res, _, err := h.RunAloneEx(cfg, app, cores)
+	return res, err
+}
+
+// RunAloneEx is RunAlone plus a RunInfo (see RunEx).
+func (h *Harness) RunAloneEx(cfg sim.Config, app string, cores int) (*sim.Results, RunInfo, error) {
 	label := fmt.Sprintf("alone(%s, %s, %d cores)", cfg.Name, app, cores)
 	exec := func() (*sim.Results, error) {
 		return h.supervised(label, func(ctx context.Context) (*sim.Results, error) {
@@ -274,9 +325,21 @@ func (h *Harness) RunAlone(cfg sim.Config, app string, cores int) (*sim.Results,
 		})
 	}
 	if h.Cache == nil || !simcache.Cacheable(cfg) {
-		return exec()
+		res, err := exec()
+		return res, RunInfo{Executed: true}, err
 	}
-	return h.Cache.Do(simcache.AloneKey(cfg, app, cores, h.AloneCycles), exec)
+	h.countCacheRequest()
+	res, executed, err := h.Cache.DoInfo(simcache.AloneKey(cfg, app, cores, h.AloneCycles), exec)
+	return res, RunInfo{Executed: executed}, err
+}
+
+// countCacheRequest counts one memoized lookup in the harness-local stats.
+// The cache's own Stats counts lookups too, but a Cache may be shared across
+// harnesses (maskd), so the per-campaign number must be kept here.
+func (h *Harness) countCacheRequest() {
+	h.mu.Lock()
+	h.stats.CacheRequests++
+	h.mu.Unlock()
 }
 
 // Stats returns a snapshot of the campaign's run accounting, including the
@@ -287,11 +350,13 @@ func (h *Harness) Stats() metrics.RunStats {
 	h.mu.Unlock()
 	if h.Cache != nil {
 		cs := h.Cache.Stats()
-		s.CacheRequests = cs.Requests
 		s.CacheHits = cs.Hits
 		s.CacheInflightWaits = cs.InflightWaits
 		s.CacheMisses = cs.Misses
 		s.DiskHits = cs.DiskHits
+		s.RemoteHits = cs.RemoteHits
+		s.RemotePuts = cs.RemotePuts
+		s.RemoteErrors = cs.RemoteErrors
 	}
 	return s
 }

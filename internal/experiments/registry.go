@@ -74,6 +74,18 @@ type Options struct {
 	CheckpointDir string
 	// CheckpointEvery is the checkpoint cadence in simulated cycles.
 	CheckpointEvery int64
+	// Remote, when non-nil, layers a shared content-addressed store behind
+	// the result cache: misses consult it before simulating and completed
+	// entries are published back (maskexp -remote against a maskd server).
+	Remote simcache.RemoteStore
+	// Cache, when non-nil, replaces the harness's own result cache with a
+	// shared one, so several campaigns — maskd builds one harness per job —
+	// dedupe machine-wide. Overrides CacheDir and Remote, which the owner of
+	// the shared cache configures once.
+	Cache *simcache.Cache
+	// Slots, when non-nil, replaces the harness's Workers semaphore with an
+	// external execution-slot source (maskd's fair per-tenant limiter).
+	Slots Acquirer
 }
 
 // newHarness builds the supervised, cache-backed harness for opt.
@@ -82,11 +94,18 @@ func newHarness(opt Options) *Harness {
 	h.Workers = opt.Workers
 	h.Ctx = opt.Ctx
 	h.RunTimeout = opt.RunTimeout
-	if opt.CacheDir != "" {
+	switch {
+	case opt.Cache != nil:
+		h.Cache = opt.Cache
+	case opt.CacheDir != "" || opt.Remote != nil:
 		h.Cache = simcache.New(opt.CacheDir)
+		if opt.Remote != nil {
+			h.Cache.SetRemote(opt.Remote)
+		}
 	}
 	h.CheckpointDir = opt.CheckpointDir
 	h.CheckpointEvery = opt.CheckpointEvery
+	h.Slots = opt.Slots
 	return h
 }
 

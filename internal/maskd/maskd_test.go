@@ -1,0 +1,506 @@
+package maskd
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"masksim/internal/experiments"
+	"masksim/internal/simcache"
+	"masksim/sim"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.CacheDir == "" {
+		cfg.CacheDir = t.TempDir()
+	}
+	s, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func client(ts *httptest.Server, key string) *Client {
+	return &Client{Base: ts.URL, APIKey: key}
+}
+
+// TestConcurrentClientsSingleFlight is the acceptance test: N HTTP clients
+// submit overlapping campaigns concurrently; every distinct simulation must
+// execute exactly once machine-wide (Attempted == cache Misses), and every
+// client must receive byte-identical tables, equal to a local maskexp run.
+func TestConcurrentClientsSingleFlight(t *testing.T) {
+	const cycles = 600
+	ids := []string{"fig8", "fig9", "comp-dram"}
+
+	_, ts := newTestServer(t, Config{Workers: 4, Reserve: 1})
+
+	const clients = 3
+	results := make([]*JobStatus, clients)
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := client(ts, fmt.Sprintf("tenant-%d", i))
+			st, err := c.Submit(SubmitRequest{Experiments: ids, Cycles: cycles})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+			defer cancel()
+			results[i], errs[i] = c.Wait(ctx, st.ID)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+	}
+
+	// Every job finished clean with every cell done.
+	render := func(st *JobStatus) string {
+		var b strings.Builder
+		for _, cell := range st.Cells {
+			if cell.State != CellDone {
+				t.Fatalf("job %s cell %s: state=%s err=%s", st.ID, cell.Name, cell.State, cell.Error)
+			}
+			for _, tab := range cell.Tables {
+				b.WriteString(tab)
+			}
+		}
+		return b.String()
+	}
+	first := render(results[0])
+	for i := 1; i < clients; i++ {
+		if render(results[i]) != first {
+			t.Fatalf("client %d received different tables than client 0", i)
+		}
+	}
+
+	// Byte-identical to a local (serverless) run of the same experiments.
+	var local strings.Builder
+	for _, id := range ids {
+		rep, err := experiments.RunReport(id, experiments.Options{Cycles: cycles})
+		if err != nil {
+			t.Fatalf("local %s: %v", id, err)
+		}
+		for _, tab := range rep.Tables {
+			local.WriteString(tab.String())
+		}
+	}
+	if first != local.String() {
+		t.Fatalf("server tables differ from local maskexp run:\n--- server ---\n%s\n--- local ---\n%s", first, local.String())
+	}
+
+	// Machine-wide single flight: every execution was a distinct cache miss.
+	stats, err := client(ts, "tenant-0").Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Stats.Attempted == 0 {
+		t.Fatal("no simulations executed")
+	}
+	if stats.Stats.Attempted != stats.Cache.Misses {
+		t.Fatalf("Attempted=%d != cache Misses=%d: some simulation executed twice",
+			stats.Stats.Attempted, stats.Cache.Misses)
+	}
+	if stats.Cache.Hits+stats.Cache.InflightWaits == 0 {
+		t.Fatal("no cross-client sharing observed")
+	}
+
+	// With three identical jobs, at least two of the three per-client campaigns
+	// must have been served mostly from the shared cache.
+	cacheHitCells := 0
+	for _, st := range results {
+		for _, cell := range st.Cells {
+			if cell.CacheHit {
+				cacheHitCells++
+			}
+		}
+	}
+	if cacheHitCells == 0 {
+		t.Fatal("no cell reported CacheHit; per-cell attribution is broken")
+	}
+}
+
+// TestTenantQuota429 checks admission fairness: a tenant that exhausted its
+// token bucket gets 429 (with Retry-After) while another tenant's submissions
+// still land.
+func TestTenantQuota429(t *testing.T) {
+	now := time.Unix(1000, 0)
+	var mu sync.Mutex
+	clock := func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
+	_, ts := newTestServer(t, Config{
+		Workers:     2,
+		TenantRate:  1.0 / 3600, // one job per hour
+		TenantBurst: 1,
+		Now:         clock,
+	})
+
+	job := SubmitRequest{Sims: []SimSpec{{Config: "SharedTLB", Apps: []string{"MM", "RED"}, Cycles: 200}}}
+
+	a := client(ts, "tenant-a")
+	if _, err := a.Submit(job); err != nil {
+		t.Fatalf("first submit: %v", err)
+	}
+	_, err := a.Submit(job)
+	if !IsRetryable(err) {
+		t.Fatalf("exhausted tenant got %v, want 429", err)
+	}
+
+	b := client(ts, "tenant-b")
+	st, err := b.Submit(job)
+	if err != nil {
+		t.Fatalf("other tenant blocked by a's quota: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if fin, err := b.Wait(ctx, st.ID); err != nil || fin.State != JobDone {
+		t.Fatalf("tenant-b job: state=%v err=%v", fin, err)
+	}
+
+	// An hour later tenant-a's bucket refilled.
+	mu.Lock()
+	now = now.Add(time.Hour)
+	mu.Unlock()
+	if _, err := a.Submit(job); err != nil {
+		t.Fatalf("refilled tenant still rejected: %v", err)
+	}
+}
+
+// TestLimiterFairness checks the Silver-Queue execution rule: a tenant at or
+// above its reserve cannot take a freed slot while another waiting tenant is
+// below its own reserve.
+func TestLimiterFairness(t *testing.T) {
+	l := NewLimiter(2, 1)
+	ctx := context.Background()
+	a, b := l.For("a"), l.For("b")
+
+	// Alone, tenant a gets the whole pool (reserve + surplus).
+	if err := a.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// b queues; a queues behind it too.
+	got := make(chan string, 2)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); b.Acquire(ctx); got <- "b" }()
+	// Give b time to register as waiting so the freed slot is owed to it.
+	time.Sleep(50 * time.Millisecond)
+	go func() { defer wg.Done(); a.Acquire(ctx); got <- "a" }()
+	time.Sleep(50 * time.Millisecond)
+
+	a.Release() // frees one slot: owed to b (below reserve), not to a
+	if first := <-got; first != "b" {
+		t.Fatalf("freed slot went to %q, want the under-reserve tenant b", first)
+	}
+	a.Release() // now a's queued acquire may proceed
+	if second := <-got; second != "a" {
+		t.Fatalf("second slot went to %q, want a", second)
+	}
+	wg.Wait()
+	b.Release()
+	a.Release()
+}
+
+// TestLimiterAcquireContext checks a canceled waiter exits without a slot.
+func TestLimiterAcquireContext(t *testing.T) {
+	l := NewLimiter(1, 1)
+	a := l.For("a")
+	if err := a.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := l.For("b").Acquire(ctx); err == nil {
+		t.Fatal("Acquire succeeded with no free slot")
+	}
+	a.Release()
+	if got := len(l.Inflight()); got != 0 {
+		t.Fatalf("inflight = %d after full release", got)
+	}
+}
+
+// TestCacheStoreRoundTrip exercises the content-addressed store endpoints:
+// publish, fetch, and the rejection paths (bad key, mismatched entry).
+func TestCacheStoreRoundTrip(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	c := client(ts, "t")
+
+	res := &sim.Results{Config: "SharedTLB", Cycles: 42, TotalIPC: 1.5}
+	key := strings.Repeat("ab", 32)
+	data, err := simcache.EncodeEntry(key, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, ok := c.Get(key); ok {
+		t.Fatal("got an entry that was never put")
+	}
+	c.Put(key, data)
+	if n := c.TransportErrors(); n != 0 {
+		t.Fatalf("put failed (%d transport errors)", n)
+	}
+	back, ok := c.Get(key)
+	if !ok {
+		t.Fatal("published entry not served")
+	}
+	got, err := simcache.DecodeEntry(key, back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cycles != 42 || got.TotalIPC != 1.5 {
+		t.Fatalf("round-trip mangled the entry: %+v", got)
+	}
+
+	// Malformed key: 400 on both verbs.
+	resp, err := http.Get(ts.URL + "/v1/cache/not-a-fingerprint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad key GET = %d, want 400", resp.StatusCode)
+	}
+
+	// An entry published under the wrong key is rejected, not stored.
+	otherKey := strings.Repeat("cd", 32)
+	c.Put(otherKey, data)
+	if _, ok := c.Get(otherKey); ok {
+		t.Fatal("store accepted an entry whose body names a different key")
+	}
+}
+
+// TestRemoteClientMode is maskexp -remote end to end: a campaign with the
+// server store behind its cache publishes results; a second campaign with a
+// fresh local cache resolves everything remotely, byte-identical, simulating
+// nothing.
+func TestRemoteClientMode(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	const cycles = 400
+
+	render := func(camp *experiments.CampaignReport) string {
+		var b strings.Builder
+		for _, rep := range camp.Reports {
+			if rep.Err != nil {
+				t.Fatalf("%s: %v", rep.ID, rep.Err)
+			}
+			for _, tab := range rep.Tables {
+				b.WriteString(tab.String())
+			}
+		}
+		return b.String()
+	}
+
+	first := experiments.RunCampaign([]string{"fig8"}, experiments.Options{
+		Cycles: cycles, Workers: 2, Remote: client(ts, "alice"),
+	})
+	if first.Stats.Attempted == 0 || first.Stats.RemotePuts == 0 {
+		t.Fatalf("first campaign stats = %+v, want executions published to the server", first.Stats)
+	}
+
+	second := experiments.RunCampaign([]string{"fig8"}, experiments.Options{
+		Cycles: cycles, Workers: 2, Remote: client(ts, "bob"),
+	})
+	if second.Stats.Attempted != 0 {
+		t.Fatalf("remote resume simulated %d runs, want 0", second.Stats.Attempted)
+	}
+	if second.Stats.RemoteHits == 0 {
+		t.Fatal("remote resume recorded no remote hits")
+	}
+	if render(first) != render(second) {
+		t.Fatal("remote-resumed tables differ from the originals")
+	}
+
+	// The server observed the publishes and the cross-machine hits.
+	stats, err := client(ts, "alice").Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Store.Puts == 0 || stats.Store.Hits == 0 {
+		t.Fatalf("store stats = %+v, want puts and hits", stats.Store)
+	}
+}
+
+// TestCancelJob checks DELETE /v1/jobs/{id} stops an in-flight job through
+// the context plumbing.
+func TestCancelJob(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	c := client(ts, "t")
+	st, err := c.Submit(SubmitRequest{Sims: []SimSpec{
+		{Config: "SharedTLB", Apps: []string{"MM", "RED"}, Cycles: 500_000_000},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Cancel(st.ID); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	fin, err := c.Wait(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.State != JobCanceled {
+		t.Fatalf("state = %s, want canceled", fin.State)
+	}
+	for _, cell := range fin.Cells {
+		if cell.State == CellDone {
+			t.Fatalf("cell %s completed despite cancel", cell.Name)
+		}
+	}
+}
+
+// TestDrain checks graceful shutdown: running jobs finish, then submissions
+// and healthz report unavailability while the store stays readable.
+func TestDrain(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	c := client(ts, "t")
+	job := SubmitRequest{Sims: []SimSpec{{Config: "SharedTLB", Apps: []string{"MM", "RED"}, Cycles: 200}}}
+	st, err := c.Submit(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if _, err := c.Wait(ctx, st.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Submit(job); !IsRetryable(err) {
+		t.Fatalf("submit while draining = %v, want 503", err)
+	}
+	resp, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz while draining = %d, want 503", resp.StatusCode)
+	}
+	// The store keeps serving reads for clients finishing their own work.
+	resp, err = http.Get(ts.URL + "/v1/cache/" + strings.Repeat("ab", 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("store GET while draining = %d, want 404 (still served)", resp.StatusCode)
+	}
+}
+
+// TestSubmitValidation checks malformed submissions are rejected up front.
+func TestSubmitValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	c := client(ts, "t")
+	for _, req := range []SubmitRequest{
+		{}, // empty
+		{Experiments: []string{"no-such-experiment"}},
+		{Sims: []SimSpec{{Config: "NoSuchConfig", Apps: []string{"MM"}}}},
+		{Sims: []SimSpec{{Config: "SharedTLB"}}},
+		{Sims: []SimSpec{{Config: "SharedTLB", Apps: []string{"MM", "RED"}, Alone: true}}},
+	} {
+		if _, err := c.Submit(req); err == nil {
+			t.Fatalf("submission %+v accepted, want 400", req)
+		}
+	}
+}
+
+// TestLongPollAndEvents checks version-gated long-polls return promptly on
+// change and the SSE stream carries the job to its terminal state.
+func TestLongPollAndEvents(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	c := client(ts, "t")
+	st, err := c.Submit(SubmitRequest{Sims: []SimSpec{
+		{Config: "SharedTLB", Apps: []string{"MM", "RED"}, Cycles: 300},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	fin, err := c.Wait(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.State != JobDone || fin.Version == 0 {
+		t.Fatalf("job = %+v, want done with advancing version", fin)
+	}
+
+	// The SSE stream replays to terminal for a late subscriber.
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf := make([]byte, 64<<10)
+	n, _ := resp.Body.Read(buf)
+	if !strings.Contains(string(buf[:n]), `"state":"done"`) {
+		t.Fatalf("SSE stream did not deliver the terminal state: %q", buf[:n])
+	}
+}
+
+// TestGCEndpointAndRetention checks RunGC applies the retention policy over
+// the server store: under a hard size cap the oldest entry goes first.
+func TestGCEndpointAndRetention(t *testing.T) {
+	dir := t.TempDir()
+	res := &sim.Results{Config: "x", Cycles: 1}
+	var total int64
+	var datas [][]byte
+	for i := 0; i < 2; i++ {
+		key := strings.Repeat(fmt.Sprintf("%d", i), 64)
+		data, err := simcache.EncodeEntry(key, res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		datas = append(datas, data)
+		total += int64(len(data))
+	}
+
+	s, _ := newTestServer(t, Config{
+		Workers:  1,
+		CacheDir: dir,
+		GC:       simcache.GCPolicy{MaxBytes: total - 1, KeepPerKey: 1},
+	})
+	for i, data := range datas {
+		key := strings.Repeat(fmt.Sprintf("%d", i), 64)
+		if err := s.cache.PutRawEntry(key, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Age the first entry so the squeeze picks it.
+	old := time.Now().Add(-2 * time.Hour)
+	if err := os.Chtimes(filepath.Join(dir, strings.Repeat("0", 64)+".json"), old, old); err != nil {
+		t.Fatal(err)
+	}
+
+	got := s.RunGC()
+	if got.Scanned != 2 || got.Removed != 1 {
+		t.Fatalf("GC result = %+v, want 1 of 2 removed", got)
+	}
+	if _, err := os.Stat(filepath.Join(dir, strings.Repeat("1", 64) + ".json")); err != nil {
+		t.Fatalf("newest entry did not survive the squeeze: %v", err)
+	}
+}

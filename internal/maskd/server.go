@@ -1,0 +1,660 @@
+package maskd
+
+// The HTTP surface. Stdlib-only: net/http's 1.22 pattern router, SSE via
+// http.Flusher, long-poll via job.await. All state is in-process; the shared
+// content-addressed store is the server's simcache disk layer, served raw by
+// fingerprint so remote maskexp clients and other maskd instances can consult
+// and populate it.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"masksim/internal/experiments"
+	"masksim/internal/metrics"
+	"masksim/internal/simcache"
+	"masksim/internal/snapshot"
+	"masksim/sim"
+)
+
+// Config wires a Server.
+type Config struct {
+	// CacheDir is the on-disk result store (required for the /v1/cache
+	// endpoints; in-memory dedup works without it).
+	CacheDir string
+	// CheckpointDir enables mid-run checkpoints for server-side executions.
+	CheckpointDir   string
+	CheckpointEvery int64
+	// Workers is the machine-wide execution-slot pool (0 = 1).
+	Workers int
+	// Reserve is the per-tenant guaranteed slot count (Silver Queue trickle).
+	Reserve int
+	// TenantRate/TenantBurst shape the per-tenant admission token bucket
+	// (jobs per second / bucket size). Rate 0 = unlimited.
+	TenantRate  float64
+	TenantBurst float64
+	// MaxActiveJobs bounds queued+running jobs server-wide; beyond it
+	// submissions get 429. 0 = unlimited.
+	MaxActiveJobs int
+	// RunTimeout bounds each simulation's wall-clock time (0 = none).
+	RunTimeout time.Duration
+	// DefaultCycles is the per-run budget when a submission leaves Cycles
+	// zero (default 50000, matching maskexp).
+	DefaultCycles int64
+	// GC is the retention policy for the cache and checkpoint directories;
+	// GCEvery its cadence (0 = no background sweeps).
+	GC      simcache.GCPolicy
+	GCEvery time.Duration
+	// MaxEntryBytes caps a PUT /v1/cache body (default 64 MiB).
+	MaxEntryBytes int64
+	// Now is the clock (nil = time.Now); tests inject a fake.
+	Now func() time.Time
+}
+
+// Server is the maskd daemon state.
+type Server struct {
+	cfg     Config
+	cache   *simcache.Cache
+	limiter *Limiter
+	quota   *Quota
+	mux     *http.ServeMux
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []string // submission order, for /v1/jobs listing
+	nextID   int
+	active   int // queued or running jobs
+	draining bool
+	finished metrics.RunStats // run accounting of finished jobs
+	gcLast   simcache.GCResult
+
+	store StoreStats
+
+	wg     sync.WaitGroup
+	gcStop chan struct{}
+}
+
+// StoreStats counts shared-store traffic (the /v1/cache endpoints remote
+// clients drive).
+type StoreStats struct {
+	// Gets counts entry fetches; Hits the ones served (cross-machine dedup
+	// evidence).
+	Gets uint64 `json:"gets"`
+	Hits uint64 `json:"hits"`
+	// Puts counts accepted publishes; Rejects bodies refused as corrupt,
+	// mismatched, malformed or oversized.
+	Puts    uint64 `json:"puts"`
+	Rejects uint64 `json:"rejects"`
+}
+
+// NewServer builds a server from cfg. The cache directory is created durably
+// up front so a misconfigured store fails at startup, not mid-campaign.
+func NewServer(cfg Config) (*Server, error) {
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	if cfg.Reserve < 1 {
+		cfg.Reserve = 1
+	}
+	if cfg.DefaultCycles <= 0 {
+		cfg.DefaultCycles = 50_000
+	}
+	if cfg.MaxEntryBytes <= 0 {
+		cfg.MaxEntryBytes = 64 << 20
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	cache := simcache.New(cfg.CacheDir)
+	if cfg.CacheDir != "" {
+		if err := snapshot.EnsureDir(cfg.CacheDir); err != nil {
+			return nil, fmt.Errorf("maskd: cache dir: %w", err)
+		}
+	}
+	s := &Server{
+		cfg:     cfg,
+		cache:   cache,
+		limiter: NewLimiter(cfg.Workers, cfg.Reserve),
+		quota:   &Quota{Rate: cfg.TenantRate, Burst: cfg.TenantBurst},
+		jobs:    make(map[string]*job),
+		gcStop:  make(chan struct{}),
+	}
+	s.routes()
+	if cfg.GCEvery > 0 {
+		s.wg.Add(1)
+		go s.gcLoop()
+	}
+	return s, nil
+}
+
+// Handler returns the daemon's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+func (s *Server) routes() {
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/cache/{key}", s.handleCacheGet)
+	s.mux.HandleFunc("PUT /v1/cache/{key}", s.handleCachePut)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+}
+
+// tenant identifies the caller: the X-API-Key header, or "anonymous".
+func tenant(r *http.Request) string {
+	if k := r.Header.Get("X-API-Key"); k != "" {
+		return k
+	}
+	return "anonymous"
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// handleSubmit admits, validates and launches a job.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	ten := tenant(r)
+	var req SubmitRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if err := req.validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	now := s.cfg.Now()
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	if s.cfg.MaxActiveJobs > 0 && s.active >= s.cfg.MaxActiveJobs {
+		s.mu.Unlock()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "job queue full (%d active)", s.cfg.MaxActiveJobs)
+		return
+	}
+	if !s.quota.Allow(ten, now) {
+		s.mu.Unlock()
+		ra := s.quota.RetryAfter(ten, now)
+		w.Header().Set("Retry-After", strconv.Itoa(int(ra/time.Second)+1))
+		writeError(w, http.StatusTooManyRequests, "tenant %q over admission quota", ten)
+		return
+	}
+	s.nextID++
+	id := fmt.Sprintf("job-%d", s.nextID)
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &job{cancel: cancel, done: make(chan struct{})}
+	j.status = JobStatus{ID: id, Tenant: ten, State: JobQueued}
+	for _, eid := range req.Experiments {
+		j.status.Cells = append(j.status.Cells, CellStatus{Name: eid, Kind: "experiment", State: CellQueued})
+	}
+	for _, spec := range req.Sims {
+		j.status.Cells = append(j.status.Cells, CellStatus{Name: cellName(spec), Kind: "sim", State: CellQueued})
+	}
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	s.active++
+	s.mu.Unlock()
+
+	s.wg.Add(1)
+	go s.runJob(ctx, j, ten, req)
+
+	writeJSON(w, http.StatusAccepted, j.snapshot())
+}
+
+// runJob executes every cell concurrently and settles the job state.
+func (s *Server) runJob(ctx context.Context, j *job, ten string, req SubmitRequest) {
+	defer s.wg.Done()
+	defer j.cancel()
+	cycles := req.Cycles
+	if cycles <= 0 {
+		cycles = s.cfg.DefaultCycles
+	}
+	j.update(func(st *JobStatus) { st.State = JobRunning })
+
+	var wg sync.WaitGroup
+	var jobStats struct {
+		sync.Mutex
+		stats metrics.RunStats
+	}
+	runCell := func(i int, run func() (CellStatus, metrics.RunStats)) {
+		defer wg.Done()
+		j.update(func(st *JobStatus) { st.Cells[i].State = CellRunning })
+		cell, stats := run()
+		jobStats.Lock()
+		jobStats.stats.Merge(runOnly(stats))
+		jobStats.Unlock()
+		j.update(func(st *JobStatus) {
+			name, kind := st.Cells[i].Name, st.Cells[i].Kind
+			st.Cells[i] = cell
+			st.Cells[i].Name, st.Cells[i].Kind = name, kind
+		})
+	}
+
+	idx := 0
+	for _, eid := range req.Experiments {
+		wg.Add(1)
+		go func(i int, eid string) {
+			runCell(i, func() (CellStatus, metrics.RunStats) {
+				return s.runExperimentCell(ctx, ten, eid, cycles, req.Full)
+			})
+		}(idx, eid)
+		idx++
+	}
+	for _, spec := range req.Sims {
+		wg.Add(1)
+		go func(i int, spec SimSpec) {
+			runCell(i, func() (CellStatus, metrics.RunStats) {
+				return s.runSimCell(ctx, ten, spec, cycles)
+			})
+		}(idx, spec)
+		idx++
+	}
+	wg.Wait()
+
+	canceled := ctx.Err() != nil
+	j.update(func(st *JobStatus) {
+		st.Stats = jobStats.stats
+		st.State = JobDone
+		for i := range st.Cells {
+			switch {
+			case canceled && st.Cells[i].State != CellDone:
+				st.Cells[i].State = CellCanceled
+				st.State = JobCanceled
+			case st.Cells[i].State == CellFailed:
+				if st.State == JobDone {
+					st.State = JobFailed
+				}
+			}
+		}
+		if canceled {
+			st.State = JobCanceled
+		}
+	})
+	close(j.done)
+
+	s.mu.Lock()
+	s.active--
+	s.finished.Merge(jobStats.stats)
+	s.mu.Unlock()
+}
+
+// cellHarnessOpts are the per-cell experiment options: own harness, shared
+// cache and fair slots.
+func (s *Server) cellHarnessOpts(ctx context.Context, ten string, cycles int64, full bool) experiments.Options {
+	return experiments.Options{
+		Cycles:          cycles,
+		Full:            full,
+		Ctx:             ctx,
+		RunTimeout:      s.cfg.RunTimeout,
+		CheckpointDir:   s.cfg.CheckpointDir,
+		CheckpointEvery: s.cfg.CheckpointEvery,
+		Cache:           s.cache,
+		Slots:           s.limiter.For(ten),
+	}
+}
+
+func (s *Server) runExperimentCell(ctx context.Context, ten, id string, cycles int64, full bool) (CellStatus, metrics.RunStats) {
+	rep, err := experiments.RunReport(id, s.cellHarnessOpts(ctx, ten, cycles, full))
+	cell := CellStatus{State: CellDone}
+	var stats metrics.RunStats
+	if rep != nil {
+		stats = rep.Stats
+		cell.Requests = rep.Stats.CacheRequests
+		cell.Executed = rep.Stats.Attempted
+		cell.CacheHit = err == nil && cell.Requests > 0 && cell.Executed == 0
+		for _, t := range rep.Tables {
+			cell.Tables = append(cell.Tables, t.String())
+		}
+	}
+	if err != nil {
+		cell.State = CellFailed
+		cell.Error = err.Error()
+	}
+	return cell, stats
+}
+
+func (s *Server) runSimCell(ctx context.Context, ten string, spec SimSpec, defCycles int64) (CellStatus, metrics.RunStats) {
+	cycles := spec.Cycles
+	if cycles <= 0 {
+		cycles = defCycles
+	}
+	cfg, err := sim.ConfigByName(spec.Config)
+	if err != nil {
+		return CellStatus{State: CellFailed, Error: err.Error()}, metrics.RunStats{}
+	}
+	h := experiments.NewHarness(cycles)
+	h.Ctx = ctx
+	h.RunTimeout = s.cfg.RunTimeout
+	h.Cache = s.cache
+	h.Slots = s.limiter.For(ten)
+	h.CheckpointDir = s.cfg.CheckpointDir
+	h.CheckpointEvery = s.cfg.CheckpointEvery
+
+	var (
+		res  *sim.Results
+		info experiments.RunInfo
+	)
+	if spec.Alone {
+		cores := spec.Cores
+		if cores <= 0 {
+			cores = cfg.Cores
+		}
+		res, info, err = h.RunAloneEx(cfg, spec.Apps[0], cores)
+	} else {
+		res, info, err = h.RunEx(cfg, spec.Apps)
+	}
+	stats := h.Stats()
+	cell := CellStatus{
+		State:    CellDone,
+		Requests: stats.CacheRequests,
+		Executed: stats.Attempted,
+		CacheHit: err == nil && !info.Executed,
+		Results:  res,
+	}
+	if err != nil {
+		cell.State = CellFailed
+		cell.Error = err.Error()
+		cell.Results = nil
+	}
+	return cell, stats
+}
+
+func (s *Server) lookup(id string) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+// handleJob returns a job snapshot, long-polling when ?since=V is at the
+// current version and ?wait=D is positive.
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	q := r.URL.Query()
+	if waitStr := q.Get("wait"); waitStr != "" {
+		wait, err := time.ParseDuration(waitStr)
+		if err != nil || wait < 0 {
+			writeError(w, http.StatusBadRequest, "bad wait %q", waitStr)
+			return
+		}
+		if wait > time.Minute {
+			wait = time.Minute
+		}
+		since, _ := strconv.ParseUint(q.Get("since"), 10, 64)
+		writeJSON(w, http.StatusOK, j.await(r.Context(), since, wait))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.snapshot())
+}
+
+// handleEvents streams job snapshots as server-sent events until the job is
+// terminal or the client goes away.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusNotImplemented, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	var since uint64
+	for {
+		st := j.await(r.Context(), since, 30*time.Second)
+		data, _ := json.Marshal(st)
+		fmt.Fprintf(w, "data: %s\n\n", data)
+		fl.Flush()
+		if st.Terminal() {
+			return
+		}
+		since = st.Version
+		if r.Context().Err() != nil {
+			return
+		}
+	}
+}
+
+// handleCancel cancels a job's context; in-flight cells wind down through the
+// harness supervision path.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	j.cancel()
+	writeJSON(w, http.StatusOK, j.snapshot())
+}
+
+// handleList returns every job snapshot in submission order.
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	s.mu.Unlock()
+	out := make([]JobStatus, 0, len(ids))
+	for _, id := range ids {
+		if j := s.lookup(id); j != nil {
+			out = append(out, j.snapshot())
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleCacheGet serves one raw content-addressed entry.
+func (s *Server) handleCacheGet(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if !simcache.ValidKey(key) {
+		writeError(w, http.StatusBadRequest, "malformed key")
+		return
+	}
+	s.mu.Lock()
+	s.store.Gets++
+	s.mu.Unlock()
+	data, err := s.cache.RawEntry(key)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "no entry")
+		return
+	}
+	s.mu.Lock()
+	s.store.Hits++
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)
+}
+
+// handleCachePut accepts one entry, validating it against its key before it
+// touches the store (a corrupt or mismatched body is rejected, not stored).
+func (s *Server) handleCachePut(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if !simcache.ValidKey(key) {
+		writeError(w, http.StatusBadRequest, "malformed key")
+		return
+	}
+	if s.cache.Dir() == "" {
+		writeError(w, http.StatusNotImplemented, "server has no persistent store")
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, s.cfg.MaxEntryBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	if int64(len(body)) > s.cfg.MaxEntryBytes {
+		writeError(w, http.StatusRequestEntityTooLarge, "entry exceeds %d bytes", s.cfg.MaxEntryBytes)
+		return
+	}
+	if err := s.cache.PutRawEntry(key, body); err != nil {
+		s.mu.Lock()
+		s.store.Rejects++
+		s.mu.Unlock()
+		writeError(w, http.StatusBadRequest, "rejected: %v", err)
+		return
+	}
+	s.mu.Lock()
+	s.store.Puts++
+	s.mu.Unlock()
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// ServerStats is the /v1/stats payload.
+type ServerStats struct {
+	// Jobs counts by state.
+	Jobs map[string]int `json:"jobs"`
+	// Stats is the merged run accounting of all finished jobs.
+	Stats metrics.RunStats `json:"stats"`
+	// Cache is the shared result cache's counters (the machine-wide dedup
+	// evidence for server-side executions: Requests vs Misses).
+	Cache simcache.Stats `json:"cache"`
+	// Store is the raw /v1/cache endpoint traffic (the cross-machine dedup
+	// evidence for maskexp -remote clients).
+	Store StoreStats `json:"store"`
+	// Inflight is the execution slots currently held, per tenant.
+	Inflight map[string]int `json:"inflight"`
+	// LastGC is the most recent retention sweep.
+	LastGC simcache.GCResult `json:"lastGC"`
+	// Draining is true once graceful shutdown began.
+	Draining bool `json:"draining"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	stats := s.finished
+	jobs := map[string]int{}
+	for _, j := range s.jobs {
+		j.mu.Lock()
+		jobs[string(j.status.State)]++
+		j.mu.Unlock()
+	}
+	gcLast := s.gcLast
+	draining := s.draining
+	store := s.store
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, ServerStats{
+		Jobs:     jobs,
+		Stats:    stats,
+		Cache:    s.cache.Stats(),
+		Store:    store,
+		Inflight: s.limiter.Inflight(),
+		LastGC:   gcLast,
+		Draining: draining,
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// gcDirs are the directories the retention policy covers.
+func (s *Server) gcDirs() []string {
+	var dirs []string
+	if s.cfg.CacheDir != "" {
+		dirs = append(dirs, s.cfg.CacheDir)
+	}
+	if s.cfg.CheckpointDir != "" && s.cfg.CheckpointDir != s.cfg.CacheDir {
+		dirs = append(dirs, s.cfg.CheckpointDir)
+	}
+	return dirs
+}
+
+// RunGC sweeps the store and checkpoint directories once under the configured
+// policy and records the result for /v1/stats.
+func (s *Server) RunGC() simcache.GCResult {
+	res := simcache.GC(s.gcDirs(), s.cfg.GC, s.cfg.Now())
+	s.mu.Lock()
+	s.gcLast = res
+	s.mu.Unlock()
+	return res
+}
+
+func (s *Server) gcLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.cfg.GCEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.RunGC()
+		case <-s.gcStop:
+			return
+		}
+	}
+}
+
+// Drain stops admitting jobs (submissions get 503, healthz flips) and waits
+// for every running job and the GC loop to finish, or for ctx to expire.
+// Cache GET/PUT stay available throughout, so clients finishing their own
+// work can still publish results.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	s.mu.Unlock()
+	if !already {
+		close(s.gcStop)
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// CancelAll cancels every non-terminal job (used by hard shutdown paths).
+func (s *Server) CancelAll() {
+	s.mu.Lock()
+	jobs := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	for _, j := range jobs {
+		j.cancel()
+	}
+}

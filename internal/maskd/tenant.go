@@ -1,0 +1,211 @@
+// Package maskd is the simulation-as-a-service campaign server: an HTTP
+// daemon that routes simulation and experiment requests through the shared
+// experiments.Harness + simcache single-flight layer, so identical requests
+// from any number of clients dedupe machine-wide. Admission and execution are
+// tenant-fair, modeled on the paper's Silver Queue (§5.2): every tenant keeps
+// a guaranteed trickle of execution slots, and the surplus is shared.
+package maskd
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Quota is a per-tenant token bucket gating job admission. Each tenant's
+// bucket refills at Rate tokens per second up to Burst; a submission spends
+// one token, and an empty bucket means 429. The clock is passed in, so tests
+// drive it deterministically.
+type Quota struct {
+	// Rate is the sustained admission rate in jobs per second per tenant.
+	// Rate <= 0 disables the quota (every submission is admitted).
+	Rate float64
+	// Burst is the bucket capacity (minimum 1 when Rate > 0).
+	Burst float64
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// Allow reports whether tenant may submit a job at instant now, spending one
+// token when it may.
+func (q *Quota) Allow(tenant string, now time.Time) bool {
+	if q.Rate <= 0 {
+		return true
+	}
+	burst := q.Burst
+	if burst < 1 {
+		burst = 1
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.buckets == nil {
+		q.buckets = make(map[string]*bucket)
+	}
+	b, ok := q.buckets[tenant]
+	if !ok {
+		b = &bucket{tokens: burst, last: now}
+		q.buckets[tenant] = b
+	}
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens += dt * q.Rate
+		if b.tokens > burst {
+			b.tokens = burst
+		}
+	}
+	b.last = now
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// RetryAfter estimates how long tenant must wait for its next token —
+// surfaced as the Retry-After header on a 429.
+func (q *Quota) RetryAfter(tenant string, now time.Time) time.Duration {
+	if q.Rate <= 0 {
+		return 0
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	b, ok := q.buckets[tenant]
+	if !ok || b.tokens >= 1 {
+		return 0
+	}
+	return time.Duration((1 - b.tokens) / q.Rate * float64(time.Second))
+}
+
+// Limiter spreads one machine-wide pool of execution slots across tenants,
+// Silver-Queue style: of Total slots, every tenant with queued work is owed
+// up to Reserve slots before any tenant may consume the surplus. A lone
+// tenant still gets the whole pool; when a second tenant shows up, the first
+// one's next acquisitions yield until the newcomer holds its reserve. Slots
+// are handed out via the experiments.Acquirer interface, so harnesses plug in
+// without knowing about tenancy.
+type Limiter struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	total    int
+	reserve  int
+	free     int
+	inflight map[string]int
+	waiting  map[string]int
+}
+
+// NewLimiter builds a pool of total slots with the given per-tenant reserve.
+// total < 1 defaults to 1; reserve < 1 defaults to 1.
+func NewLimiter(total, reserve int) *Limiter {
+	if total < 1 {
+		total = 1
+	}
+	if reserve < 1 {
+		reserve = 1
+	}
+	l := &Limiter{
+		total:    total,
+		reserve:  reserve,
+		free:     total,
+		inflight: make(map[string]int),
+		waiting:  make(map[string]int),
+	}
+	l.cond = sync.NewCond(&l.mu)
+	return l
+}
+
+// reserveDebt is the number of free slots spoken for by OTHER tenants that
+// are waiting but still below their reserve. A tenant already at or above its
+// own reserve may only take slots beyond that debt.
+func (l *Limiter) reserveDebt(tenant string) int {
+	debt := 0
+	for t, n := range l.waiting {
+		if t == tenant || n == 0 {
+			continue
+		}
+		if owed := l.reserve - l.inflight[t]; owed > 0 {
+			debt += owed
+		}
+	}
+	return debt
+}
+
+// admit reports whether tenant may take a slot right now (mu held).
+func (l *Limiter) admit(tenant string) bool {
+	if l.free <= 0 {
+		return false
+	}
+	if l.inflight[tenant] < l.reserve {
+		return true // within the guaranteed trickle
+	}
+	return l.free > l.reserveDebt(tenant) // surplus only
+}
+
+// TenantSlots binds a Limiter to one tenant as an experiments.Acquirer.
+type TenantSlots struct {
+	l      *Limiter
+	tenant string
+}
+
+// For returns tenant's view of the pool.
+func (l *Limiter) For(tenant string) *TenantSlots {
+	return &TenantSlots{l: l, tenant: tenant}
+}
+
+// Acquire blocks until the fairness rule grants tenant a slot or ctx is done.
+func (ts *TenantSlots) Acquire(ctx context.Context) error {
+	l := ts.l
+	// Wake every waiter when the context dies, so the one belonging to this
+	// ctx can observe it and give up.
+	stop := context.AfterFunc(ctx, func() {
+		l.mu.Lock()
+		l.cond.Broadcast()
+		l.mu.Unlock()
+	})
+	defer stop()
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.waiting[ts.tenant]++
+	defer func() {
+		if l.waiting[ts.tenant]--; l.waiting[ts.tenant] == 0 {
+			delete(l.waiting, ts.tenant)
+		}
+	}()
+	for !l.admit(ts.tenant) {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		l.cond.Wait()
+	}
+	l.free--
+	l.inflight[ts.tenant]++
+	return nil
+}
+
+// Release returns the slot to the pool.
+func (ts *TenantSlots) Release() {
+	l := ts.l
+	l.mu.Lock()
+	l.free++
+	if l.inflight[ts.tenant]--; l.inflight[ts.tenant] <= 0 {
+		delete(l.inflight, ts.tenant)
+	}
+	l.cond.Broadcast()
+	l.mu.Unlock()
+}
+
+// Inflight reports the currently held slots per tenant (for /v1/stats).
+func (l *Limiter) Inflight() map[string]int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make(map[string]int, len(l.inflight))
+	for t, n := range l.inflight {
+		out[t] = n
+	}
+	return out
+}

@@ -34,6 +34,14 @@ type RunStats struct {
 	// DiskHits counts misses resolved from the on-disk cache (-cache-dir)
 	// without simulating.
 	DiskHits uint64
+	// RemoteHits counts misses resolved from the shared remote store
+	// (maskexp -remote / the maskd content-addressed store) without
+	// simulating — the cross-machine dedup evidence.
+	RemoteHits uint64
+	// RemotePuts counts entries published to the remote store.
+	RemotePuts uint64
+	// RemoteErrors counts remote entries rejected as corrupt or mismatched.
+	RemoteErrors uint64
 
 	// CheckpointsTaken counts mid-run checkpoints written (-checkpoint-dir).
 	CheckpointsTaken uint64
@@ -65,6 +73,9 @@ func (s *RunStats) Merge(o RunStats) {
 	s.CacheInflightWaits += o.CacheInflightWaits
 	s.CacheMisses += o.CacheMisses
 	s.DiskHits += o.DiskHits
+	s.RemoteHits += o.RemoteHits
+	s.RemotePuts += o.RemotePuts
+	s.RemoteErrors += o.RemoteErrors
 	s.CheckpointsTaken += o.CheckpointsTaken
 	s.CheckpointsRestored += o.CheckpointsRestored
 	s.CheckpointsRejected += o.CheckpointsRejected
@@ -88,6 +99,10 @@ func (s RunStats) String() string {
 	if s.CacheRequests > 0 {
 		out += fmt.Sprintf(" cache: requests=%d hits=%d inflight=%d misses=%d disk=%d",
 			s.CacheRequests, s.CacheHits, s.CacheInflightWaits, s.CacheMisses, s.DiskHits)
+	}
+	if s.RemoteHits > 0 || s.RemotePuts > 0 || s.RemoteErrors > 0 {
+		out += fmt.Sprintf(" remote: hits=%d puts=%d errors=%d",
+			s.RemoteHits, s.RemotePuts, s.RemoteErrors)
 	}
 	if s.CheckpointsTaken > 0 || s.CheckpointsRestored > 0 || s.CheckpointsRejected > 0 {
 		out += fmt.Sprintf(" checkpoints: taken=%d restored=%d rejected=%d",

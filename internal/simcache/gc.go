@@ -1,0 +1,186 @@
+package simcache
+
+// Cache/checkpoint lifecycle: a shared garbage collector for the two kinds of
+// fingerprint-keyed artifact directories the system accumulates — simcache
+// result entries (<key>.json) and sim checkpoint files
+// (<fingerprint>-<cycle>.ckpt, <fingerprint>-crash.ckpt). Both name their
+// files by machine-independent fingerprints, so one retention policy covers
+// the local -cache-dir, the maskd shared store, and fleet checkpoint
+// directories alike.
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+)
+
+// GCPolicy bounds an artifact directory. Zero values disable the
+// corresponding limit; the zero policy removes nothing but stale temp files.
+type GCPolicy struct {
+	// MaxBytes caps the total size across the swept directories; the oldest
+	// removable files go first until the total fits. 0 = unbounded.
+	MaxBytes int64
+	// MaxAge removes files not modified within the window. 0 = no age limit.
+	MaxAge time.Duration
+	// KeepPerKey protects the newest N files of each fingerprint group from
+	// age expiry, and from the size cap for as long as unshielded files
+	// remain — MaxBytes is a hard bound, so once every sacrificial file is
+	// gone the shielded ones go too, oldest first. Values < 1 default to 1.
+	KeepPerKey int
+}
+
+// GCResult accounts one sweep.
+type GCResult struct {
+	// Scanned counts eligible files seen; BytesScanned their total size.
+	Scanned      int
+	BytesScanned int64
+	// Removed counts files deleted; BytesFreed their total size.
+	Removed    int
+	BytesFreed int64
+	// Errors counts files that could not be statted or removed.
+	Errors int
+}
+
+// gcFile is one removable artifact.
+type gcFile struct {
+	path    string
+	group   string // fingerprint group for KeepPerKey
+	size    int64
+	modTime time.Time
+	rank    int // newest-first position within its group (0 = newest)
+}
+
+// tempMaxAge is how long an orphaned WriteFileAtomic temp file may linger
+// before a sweep reclaims it (a crashed writer never removes its temp).
+const tempMaxAge = time.Hour
+
+// GC sweeps dirs under pol at the given instant. Only files the system wrote
+// — *.json entries, *.ckpt checkpoints and their .tmp* orphans — are
+// considered; anything else is left untouched. Missing directories are
+// skipped silently, so one policy can name cache and checkpoint dirs that may
+// not both exist yet.
+func GC(dirs []string, pol GCPolicy, now time.Time) GCResult {
+	keep := pol.KeepPerKey
+	if keep < 1 {
+		keep = 1
+	}
+	var res GCResult
+	var files []gcFile
+	for _, dir := range dirs {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			continue
+		}
+		for _, e := range entries {
+			if e.IsDir() {
+				continue
+			}
+			name := e.Name()
+			path := filepath.Join(dir, name)
+			info, err := e.Info()
+			if err != nil {
+				res.Errors++
+				continue
+			}
+			if strings.Contains(name, ".tmp") {
+				// Orphaned atomic-write temp: reclaim once clearly abandoned.
+				if now.Sub(info.ModTime()) > tempMaxAge {
+					if os.Remove(path) == nil {
+						res.Removed++
+						res.BytesFreed += info.Size()
+					} else {
+						res.Errors++
+					}
+				}
+				continue
+			}
+			group, ok := fingerprintGroup(name)
+			if !ok {
+				continue
+			}
+			res.Scanned++
+			res.BytesScanned += info.Size()
+			files = append(files, gcFile{path: path, group: group, size: info.Size(), modTime: info.ModTime()})
+		}
+	}
+
+	// Rank each group newest-first so KeepPerKey can shield the head.
+	byGroup := map[string][]int{}
+	for i, f := range files {
+		byGroup[f.group] = append(byGroup[f.group], i)
+	}
+	for _, idxs := range byGroup {
+		sort.Slice(idxs, func(a, b int) bool {
+			fa, fb := files[idxs[a]], files[idxs[b]]
+			if !fa.modTime.Equal(fb.modTime) {
+				return fa.modTime.After(fb.modTime)
+			}
+			return fa.path > fb.path // checkpoint names order by cycle
+		})
+		for rank, i := range idxs {
+			files[i].rank = rank
+		}
+	}
+
+	remove := func(f gcFile) {
+		if os.Remove(f.path) == nil {
+			res.Removed++
+			res.BytesFreed += f.size
+		} else {
+			res.Errors++
+		}
+	}
+
+	// Age pass: expire everything old enough that is not shielded.
+	var live []gcFile
+	for _, f := range files {
+		if pol.MaxAge > 0 && f.rank >= keep && now.Sub(f.modTime) > pol.MaxAge {
+			remove(f)
+			continue
+		}
+		live = append(live, f)
+	}
+
+	// Size pass: oldest unshielded files go first; if the directory still
+	// exceeds the hard cap, shielded files follow, oldest first.
+	if pol.MaxBytes > 0 {
+		var total int64
+		for _, f := range live {
+			total += f.size
+		}
+		sort.Slice(live, func(a, b int) bool { return live[a].modTime.Before(live[b].modTime) })
+		for _, shieldedPass := range []bool{false, true} {
+			for _, f := range live {
+				if total <= pol.MaxBytes {
+					return res
+				}
+				if (f.rank >= keep) == shieldedPass {
+					continue
+				}
+				remove(f)
+				total -= f.size
+			}
+		}
+	}
+	return res
+}
+
+// fingerprintGroup extracts the retention group from an artifact file name:
+// the cache key of a <key>.json entry, or the simulation fingerprint of a
+// <fingerprint>-<cycle>.ckpt / <fingerprint>-crash.ckpt checkpoint. ok=false
+// marks a foreign file the collector must not touch.
+func fingerprintGroup(name string) (string, bool) {
+	switch {
+	case strings.HasSuffix(name, ".json"):
+		return strings.TrimSuffix(name, ".json"), true
+	case strings.HasSuffix(name, ".ckpt"):
+		base := strings.TrimSuffix(name, ".ckpt")
+		if i := strings.IndexByte(base, '-'); i > 0 {
+			return base[:i], true
+		}
+		return base, true
+	}
+	return "", false
+}

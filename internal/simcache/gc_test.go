@@ -1,0 +1,150 @@
+package simcache
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// mk writes a file of n bytes and stamps its mtime age before now.
+func mk(t *testing.T, dir, name string, n int, now time.Time, age time.Duration) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, make([]byte, n), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stamp := now.Add(-age)
+	if err := os.Chtimes(path, stamp, stamp); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func names(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, e := range entries {
+		out = append(out, e.Name())
+	}
+	return out
+}
+
+func TestGCAgeExpiryKeepsNewestPerKey(t *testing.T) {
+	now := time.Now()
+	dir := t.TempDir()
+	// Three checkpoints of one fingerprint, all past MaxAge: KeepPerKey=1
+	// shields only the newest.
+	mk(t, dir, "aaaa-000000001000.ckpt", 10, now, 10*time.Hour)
+	mk(t, dir, "aaaa-000000002000.ckpt", 10, now, 9*time.Hour)
+	mk(t, dir, "aaaa-000000003000.ckpt", 10, now, 8*time.Hour)
+	// A fresh entry of another fingerprint survives on age alone.
+	mk(t, dir, "bbbb.json", 10, now, time.Minute)
+
+	res := GC([]string{dir}, GCPolicy{MaxAge: time.Hour, KeepPerKey: 1}, now)
+	if res.Removed != 2 {
+		t.Fatalf("Removed = %d, want 2: %+v", res.Removed, res)
+	}
+	got := names(t, dir)
+	if len(got) != 2 || got[0] != "aaaa-000000003000.ckpt" || got[1] != "bbbb.json" {
+		t.Fatalf("survivors = %v, want newest aaaa checkpoint + bbbb.json", got)
+	}
+}
+
+func TestGCSizeCapRemovesOldestFirst(t *testing.T) {
+	now := time.Now()
+	dir := t.TempDir()
+	mk(t, dir, strings.Repeat("a", 64)+".json", 100, now, 3*time.Hour)
+	mk(t, dir, strings.Repeat("b", 64)+".json", 100, now, 2*time.Hour)
+	mk(t, dir, strings.Repeat("c", 64)+".json", 100, now, 1*time.Hour)
+
+	res := GC([]string{dir}, GCPolicy{MaxBytes: 250}, now)
+	if res.Removed != 1 || res.BytesFreed != 100 {
+		t.Fatalf("res = %+v, want exactly the oldest entry removed", res)
+	}
+	if _, err := os.Stat(filepath.Join(dir, strings.Repeat("a", 64)+".json")); !os.IsNotExist(err) {
+		t.Fatal("oldest entry survived a size squeeze")
+	}
+}
+
+func TestGCKeepPerKeyShieldsFromSizeCap(t *testing.T) {
+	now := time.Now()
+	dir := t.TempDir()
+	// One fingerprint's checkpoint chain plus another group's entry. The
+	// squeeze must sacrifice the older checkpoint (unshielded) and leave the
+	// newest of each group alone once the total fits.
+	mk(t, dir, "aaaa-000000001000.ckpt", 100, now, 3*time.Hour)
+	mk(t, dir, "aaaa-000000002000.ckpt", 100, now, 2*time.Hour)
+	mk(t, dir, strings.Repeat("b", 64)+".json", 100, now, 1*time.Hour)
+
+	res := GC([]string{dir}, GCPolicy{MaxBytes: 250, KeepPerKey: 1}, now)
+	if res.Removed != 1 {
+		t.Fatalf("res = %+v, want exactly the older checkpoint removed", res)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "aaaa-000000001000.ckpt")); !os.IsNotExist(err) {
+		t.Fatal("older checkpoint survived; the shield protected the wrong file")
+	}
+
+	// The cap is hard: squeezed far enough, shielded files go too, oldest
+	// first, and the total honors the budget.
+	res = GC([]string{dir}, GCPolicy{MaxBytes: 150, KeepPerKey: 1}, now)
+	if res.Removed != 1 {
+		t.Fatalf("res = %+v, want one shielded file sacrificed to the hard cap", res)
+	}
+	if got := names(t, dir); len(got) != 1 || got[0] != strings.Repeat("b", 64)+".json" {
+		t.Fatalf("survivors = %v, want only the newest file", got)
+	}
+}
+
+func TestGCForeignFilesUntouched(t *testing.T) {
+	now := time.Now()
+	dir := t.TempDir()
+	mk(t, dir, "README.txt", 10, now, 100*time.Hour)
+	mk(t, dir, "results.csv", 10, now, 100*time.Hour)
+	res := GC([]string{dir}, GCPolicy{MaxAge: time.Minute, MaxBytes: 1}, now)
+	if res.Removed != 0 || res.Scanned != 0 {
+		t.Fatalf("res = %+v, want foreign files ignored", res)
+	}
+	if got := names(t, dir); len(got) != 2 {
+		t.Fatalf("survivors = %v, want both foreign files", got)
+	}
+}
+
+func TestGCReclaimsStaleTempFiles(t *testing.T) {
+	now := time.Now()
+	dir := t.TempDir()
+	mk(t, dir, "entry.json.tmp123", 10, now, 2*time.Hour)  // abandoned
+	mk(t, dir, "entry.json.tmp456", 10, now, time.Minute)  // in-flight
+	res := GC([]string{dir}, GCPolicy{}, now)
+	if res.Removed != 1 {
+		t.Fatalf("res = %+v, want exactly the stale temp removed", res)
+	}
+	if got := names(t, dir); len(got) != 1 || got[0] != "entry.json.tmp456" {
+		t.Fatalf("survivors = %v, want only the fresh temp", got)
+	}
+}
+
+func TestGCMissingDirAndMultipleDirs(t *testing.T) {
+	now := time.Now()
+	cacheDir := t.TempDir()
+	ckptDir := t.TempDir()
+	mk(t, cacheDir, strings.Repeat("a", 64)+".json", 100, now, 5*time.Hour)
+	mk(t, ckptDir, "ffff-000000001000.ckpt", 100, now, 5*time.Hour)
+	mk(t, ckptDir, "ffff-000000002000.ckpt", 100, now, 4*time.Hour)
+
+	dirs := []string{cacheDir, ckptDir, filepath.Join(cacheDir, "does-not-exist")}
+	res := GC(dirs, GCPolicy{MaxAge: time.Hour, KeepPerKey: 1}, now)
+	// The cache entry and the newest checkpoint are shielded; the older
+	// checkpoint expires.
+	if res.Removed != 1 || res.Scanned != 3 {
+		t.Fatalf("res = %+v, want Scanned=3 Removed=1", res)
+	}
+	if got := names(t, ckptDir); len(got) != 1 || got[0] != "ffff-000000002000.ckpt" {
+		t.Fatalf("checkpoint survivors = %v", got)
+	}
+}

@@ -1,10 +1,13 @@
 package simcache
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -189,6 +192,150 @@ func TestAbortedNotPersisted(t *testing.T) {
 	}
 	if _, err := os.Stat(filepath.Join(dir, "k.json")); !os.IsNotExist(err) {
 		t.Fatalf("disk entry exists for aborted result (stat err=%v)", err)
+	}
+}
+
+// fakeRemote is an in-memory RemoteStore.
+type fakeRemote struct {
+	mu   sync.Mutex
+	m    map[string][]byte
+	gets int
+	puts int
+}
+
+func newFakeRemote() *fakeRemote { return &fakeRemote{m: map[string][]byte{}} }
+
+func (r *fakeRemote) Get(key string) ([]byte, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gets++
+	b, ok := r.m[key]
+	return b, ok
+}
+
+func (r *fakeRemote) Put(key string, data []byte) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.puts++
+	r.m[key] = append([]byte(nil), data...)
+}
+
+// TestRemoteHitSkipsExecution checks that an entry already present in the
+// shared store resolves a miss without simulating and is written through to
+// the local disk layer.
+func TestRemoteHitSkipsExecution(t *testing.T) {
+	remote := newFakeRemote()
+	want := &sim.Results{Config: "MASK", TotalIPC: 4.5}
+	b, err := EncodeEntry("k", want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote.m["k"] = b
+
+	dir := t.TempDir()
+	c := New(dir)
+	c.SetRemote(remote)
+	got, err := c.Do("k", func() (*sim.Results, error) {
+		t.Fatal("executed despite remote entry")
+		return nil, nil
+	})
+	if err != nil || got.TotalIPC != want.TotalIPC {
+		t.Fatalf("got %+v err=%v", got, err)
+	}
+	s := c.Stats()
+	if s.RemoteHits != 1 || s.DiskWrites != 1 {
+		t.Fatalf("stats = %+v, want RemoteHits=1 and a disk write-through", s)
+	}
+	// The written-through entry now serves a fresh cache with no remote.
+	c2 := New(dir)
+	if _, err := c2.Do("k", func() (*sim.Results, error) {
+		t.Fatal("executed despite written-through entry")
+		return nil, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRemotePublishAndRejection checks that a computed result is published to
+// the store, and that a corrupt remote entry is rejected and recomputed.
+func TestRemotePublishAndRejection(t *testing.T) {
+	remote := newFakeRemote()
+	c := New("")
+	c.SetRemote(remote)
+	if _, err := c.Do("k", func() (*sim.Results, error) {
+		return &sim.Results{TotalIPC: 2}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if s := c.Stats(); s.RemotePuts != 1 {
+		t.Fatalf("stats = %+v, want RemotePuts=1", s)
+	}
+	if _, ok := remote.m["k"]; !ok {
+		t.Fatal("computed entry not published to the remote store")
+	}
+
+	// A fresh cache facing a corrupt remote entry recomputes.
+	remote.m["bad"] = []byte("garbage{")
+	c2 := New("")
+	c2.SetRemote(remote)
+	var executed bool
+	if _, err := c2.Do("bad", func() (*sim.Results, error) {
+		executed = true
+		return &sim.Results{TotalIPC: 3}, nil
+	}); err != nil || !executed {
+		t.Fatalf("err=%v executed=%v, want recompute past corrupt remote entry", err, executed)
+	}
+	if s := c2.Stats(); s.RemoteErrors != 1 {
+		t.Fatalf("stats = %+v, want RemoteErrors=1", s)
+	}
+}
+
+// TestCanceledNotMemoized checks that a cancellation outcome does not poison
+// the key: the next request re-executes, unlike ordinary failures.
+func TestCanceledNotMemoized(t *testing.T) {
+	c := New("")
+	wantErr := fmt.Errorf("run aborted: %w", context.Canceled)
+	if _, err := c.Do("k", func() (*sim.Results, error) { return nil, wantErr }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("first Do err = %v", err)
+	}
+	want := &sim.Results{TotalIPC: 9}
+	got, err := c.Do("k", func() (*sim.Results, error) { return want, nil })
+	if err != nil || got != want {
+		t.Fatalf("after cancellation: got %v err=%v, want a fresh execution", got, err)
+	}
+	// Deadline expiry behaves the same way.
+	if _, err := c.Do("d", func() (*sim.Results, error) { return nil, context.DeadlineExceeded }); err == nil {
+		t.Fatal("want deadline error")
+	}
+	if _, err := c.Do("d", func() (*sim.Results, error) { return want, nil }); err != nil {
+		t.Fatalf("deadline outcome memoized: %v", err)
+	}
+}
+
+// TestDoInfoReportsExecution pins the Executed flag: true only for the
+// leader that actually ran the function.
+func TestDoInfoReportsExecution(t *testing.T) {
+	c := New("")
+	_, executed, err := c.DoInfo("k", func() (*sim.Results, error) { return &sim.Results{}, nil })
+	if err != nil || !executed {
+		t.Fatalf("leader: executed=%v err=%v, want executed=true", executed, err)
+	}
+	_, executed, err = c.DoInfo("k", func() (*sim.Results, error) { return &sim.Results{}, nil })
+	if err != nil || executed {
+		t.Fatalf("hit: executed=%v err=%v, want executed=false", executed, err)
+	}
+}
+
+// TestValidKey pins the store key shape.
+func TestValidKey(t *testing.T) {
+	good := RunKey(sim.SharedTLBConfig(), []string{"MM"}, 600)
+	if !ValidKey(good) {
+		t.Fatalf("real fingerprint %q rejected", good)
+	}
+	for _, bad := range []string{"", "k", "../../etc/passwd", strings.Repeat("g", 64), strings.Repeat("A", 64)} {
+		if ValidKey(bad) {
+			t.Fatalf("bad key %q accepted", bad)
+		}
 	}
 }
 

@@ -5,6 +5,36 @@ import (
 	"path/filepath"
 )
 
+// EnsureDir creates dir (and any missing parents) and makes the creation
+// durable by fsyncing both the directory and its parent. Every caller that
+// writes entries with WriteFileAtomic must create the directory through this
+// helper: WriteFileAtomic fsyncs the parent of the *file*, but if the
+// directory itself was freshly created and the machine crashes, an unsynced
+// mkdir can vanish and take the "atomically committed" entry with it.
+func EnsureDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if err := syncDir(dir); err != nil {
+		return err
+	}
+	parent := filepath.Dir(dir)
+	if parent == dir {
+		return nil
+	}
+	return syncDir(parent)
+}
+
+// syncDir fsyncs a directory so entry creations/renames inside it persist.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
 // WriteFileAtomic commits data to path so that a reader can never observe a
 // partial or empty file, even across a machine crash: the bytes are written
 // to a temporary sibling, fsynced, renamed over path, and the parent
@@ -45,10 +75,5 @@ func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
 	}
 	// Persist the rename: fsync the directory. Failure here is reported (the
 	// entry exists but may not survive a crash), not rolled back.
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	defer d.Close()
-	return d.Sync()
+	return syncDir(dir)
 }

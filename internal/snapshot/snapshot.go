@@ -114,6 +114,87 @@ func Read(r io.Reader) (Header, []byte, error) {
 	return Decode(raw)
 }
 
+// Info is a lenient description of an envelope for post-mortem tooling
+// (masksim -inspect-checkpoint). Unlike Decode, Inspect keeps going past
+// defects so a corrupt or stale file can still be described: Err carries the
+// structured rejection Decode would have returned, while the fields hold
+// whatever could be recovered.
+type Info struct {
+	// Header holds the recovered metadata (best-effort when Err != nil).
+	Header Header
+	// Version is the envelope's stamped format version (0 if unreadable).
+	Version uint32
+	// PayloadLen is the length of the recovered payload in bytes.
+	PayloadLen int
+	// ChecksumOK reports whether the trailing SHA-256 matched the content.
+	ChecksumOK bool
+	// Payload is the raw payload (only trustworthy when Err == nil).
+	Payload []byte
+	// Err classifies the defect, if any: ErrBadMagic, ErrChecksum,
+	// ErrTruncated or *VersionError — the same taxonomy as Decode.
+	Err error
+}
+
+// Inspect parses raw as leniently as possible. The header fields of a
+// checksum-corrupt or version-mismatched file are still decoded (they may
+// themselves be damaged — that is what Err warns about); only a bad magic or
+// a header too short to parse leaves them zero.
+func Inspect(raw []byte) Info {
+	info := Info{}
+	if len(raw) < len(magic) || !bytes.Equal(raw[:len(magic)], magic[:]) {
+		info.Err = ErrBadMagic
+		if len(raw) < len(magic) {
+			info.Err = ErrTruncated
+		}
+		return info
+	}
+	if len(raw) >= len(magic)+sha256.Size {
+		body, sum := raw[:len(raw)-sha256.Size], raw[len(raw)-sha256.Size:]
+		got := sha256.Sum256(body)
+		info.ChecksumOK = bytes.Equal(got[:], sum)
+		if info.ChecksumOK {
+			raw = body // exclude the checksum from header/payload parsing
+		}
+	}
+	p := raw[len(magic):]
+	if len(p) < 8 {
+		info.Err = ErrTruncated
+		return info
+	}
+	le := binary.LittleEndian
+	info.Version = le.Uint32(p)
+	fpLen := le.Uint32(p[4:])
+	p = p[8:]
+	if fpLen > maxMetaLen || uint64(len(p)) < uint64(fpLen)+24 {
+		info.Err = ErrTruncated
+		return info
+	}
+	info.Header.Fingerprint = string(p[:fpLen])
+	p = p[fpLen:]
+	info.Header.Cycle = int64(le.Uint64(p))
+	info.Header.TotalCycles = int64(le.Uint64(p[8:]))
+	payloadLen := le.Uint64(p[16:])
+	p = p[24:]
+	switch {
+	case !info.ChecksumOK:
+		info.Err = ErrChecksum
+		// The declared payload may overrun what is present; clamp.
+		if uint64(len(p)) < payloadLen {
+			payloadLen = uint64(len(p))
+		}
+	case info.Version != Version:
+		info.Err = &VersionError{Got: info.Version, Want: Version}
+	case uint64(len(p)) != payloadLen:
+		info.Err = ErrTruncated
+		if uint64(len(p)) < payloadLen {
+			payloadLen = uint64(len(p))
+		}
+	}
+	info.Payload = p[:payloadLen]
+	info.PayloadLen = len(info.Payload)
+	return info
+}
+
 // Decode parses an in-memory envelope (see Read).
 func Decode(raw []byte) (Header, []byte, error) {
 	var h Header

@@ -164,3 +164,85 @@ func TestWriteFileAtomic(t *testing.T) {
 		t.Fatalf("perm = %o, want 644", perm)
 	}
 }
+
+func TestEnsureDir(t *testing.T) {
+	root := t.TempDir()
+	dir := filepath.Join(root, "a", "b", "c")
+	if err := EnsureDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(dir)
+	if err != nil || !info.IsDir() {
+		t.Fatalf("EnsureDir did not create %s: %v", dir, err)
+	}
+	// Idempotent on an existing directory.
+	if err := EnsureDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	// A path blocked by a regular file fails with a real error, not silence.
+	file := filepath.Join(root, "plain")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := EnsureDir(filepath.Join(file, "sub")); err == nil {
+		t.Fatal("EnsureDir under a regular file succeeded")
+	}
+}
+
+func TestInspectHealthy(t *testing.T) {
+	in := Header{Fingerprint: "deadbeef", Cycle: 123, TotalCycles: 456}
+	payload := []byte("component states")
+	raw := encode(t, in, payload)
+	info := Inspect(raw)
+	if info.Err != nil {
+		t.Fatalf("Err = %v, want nil", info.Err)
+	}
+	if !info.ChecksumOK || info.Version != Version {
+		t.Fatalf("info = %+v, want checksum ok at current version", info)
+	}
+	if info.Header != in || info.PayloadLen != len(payload) || !bytes.Equal(info.Payload, payload) {
+		t.Fatalf("info = %+v, want header %+v and %d payload bytes", info, in, len(payload))
+	}
+}
+
+func TestInspectCorrupt(t *testing.T) {
+	in := Header{Fingerprint: "deadbeef", Cycle: 123, TotalCycles: 456}
+	raw := encode(t, in, []byte("component states"))
+	// Flip one payload byte: Decode refuses outright, Inspect still recovers
+	// the header while flagging the corruption.
+	raw[len(raw)-sha256.Size-3] ^= 0xFF
+	if _, _, err := Decode(raw); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("Decode err = %v, want ErrChecksum", err)
+	}
+	info := Inspect(raw)
+	if !errors.Is(info.Err, ErrChecksum) || info.ChecksumOK {
+		t.Fatalf("info = %+v, want checksum failure reported", info)
+	}
+	if info.Header.Fingerprint != in.Fingerprint || info.Header.Cycle != in.Cycle {
+		t.Fatalf("header not recovered from corrupt envelope: %+v", info.Header)
+	}
+}
+
+func TestInspectForeignAndTruncated(t *testing.T) {
+	if info := Inspect([]byte("not a checkpoint at all")); !errors.Is(info.Err, ErrBadMagic) {
+		t.Fatalf("foreign file: Err = %v, want ErrBadMagic", info.Err)
+	}
+	if info := Inspect(nil); !errors.Is(info.Err, ErrTruncated) {
+		t.Fatalf("empty file: Err = %v, want ErrTruncated", info.Err)
+	}
+	raw := encode(t, Header{Fingerprint: "fp"}, []byte("payload"))
+	if info := Inspect(raw[:len(raw)/2]); info.Err == nil {
+		t.Fatal("truncated file inspected clean")
+	}
+	// Stale version: reported as *VersionError with the header intact.
+	binary.LittleEndian.PutUint32(raw[4:], Version+7)
+	reseal(raw)
+	info := Inspect(raw)
+	var ve *VersionError
+	if !errors.As(info.Err, &ve) || ve.Got != Version+7 {
+		t.Fatalf("Err = %v, want *VersionError{Got: %d}", info.Err, Version+7)
+	}
+	if info.Header.Fingerprint != "fp" || !info.ChecksumOK {
+		t.Fatalf("info = %+v, want recovered header with good checksum", info)
+	}
+}

@@ -113,6 +113,36 @@ func (s *Simulator) CheckpointStats() CheckpointStats { return s.ckptStats }
 // simulation (config, apps, or core split differ).
 var ErrWrongSimulation = errors.New("sim: checkpoint fingerprint does not match this simulation")
 
+// ErrCheckpointDirUnwritable rejects a Config at build time when its
+// CheckpointDir cannot be created or written. Surfacing this before the run
+// starts turns what used to be a silent stream of best-effort write failures
+// into one structured, actionable error.
+var ErrCheckpointDirUnwritable = errors.New("sim: checkpoint directory unwritable")
+
+// probeCheckpointDir durably creates dir and proves it accepts writes by
+// round-tripping a temp file. Called from New so a misconfigured campaign
+// fails at config time, not CheckpointEvery cycles in.
+func probeCheckpointDir(dir string) error {
+	if err := snapshot.EnsureDir(dir); err != nil {
+		return fmt.Errorf("%w: %s: %v", ErrCheckpointDirUnwritable, dir, err)
+	}
+	f, err := os.CreateTemp(dir, ".probe-*.tmp")
+	if err != nil {
+		return fmt.Errorf("%w: %s: %v", ErrCheckpointDirUnwritable, dir, err)
+	}
+	name := f.Name()
+	_, werr := f.Write([]byte("ok"))
+	cerr := f.Close()
+	os.Remove(name)
+	if werr != nil {
+		return fmt.Errorf("%w: %s: %v", ErrCheckpointDirUnwritable, dir, werr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("%w: %s: %v", ErrCheckpointDirUnwritable, dir, cerr)
+	}
+	return nil
+}
+
 // CanonicalConfig strips the fields that do not affect simulated behavior —
 // the display name, test-only fault injection, the fast-forward speed knob
 // (bit-identical by contract), and the checkpoint/resume orchestration
@@ -428,7 +458,7 @@ func (s *Simulator) writeCheckpointFile(path string) error {
 		s.ckptStats.WriteErrors++
 		return err
 	}
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+	if err := snapshot.EnsureDir(filepath.Dir(path)); err != nil {
 		s.ckptStats.WriteErrors++
 		return err
 	}

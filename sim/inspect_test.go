@@ -1,0 +1,131 @@
+package sim
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"masksim/internal/snapshot"
+)
+
+func TestInspectCheckpoint(t *testing.T) {
+	const cycles = 3000
+	dir := t.TempDir()
+	cfg := MASKConfig()
+	cfg.CheckpointEvery = 1300
+	cfg.CheckpointDir = dir
+	src := prepareScenario(t, cfg, []string{"3DS", "CONS"}, 0)
+	src.mustRun(t, cycles)
+
+	path := src.checkpointPath(2600)
+	info, err := InspectCheckpoint(path)
+	if err != nil {
+		t.Fatalf("inspect: %v", err)
+	}
+	if info.Err != nil || !info.ChecksumOK {
+		t.Fatalf("healthy checkpoint reported defective: %+v", info)
+	}
+	if info.Header.Fingerprint != src.Fingerprint() || info.Header.Cycle != 2600 || info.Header.TotalCycles != cycles {
+		t.Fatalf("header = %+v, want fp=%s cycle=2600 total=%d", info.Header, src.Fingerprint(), cycles)
+	}
+	if !info.PayloadOK {
+		t.Fatalf("payload not decoded: %v", info.PayloadErr)
+	}
+	if info.Clock.Now != 2600 {
+		t.Fatalf("clock = %+v, want Now=2600", info.Clock)
+	}
+	if len(info.Components) == 0 {
+		t.Fatal("no component states reported")
+	}
+	// Largest first, every entry typed and sized.
+	for i, c := range info.Components {
+		if c.Type == "" || c.Bytes <= 0 {
+			t.Fatalf("component %d = %+v, want type and positive size", i, c)
+		}
+		if i > 0 && c.Bytes > info.Components[i-1].Bytes {
+			t.Fatalf("components not sorted largest-first: %+v", info.Components)
+		}
+	}
+	// A MASK run serializes cores, TLBs, caches and DRAM; spot-check one.
+	var sawCore bool
+	for _, c := range info.Components {
+		if strings.Contains(c.Type, "CoreState") {
+			sawCore = true
+		}
+	}
+	if !sawCore {
+		t.Fatalf("no CoreState among components: %+v", info.Components)
+	}
+}
+
+func TestInspectCheckpointCorruptAndForeign(t *testing.T) {
+	const cycles = 2000
+	dir := t.TempDir()
+	cfg := MASKConfig()
+	cfg.CheckpointEvery = 900
+	cfg.CheckpointDir = dir
+	src := prepareScenario(t, cfg, []string{"3DS", "CONS"}, 0)
+	src.mustRun(t, cycles)
+	path := src.checkpointPath(1800)
+
+	// Flip one payload byte: checksum fails, but the header survives.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xff
+	bad := filepath.Join(dir, "bad.ckpt")
+	if err := os.WriteFile(bad, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	info, err := InspectCheckpoint(bad)
+	if err != nil {
+		t.Fatalf("inspect corrupt: %v", err)
+	}
+	if !errors.Is(info.Err, snapshot.ErrChecksum) || info.ChecksumOK {
+		t.Fatalf("corrupt checkpoint not flagged: %+v", info)
+	}
+	if info.Header.Fingerprint != src.Fingerprint() {
+		t.Fatalf("header lost on corruption: %+v", info.Header)
+	}
+
+	// A foreign file reports ErrBadMagic, no payload details.
+	foreign := filepath.Join(dir, "foreign.ckpt")
+	if err := os.WriteFile(foreign, []byte("this is not a checkpoint"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	info, err = InspectCheckpoint(foreign)
+	if err != nil {
+		t.Fatalf("inspect foreign: %v", err)
+	}
+	if !errors.Is(info.Err, snapshot.ErrBadMagic) || info.PayloadOK {
+		t.Fatalf("foreign file not flagged: %+v", info)
+	}
+}
+
+// TestCheckpointDirUnwritable proves a bad CheckpointDir fails at config time
+// with a structured error, not silently at the first checkpoint write. A
+// regular file blocks directory creation regardless of privileges (chmod
+// tricks are invisible to root).
+func TestCheckpointDirUnwritable(t *testing.T) {
+	blocker := filepath.Join(t.TempDir(), "file")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg := MASKConfig()
+	cfg.CheckpointEvery = 1000
+	cfg.CheckpointDir = filepath.Join(blocker, "nested")
+	_, err := Prepare(cfg, []string{"3DS", "CONS"})
+	if !errors.Is(err, ErrCheckpointDirUnwritable) {
+		t.Fatalf("err = %v, want ErrCheckpointDirUnwritable", err)
+	}
+
+	// The same path as the dir itself is just as unwritable.
+	cfg.CheckpointDir = blocker
+	_, err = Prepare(cfg, []string{"3DS", "CONS"})
+	if !errors.Is(err, ErrCheckpointDirUnwritable) {
+		t.Fatalf("err = %v, want ErrCheckpointDirUnwritable", err)
+	}
+}

@@ -127,6 +127,11 @@ func New(cfg Config, apps []workload.App, coresPerApp []int) (*Simulator, error)
 	if cfg.Mask.Any() && cfg.Design != DesignSharedTLB {
 		return nil, fmt.Errorf("sim: MASK mechanisms require the SharedTLB design")
 	}
+	if cfg.CheckpointDir != "" {
+		if err := probeCheckpointDir(cfg.CheckpointDir); err != nil {
+			return nil, err
+		}
+	}
 
 	s := &Simulator{
 		cfg:         cfg,
