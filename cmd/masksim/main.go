@@ -30,6 +30,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"syscall"
 
@@ -53,6 +54,7 @@ func main() {
 		paging     = flag.Bool("paging", false, "enable the demand-paging extension (paper §5.5)")
 		timeout    = flag.Duration("timeout", 0, "wall-clock budget for the run (0 = none); partial results are printed on expiry")
 		noFF       = flag.Bool("no-fastforward", false, "disable event-horizon fast-forward (tick every cycle); results are bit-identical either way")
+		shards     = flag.Int("shards", 1, "worker goroutines ticking the simulation (1 = sequential, 0 = derive from GOMAXPROCS); results are bit-identical at any count")
 		traceFiles = flag.String("tracefiles", "", "comma-separated trace files to run instead of -apps (see workload.ParseTrace for the format)")
 		ckptDir    = flag.String("checkpoint-dir", "", "write mid-run checkpoints (and watchdog crash dumps) to this directory")
 		ckptEvery  = flag.Int64("checkpoint-every", 10_000, "cycles between checkpoints (with -checkpoint-dir)")
@@ -98,6 +100,13 @@ func main() {
 	}
 	if *noFF {
 		cfg.FastForward = false
+	}
+	if *shards < 0 {
+		fatal(fmt.Errorf("-shards must be >= 0, got %d", *shards))
+	}
+	cfg.Shards = *shards
+	if *shards == 0 {
+		cfg.Shards = runtime.GOMAXPROCS(0)
 	}
 	if *ckptDir != "" {
 		cfg.CheckpointDir = *ckptDir

@@ -77,6 +77,11 @@ type Engine struct {
 	// number of cycles simulated.
 	ticked  int64
 	skipped int64
+
+	// plan, when non-nil, is the sharded execution plan (SetShardPlan):
+	// Run/RunContext then tick cycles phase by phase with worker goroutines,
+	// bit-identically to the sequential path.
+	plan *shardPlan
 }
 
 // New returns an Engine at cycle 0 with no components.
@@ -165,6 +170,9 @@ func (e *Engine) skipTo(to int64) {
 // jumped over instead of single-stepped; results are bit-identical because a
 // tick during such a span would have been a no-op.
 func (e *Engine) Run(n int64) {
+	if stop := e.startShardWorkers(); stop != nil {
+		defer stop()
+	}
 	end := e.now + n
 	ff := e.fastForward && e.allSources
 	for e.now < end {
@@ -174,7 +182,7 @@ func (e *Engine) Run(n int64) {
 				continue
 			}
 		}
-		e.Step()
+		e.step()
 	}
 }
 

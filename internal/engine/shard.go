@@ -1,0 +1,223 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Sharded execution: the engine can split one cycle into an ordered list of
+// phases, ticking the groups of a parallel phase on worker goroutines and
+// everything else on the coordinating goroutine, with a barrier between
+// phases. Determinism is preserved because the phase order is fixed, each
+// group's tickers run in registration order on a single worker, and all
+// cross-shard communication is deferred into per-shard exchange buffers that
+// the phase's Drain hook replays in fixed order on the coordinator
+// (docs/MODEL.md §10). Fast-forward, the watchdog, and checkpoints all
+// operate between cycles on the coordinator, so they compose unchanged.
+
+// Phase is one segment of a sharded cycle. A phase ticks either its Groups
+// (concurrently, one group per worker slot, each group's tickers in list
+// order) or its Serial tickers (on the coordinator, in list order) — set one
+// of the two. Enter runs on the coordinator before any tick of the phase;
+// Drain runs on the coordinator after every tick of the phase has completed
+// (i.e. after the barrier, for parallel phases). The simulator uses
+// Enter/Drain to arm and replay the exchange buffers.
+type Phase struct {
+	Groups [][]int
+	Serial []int
+	Enter  func(now int64)
+	Drain  func(now int64)
+}
+
+// shardStart is the message arming one worker for one phase of one cycle.
+type shardStart struct {
+	phase int
+	now   int64
+}
+
+type shardWorker struct {
+	start chan shardStart
+	// lists[phase] is the flat, ordered ticker list this worker runs in that
+	// phase (nil when the worker has no work there).
+	lists [][]Ticker
+}
+
+// shardPlan is the validated, precomputed execution plan.
+type shardPlan struct {
+	phases []Phase
+	// workers hold the per-phase ticker lists; populated by SetShardPlan,
+	// goroutines exist only while a Run is in progress.
+	workers []*shardWorker
+	// active[phase] counts the workers with work in that phase (the number of
+	// done signals the barrier waits for).
+	active []int
+
+	done    chan struct{}
+	running bool
+	wg      sync.WaitGroup
+}
+
+// SetShardPlan installs a sharded execution plan: phases are executed in
+// order every cycle, with at most workers groups ticking concurrently.
+// Every registered ticker must appear exactly once across all phases.
+// Worker goroutines are started by Run/RunContext and stopped when the run
+// returns; the bare Step remains sequential. Passing no phases removes the
+// plan. Must not be called while a run is in progress.
+func (e *Engine) SetShardPlan(workers int, phases []Phase) error {
+	if e.plan != nil && e.plan.running {
+		return fmt.Errorf("engine: SetShardPlan during a run")
+	}
+	if len(phases) == 0 {
+		e.plan = nil
+		return nil
+	}
+	if workers < 1 {
+		return fmt.Errorf("engine: shard plan needs >= 1 worker, got %d", workers)
+	}
+	seen := make([]bool, len(e.tickers))
+	covered := 0
+	mark := func(idx int) error {
+		if idx < 0 || idx >= len(e.tickers) {
+			return fmt.Errorf("engine: shard plan names ticker %d of %d", idx, len(e.tickers))
+		}
+		if seen[idx] {
+			return fmt.Errorf("engine: shard plan ticks ticker %d twice", idx)
+		}
+		seen[idx] = true
+		covered++
+		return nil
+	}
+	for pi, ph := range phases {
+		if len(ph.Groups) > 0 && len(ph.Serial) > 0 {
+			return fmt.Errorf("engine: phase %d has both Groups and Serial", pi)
+		}
+		for _, g := range ph.Groups {
+			for _, idx := range g {
+				if err := mark(idx); err != nil {
+					return err
+				}
+			}
+		}
+		for _, idx := range ph.Serial {
+			if err := mark(idx); err != nil {
+				return err
+			}
+		}
+	}
+	if covered != len(e.tickers) {
+		return fmt.Errorf("engine: shard plan covers %d of %d tickers", covered, len(e.tickers))
+	}
+
+	plan := &shardPlan{
+		phases: phases,
+		active: make([]int, len(phases)),
+		done:   make(chan struct{}, workers),
+	}
+	for w := 0; w < workers; w++ {
+		plan.workers = append(plan.workers, &shardWorker{
+			start: make(chan shardStart),
+			lists: make([][]Ticker, len(phases)),
+		})
+	}
+	// Round-robin groups over workers, resolving indices to tickers once.
+	for pi, ph := range phases {
+		for gi, g := range ph.Groups {
+			w := plan.workers[gi%workers]
+			for _, idx := range g {
+				w.lists[pi] = append(w.lists[pi], e.tickers[idx])
+			}
+		}
+		for _, w := range plan.workers {
+			if len(w.lists[pi]) > 0 {
+				plan.active[pi]++
+			}
+		}
+	}
+	e.plan = plan
+	return nil
+}
+
+// Sharded reports whether a shard plan is installed.
+func (e *Engine) Sharded() bool { return e.plan != nil }
+
+// Len returns the number of registered tickers (shard plans are built over
+// ticker registration indices).
+func (e *Engine) Len() int { return len(e.tickers) }
+
+// startShardWorkers launches the plan's worker goroutines and returns the
+// function that stops them, or nil when no plan is installed. Run/RunContext
+// bracket the run with it so no goroutines outlive a run.
+func (e *Engine) startShardWorkers() func() {
+	p := e.plan
+	if p == nil {
+		return nil
+	}
+	p.running = true
+	for _, w := range p.workers {
+		w := w
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for st := range w.start {
+				for _, t := range w.lists[st.phase] {
+					t.Tick(st.now)
+				}
+				p.done <- struct{}{}
+			}
+		}()
+	}
+	return func() {
+		for _, w := range p.workers {
+			close(w.start)
+		}
+		p.wg.Wait()
+		p.running = false
+		// Fresh channels for the next run (closed ones cannot be reused).
+		for _, w := range p.workers {
+			w.start = make(chan shardStart)
+		}
+	}
+}
+
+// shardStep advances one cycle under the installed plan. The channel
+// send/receive pairs around each parallel phase establish the
+// happens-before edges that make the coordinator's Enter/Drain writes (the
+// exchange-buffer arming) visible to workers and vice versa.
+func (e *Engine) shardStep() {
+	p := e.plan
+	now := e.now
+	for pi := range p.phases {
+		ph := &p.phases[pi]
+		if ph.Enter != nil {
+			ph.Enter(now)
+		}
+		if n := p.active[pi]; n > 0 {
+			for _, w := range p.workers {
+				if len(w.lists[pi]) > 0 {
+					w.start <- shardStart{phase: pi, now: now}
+				}
+			}
+			for i := 0; i < n; i++ {
+				<-p.done
+			}
+		}
+		for _, idx := range ph.Serial {
+			e.tickers[idx].Tick(now)
+		}
+		if ph.Drain != nil {
+			ph.Drain(now)
+		}
+	}
+	e.now++
+	e.ticked++
+}
+
+// step advances one cycle, sharded when workers are live, sequentially
+// otherwise. Both paths are bit-identical by the shard contract.
+func (e *Engine) step() {
+	if e.plan != nil && e.plan.running {
+		e.shardStep()
+	} else {
+		e.Step()
+	}
+}

@@ -1,0 +1,199 @@
+package engine
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// shardedPair builds two engines over the same synthetic topology — n
+// independent counting tickers — and installs a plan on the second: tickers
+// split into per-ticker groups across two parallel phases with the remainder
+// serial in between.
+func shardedPair(t *testing.T, n, workers int) (seq, shr *Engine, seqTicks, shrTicks []*int64) {
+	t.Helper()
+	build := func() (*Engine, []*int64) {
+		e := New()
+		ticks := make([]*int64, n)
+		for i := 0; i < n; i++ {
+			c := new(int64)
+			ticks[i] = c
+			e.Register(TickFunc(func(now int64) { *c++ }))
+		}
+		return e, ticks
+	}
+	seq, seqTicks = build()
+	shr, shrTicks = build()
+	third := n / 3
+	plan := []Phase{
+		{Groups: groupsOf(0, third)},
+		{Serial: indices(third, 2*third)},
+		{Groups: groupsOf(2*third, n)},
+	}
+	if err := shr.SetShardPlan(workers, plan); err != nil {
+		t.Fatal(err)
+	}
+	return seq, shr, seqTicks, shrTicks
+}
+
+func groupsOf(lo, hi int) [][]int {
+	var g [][]int
+	for i := lo; i < hi; i++ {
+		g = append(g, []int{i})
+	}
+	return g
+}
+
+func indices(lo, hi int) []int {
+	var out []int
+	for i := lo; i < hi; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// TestShardPlanValidation pins every rejection path of SetShardPlan.
+func TestShardPlanValidation(t *testing.T) {
+	build := func() *Engine {
+		e := New()
+		for i := 0; i < 4; i++ {
+			e.Register(TickFunc(func(int64) {}))
+		}
+		return e
+	}
+	for _, tc := range []struct {
+		name    string
+		workers int
+		phases  []Phase
+		wantErr string
+	}{
+		{"zero workers", 0,
+			[]Phase{{Serial: []int{0, 1, 2, 3}}}, ">= 1 worker"},
+		{"both groups and serial", 2,
+			[]Phase{{Groups: [][]int{{0, 1}}, Serial: []int{2, 3}}}, "both Groups and Serial"},
+		{"out of range", 2,
+			[]Phase{{Serial: []int{0, 1, 2, 4}}}, "names ticker 4"},
+		{"double tick", 2,
+			[]Phase{{Serial: []int{0, 1}}, {Serial: []int{1, 2, 3}}}, "ticks ticker 1 twice"},
+		{"incomplete coverage", 2,
+			[]Phase{{Serial: []int{0, 1, 2}}}, "covers 3 of 4"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			e := build()
+			err := e.SetShardPlan(tc.workers, tc.phases)
+			if err == nil {
+				t.Fatal("invalid plan accepted")
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+			if e.Sharded() {
+				t.Fatal("rejected plan left the engine sharded")
+			}
+		})
+	}
+
+	// A valid plan installs; an empty one removes it again.
+	e := build()
+	if err := e.SetShardPlan(2, []Phase{{Serial: []int{0, 1, 2, 3}}}); err != nil {
+		t.Fatal(err)
+	}
+	if !e.Sharded() {
+		t.Fatal("valid plan did not install")
+	}
+	if err := e.SetShardPlan(2, nil); err != nil {
+		t.Fatal(err)
+	}
+	if e.Sharded() {
+		t.Fatal("empty plan did not remove the previous one")
+	}
+}
+
+// TestShardedRunMatchesSequential runs the same synthetic topology sharded
+// and sequentially: identical clocks, tick counters and per-ticker counts.
+func TestShardedRunMatchesSequential(t *testing.T) {
+	seq, shr, seqTicks, shrTicks := shardedPair(t, 9, 3)
+	seq.Run(137)
+	shr.Run(137)
+	if seq.Now() != shr.Now() || seq.Ticked() != shr.Ticked() {
+		t.Fatalf("clock diverged: seq now=%d ticked=%d, sharded now=%d ticked=%d",
+			seq.Now(), seq.Ticked(), shr.Now(), shr.Ticked())
+	}
+	for i := range seqTicks {
+		if *seqTicks[i] != *shrTicks[i] {
+			t.Fatalf("ticker %d ticked %d times sharded, %d sequentially",
+				i, *shrTicks[i], *seqTicks[i])
+		}
+	}
+}
+
+// TestShardedWorkerLifecycle checks workers exist only inside Run: a second
+// Run reuses the plan (channels are recreated after the first stop), and a
+// bare Step between runs stays on the sequential path.
+func TestShardedWorkerLifecycle(t *testing.T) {
+	_, shr, _, ticks := shardedPair(t, 6, 2)
+	shr.Run(10)
+	shr.Step() // no workers live: must not deadlock or panic
+	shr.Run(10)
+	if shr.Now() != 21 {
+		t.Fatalf("Now=%d after 10+1+10 cycles, want 21", shr.Now())
+	}
+	for i, c := range ticks {
+		if *c != 21 {
+			t.Fatalf("ticker %d ticked %d times, want 21", i, *c)
+		}
+	}
+}
+
+// TestShardedPhaseProtocol pins the coordinator-side ordering contract:
+// within a cycle, phase k's Enter precedes every tick of phase k, which
+// precedes its Drain, which precedes phase k+1's Enter. The parallel ticks
+// themselves bump an atomic counter the hooks snapshot.
+func TestShardedPhaseProtocol(t *testing.T) {
+	e := New()
+	var ticks atomic.Int64
+	for i := 0; i < 4; i++ {
+		e.Register(TickFunc(func(int64) { ticks.Add(1) }))
+	}
+	var trace []string
+	snap := func(tag string) func(int64) {
+		return func(int64) { trace = append(trace, tag, "ticks", string(rune('0'+ticks.Load()))) }
+	}
+	plan := []Phase{
+		{Groups: [][]int{{0}, {1}}, Enter: snap("enter0"), Drain: snap("drain0")},
+		{Serial: []int{2, 3}, Enter: snap("enter1"), Drain: snap("drain1")},
+	}
+	if err := e.SetShardPlan(2, plan); err != nil {
+		t.Fatal(err)
+	}
+	e.Run(1)
+	got := strings.Join(trace, " ")
+	want := "enter0 ticks 0 drain0 ticks 2 enter1 ticks 2 drain1 ticks 4"
+	if got != want {
+		t.Fatalf("phase protocol trace:\n got  %s\n want %s", got, want)
+	}
+}
+
+// TestShardedSetPlanDuringRunRejected checks the guard against swapping the
+// plan mid-run (workers hold references into the old one).
+func TestShardedSetPlanDuringRunRejected(t *testing.T) {
+	e := New()
+	var inRun error
+	var set bool
+	e.Register(TickFunc(func(int64) {
+		if !set {
+			set = true
+			inRun = e.SetShardPlan(1, []Phase{{Serial: []int{0}}})
+		}
+	}))
+	if err := e.SetShardPlan(1, []Phase{{Serial: []int{0}}}); err != nil {
+		t.Fatal(err)
+	}
+	e.Run(3)
+	if inRun == nil {
+		t.Fatal("SetShardPlan during a run accepted")
+	}
+	if e.Now() != 3 {
+		t.Fatalf("run did not complete: Now=%d", e.Now())
+	}
+}

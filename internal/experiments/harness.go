@@ -37,6 +37,10 @@ type Harness struct {
 	// harness (all experiments sharing it), enforced by a global semaphore;
 	// 0 means GOMAXPROCS. Negative is rejected by parallel.
 	Workers int
+	// Shards, when > 1, runs every simulation with that many intra-simulation
+	// worker goroutines (sim.Config.Shards). Bit-identical by contract and
+	// canonicalized out of fingerprints, so shard counts share cache entries.
+	Shards int
 
 	// Ctx supervises every run the harness starts (nil means Background):
 	// cancel it to stop a campaign early.
@@ -227,13 +231,19 @@ func (h *Harness) supervised(label string, f func(ctx context.Context) (*sim.Res
 	return res, re
 }
 
-// checkpointed overlays the harness checkpoint policy onto one run's config.
-// With no CheckpointDir it is the identity; otherwise the run checkpoints
-// periodically and resumes from existing state, which makes both retry paths
-// (same-process retry after a panic, fresh-process retry after a kill)
-// continue mid-run. Checkpoint knobs are canonicalized out of cache and
-// checkpoint fingerprints, so the overlay never changes a run's identity.
-func (h *Harness) checkpointed(cfg sim.Config) sim.Config {
+// runConfig overlays the harness execution policy onto one run's config:
+// the checkpoint policy and the intra-simulation shard count. With no
+// CheckpointDir and Shards <= 1 it is the identity; otherwise the run
+// checkpoints periodically and resumes from existing state, which makes both
+// retry paths (same-process retry after a panic, fresh-process retry after a
+// kill) continue mid-run, and/or ticks on Shards worker goroutines. Both
+// knobs are canonicalized out of cache and checkpoint fingerprints — results
+// are bit-identical regardless — so the overlay never changes a run's
+// identity.
+func (h *Harness) runConfig(cfg sim.Config) sim.Config {
+	if h.Shards > 1 {
+		cfg.Shards = h.Shards
+	}
 	if h.CheckpointDir == "" {
 		return cfg
 	}
@@ -289,7 +299,7 @@ func (h *Harness) RunEx(cfg sim.Config, names []string) (*sim.Results, RunInfo, 
 	label := fmt.Sprintf("run(%s, %v)", cfg.Name, names)
 	exec := func() (*sim.Results, error) {
 		return h.supervised(label, func(ctx context.Context) (*sim.Results, error) {
-			s, err := sim.Prepare(h.checkpointed(cfg), names)
+			s, err := sim.Prepare(h.runConfig(cfg), names)
 			if err != nil {
 				return nil, err
 			}
@@ -317,7 +327,7 @@ func (h *Harness) RunAloneEx(cfg sim.Config, app string, cores int) (*sim.Result
 	label := fmt.Sprintf("alone(%s, %s, %d cores)", cfg.Name, app, cores)
 	exec := func() (*sim.Results, error) {
 		return h.supervised(label, func(ctx context.Context) (*sim.Results, error) {
-			s, err := sim.PrepareAlone(h.checkpointed(cfg), app, cores)
+			s, err := sim.PrepareAlone(h.runConfig(cfg), app, cores)
 			if err != nil {
 				return nil, err
 			}

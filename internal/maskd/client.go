@@ -17,6 +17,10 @@ import (
 	"time"
 )
 
+// maxStoreEntry is the default cap on a fetched cache entry. Responses past
+// the cap are a miss, never a truncated "hit".
+const maxStoreEntry = 256 << 20
+
 // Client talks to one maskd server. The zero HTTP client is usable; APIKey
 // identifies the tenant (empty = anonymous).
 type Client struct {
@@ -25,8 +29,18 @@ type Client struct {
 	APIKey string
 	// HTTP is the underlying client (nil = a 30s-timeout default).
 	HTTP *http.Client
+	// MaxEntryBytes caps a fetched store entry (0 = 256 MiB). A response past
+	// the cap is reported as a miss, never returned truncated.
+	MaxEntryBytes int64
 
 	errs atomic.Uint64
+}
+
+func (c *Client) maxEntry() int64 {
+	if c.MaxEntryBytes > 0 {
+		return c.MaxEntryBytes
+	}
+	return maxStoreEntry
 }
 
 func (c *Client) http_() *http.Client {
@@ -65,8 +79,17 @@ func (c *Client) Get(key string) ([]byte, bool) {
 		io.Copy(io.Discard, resp.Body)
 		return nil, false
 	}
-	data, err := io.ReadAll(io.LimitReader(resp.Body, 256<<20))
+	// Read one byte past the cap: at exactly cap bytes of body the extra read
+	// hits EOF and the entry is served whole, while a longer body trips the
+	// check below. Capping the read at the limit itself would hand the cache
+	// a silently truncated — corrupt — entry and call it a hit.
+	limit := c.maxEntry()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, limit+1))
 	if err != nil {
+		c.errs.Add(1)
+		return nil, false
+	}
+	if int64(len(data)) > limit {
 		c.errs.Add(1)
 		return nil, false
 	}
@@ -127,7 +150,7 @@ func asStatus(err error, out **statusError) bool {
 
 func decodeResponse(resp *http.Response, v any) error {
 	defer resp.Body.Close()
-	body, err := io.ReadAll(io.LimitReader(resp.Body, 256<<20))
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxStoreEntry))
 	if err != nil {
 		return err
 	}

@@ -182,6 +182,122 @@ func TestTenantQuota429(t *testing.T) {
 	}
 }
 
+// TestRetryAfterSeconds pins the header arithmetic: waits round UP to whole
+// seconds, and an exact multiple must not gain a spurious extra second (the
+// old int(ra/time.Second)+1 told clients to sleep 2 s for a 1 s refill,
+// halving the admission rate they were entitled to).
+func TestRetryAfterSeconds(t *testing.T) {
+	for _, tc := range []struct {
+		ra   time.Duration
+		want int64
+	}{
+		{0, 1},                      // no computable wait: still ask for a pause
+		{-time.Second, 1},           // defensive: negative waits clamp up
+		{time.Millisecond, 1},       // sub-second rounds up
+		{500 * time.Millisecond, 1}, // sub-second rounds up
+		{time.Second, 1},            // exact second: NOT 2
+		{1001 * time.Millisecond, 2},
+		{2 * time.Second, 2}, // exact multiple: NOT 3
+		{2*time.Second + time.Millisecond, 3},
+	} {
+		if got := retryAfterSeconds(tc.ra); got != tc.want {
+			t.Errorf("retryAfterSeconds(%v) = %d, want %d", tc.ra, got, tc.want)
+		}
+	}
+}
+
+// TestRetryAfterHeader drives the quota 429 path over HTTP with a frozen
+// clock: a 1-token/s bucket that just emptied owes the client exactly one
+// second, so the header must read "1". A half-token/s bucket owes exactly two
+// seconds and must read "2" — exact multiples were the over-waiting case.
+func TestRetryAfterHeader(t *testing.T) {
+	for _, tc := range []struct {
+		rate float64
+		want string
+	}{
+		{1, "1"},   // exact 1 s wait
+		{0.5, "2"}, // exact 2 s wait; the old rounding said "3"
+		{2, "1"},   // 0.5 s wait rounds up
+	} {
+		now := time.Unix(5000, 0)
+		var mu sync.Mutex
+		clock := func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
+		_, ts := newTestServer(t, Config{
+			Workers:     1,
+			TenantRate:  tc.rate,
+			TenantBurst: 1,
+			Now:         clock,
+		})
+
+		body := `{"sims":[{"config":"SharedTLB","apps":["MM","RED"],"cycles":100}]}`
+		post := func() *http.Response {
+			t.Helper()
+			req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/jobs", strings.NewReader(body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			req.Header.Set("X-API-Key", "tenant-ra")
+			req.Header.Set("Content-Type", "application/json")
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			return resp
+		}
+
+		if resp := post(); resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("rate=%g: first submit = %d, want 202", tc.rate, resp.StatusCode)
+		}
+		resp := post()
+		if resp.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("rate=%g: exhausted submit = %d, want 429", tc.rate, resp.StatusCode)
+		}
+		if got := resp.Header.Get("Retry-After"); got != tc.want {
+			t.Errorf("rate=%g: Retry-After = %q, want %q", tc.rate, got, tc.want)
+		}
+	}
+}
+
+// TestClientGetOversizedEntry pins the truncation guard in Client.Get: a body
+// longer than the cap must be a miss with a counted transport error — the old
+// code returned the first cap bytes as a "hit", handing the cache a corrupt
+// entry. A body at exactly the cap still round-trips whole.
+func TestClientGetOversizedEntry(t *testing.T) {
+	const capBytes = 1 << 10
+	key := strings.Repeat("ab", 32)
+	var body []byte
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/cache/"+key {
+			http.NotFound(w, r)
+			return
+		}
+		w.Write(body)
+	}))
+	defer srv.Close()
+	c := &Client{Base: srv.URL, MaxEntryBytes: capBytes}
+
+	body = make([]byte, capBytes+1)
+	if data, ok := c.Get(key); ok {
+		t.Fatalf("oversized body served as a %d-byte hit, want miss", len(data))
+	}
+	if n := c.TransportErrors(); n != 1 {
+		t.Fatalf("TransportErrors = %d after oversized body, want 1", n)
+	}
+
+	body = make([]byte, capBytes)
+	data, ok := c.Get(key)
+	if !ok {
+		t.Fatal("exactly-at-cap body reported as miss")
+	}
+	if len(data) != capBytes {
+		t.Fatalf("got %d bytes, want %d", len(data), capBytes)
+	}
+	if n := c.TransportErrors(); n != 1 {
+		t.Fatalf("TransportErrors = %d after clean fetch, want still 1", n)
+	}
+}
+
 // TestLimiterFairness checks the Silver-Queue execution rule: a tenant at or
 // above its reserve cannot take a freed slot while another waiting tenant is
 // below its own reserve.

@@ -171,6 +171,18 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
 }
 
+// retryAfterSeconds renders a wait as a Retry-After header value: the exact
+// wait rounded up to whole seconds, never below 1. Plain int(ra/time.Second)+1
+// over-waits by a full second whenever the wait is an exact multiple (a 1 s
+// token refill told clients to sleep 2 s, halving their admission rate).
+func retryAfterSeconds(ra time.Duration) int64 {
+	secs := (int64(ra) + int64(time.Second) - 1) / int64(time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
 // handleSubmit admits, validates and launches a job.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	ten := tenant(r)
@@ -200,7 +212,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if !s.quota.Allow(ten, now) {
 		s.mu.Unlock()
 		ra := s.quota.RetryAfter(ten, now)
-		w.Header().Set("Retry-After", strconv.Itoa(int(ra/time.Second)+1))
+		w.Header().Set("Retry-After", strconv.FormatInt(retryAfterSeconds(ra), 10))
 		writeError(w, http.StatusTooManyRequests, "tenant %q over admission quota", ten)
 		return
 	}

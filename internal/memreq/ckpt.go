@@ -1,5 +1,7 @@
 package memreq
 
+import "fmt"
+
 // Checkpoint support: serializable forms of the request types and the
 // two-phase registry that lets many components reference the same in-flight
 // request by index instead of by pointer.
@@ -51,6 +53,11 @@ type RequestDTO struct {
 	Served    Service
 	Site      Site
 	SiteRef   uint64
+	// PoolID names the free list the live request came from (Pool.ID), so
+	// restore materializes it from the matching pool. With per-core pools
+	// (sharded execution) the recycling partitions must survive a checkpoint
+	// unchanged for the resumed run to stay bit-identical.
+	PoolID int
 }
 
 // TransReqDTO is the serializable image of one live TransReq. TransReqs
@@ -65,6 +72,8 @@ type TransReqDTO struct {
 	HasToken     bool
 	Issue        int64
 	StalledWarps int
+	// PoolID names the owning TransPool (see RequestDTO.PoolID).
+	PoolID int
 }
 
 // NilRef is the table index encoding a nil pointer.
@@ -98,11 +107,15 @@ func (t *Table) Req(r *Request) int32 {
 	}
 	i := int32(len(t.reqs))
 	t.reqIdx[r] = i
+	poolID := 0
+	if r.pool != nil {
+		poolID = r.pool.ID
+	}
 	t.reqs = append(t.reqs, RequestDTO{
 		ID: r.ID, AppID: r.AppID, ASID: r.ASID, CoreID: r.CoreID, WarpID: r.WarpID,
 		Kind: r.Kind, Class: r.Class, WalkLevel: r.WalkLevel,
 		Addr: r.Addr, Issue: r.Issue, Served: r.Served,
-		Site: r.Site, SiteRef: r.SiteRef,
+		Site: r.Site, SiteRef: r.SiteRef, PoolID: poolID,
 	})
 	return i
 }
@@ -117,10 +130,14 @@ func (t *Table) Trans(tr *TransReq) int32 {
 	}
 	i := int32(len(t.trans))
 	t.transIdx[tr] = i
+	poolID := 0
+	if tr.pool != nil {
+		poolID = tr.pool.ID
+	}
 	t.trans = append(t.trans, TransReqDTO{
 		AppID: tr.AppID, ASID: tr.ASID, CoreID: tr.CoreID, WarpID: tr.WarpID,
 		VPN: tr.VPN, HasToken: tr.HasToken, Issue: tr.Issue,
-		StalledWarps: tr.StalledWarps,
+		StalledWarps: tr.StalledWarps, PoolID: poolID,
 	})
 	return i
 }
@@ -140,15 +157,20 @@ type RestoreTable struct {
 	trans []*TransReq
 }
 
-// NewRestoreTable allocates one live object per DTO from the pools and
-// copies the serialized fields in.
-func NewRestoreTable(reqs []RequestDTO, trans []TransReqDTO, pool *Pool, tpool *TransPool) *RestoreTable {
+// NewRestoreTable allocates one live object per DTO from the pool carrying
+// its recorded PoolID and copies the serialized fields in. pools and tpools
+// are indexed by Pool.ID/TransPool.ID; a DTO naming a pool outside either
+// list is an error (corrupt or incompatible checkpoint).
+func NewRestoreTable(reqs []RequestDTO, trans []TransReqDTO, pools []*Pool, tpools []*TransPool) (*RestoreTable, error) {
 	t := &RestoreTable{
 		reqs:  make([]*Request, len(reqs)),
 		trans: make([]*TransReq, len(trans)),
 	}
 	for i, d := range reqs {
-		r := pool.Get()
+		if d.PoolID < 0 || d.PoolID >= len(pools) {
+			return nil, fmt.Errorf("memreq: request %d names pool %d of %d", i, d.PoolID, len(pools))
+		}
+		r := pools[d.PoolID].Get()
 		r.ID, r.AppID, r.ASID, r.CoreID, r.WarpID = d.ID, d.AppID, d.ASID, d.CoreID, d.WarpID
 		r.Kind, r.Class, r.WalkLevel = d.Kind, d.Class, d.WalkLevel
 		r.Addr, r.Issue, r.Served = d.Addr, d.Issue, d.Served
@@ -156,12 +178,15 @@ func NewRestoreTable(reqs []RequestDTO, trans []TransReqDTO, pool *Pool, tpool *
 		t.reqs[i] = r
 	}
 	for i, d := range trans {
-		tr := tpool.Get()
+		if d.PoolID < 0 || d.PoolID >= len(tpools) {
+			return nil, fmt.Errorf("memreq: transreq %d names pool %d of %d", i, d.PoolID, len(tpools))
+		}
+		tr := tpools[d.PoolID].Get()
 		tr.AppID, tr.ASID, tr.CoreID, tr.WarpID = d.AppID, d.ASID, d.CoreID, d.WarpID
 		tr.VPN, tr.HasToken, tr.Issue, tr.StalledWarps = d.VPN, d.HasToken, d.Issue, d.StalledWarps
 		t.trans[i] = tr
 	}
-	return t
+	return t, nil
 }
 
 // Req resolves a serialized index to its materialized Request (nil for

@@ -24,6 +24,12 @@ type Pool struct {
 	// counts all handouts. Gets - Allocs is the number of recycles. Exposed
 	// for tests and telemetry.
 	Allocs, Gets uint64
+
+	// ID names this pool inside a checkpoint: every request snapshotted by a
+	// Table records its owning pool's ID, and RestoreTable materializes it
+	// from the pool with the same ID. The simulator stamps IDs over its
+	// canonical pool list; the zero value maps to the shared pool.
+	ID int
 }
 
 // Get returns a live, zeroed Request owned by the caller. The request comes
@@ -59,6 +65,9 @@ type TransPool struct {
 	free []*TransReq
 
 	Allocs, Gets uint64
+
+	// ID names this pool inside a checkpoint (see Pool.ID).
+	ID int
 }
 
 // Get returns a live, zeroed TransReq owned by the caller.

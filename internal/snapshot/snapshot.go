@@ -26,7 +26,13 @@ var magic = [4]byte{'M', 'S', 'K', 'P'}
 // any component's serialized state changes shape or meaning (see
 // docs/MODEL.md §9); old files are then rejected with a *VersionError
 // instead of being misdecoded.
-const Version uint32 = 1
+//
+// Version history:
+//
+//	1 — initial format
+//	2 — per-core request pools: the checkpoint payload carries pool and
+//	    ID-generator state as slices (sharded execution support)
+const Version uint32 = 2
 
 // maxMetaLen bounds the fingerprint length so a corrupt header cannot make
 // Read attempt a huge allocation.
@@ -103,15 +109,115 @@ func Seal(body []byte) []byte {
 	return sum[:]
 }
 
-// Read parses an envelope written by Write, verifying magic, version and
-// checksum. On success it returns the header and payload; on any defect it
-// returns one of the structured errors above (possibly wrapped).
+// Read parses an envelope written by Write directly from r, verifying
+// magic, version and checksum. Unlike Decode it streams: the header and
+// payload are consumed through a running SHA-256, so the only payload-sized
+// allocation is the returned payload itself — a restore holds one copy of
+// the state bytes, not the whole raw file plus the decoded copy.
+//
+// The error taxonomy matches Decode with one streaming-imposed nuance:
+// Decode verifies the checksum before parsing anything, while Read must
+// parse as it goes, so a length field corrupted into an unservable value
+// (an oversized fingerprint, a payload running past end of file) surfaces
+// as ErrTruncated rather than ErrChecksum. The version verdict is still
+// deferred until the checksum has been verified, so a corrupt version field
+// reports corruption, not a format mismatch.
 func Read(r io.Reader) (Header, []byte, error) {
-	raw, err := io.ReadAll(r)
-	if err != nil {
-		return Header{}, nil, fmt.Errorf("snapshot: read: %w", err)
+	var h Header
+	hash := sha256.New()
+	tee := io.TeeReader(r, hash)
+
+	var head [12]byte // magic, version u32, fpLen u32
+	if err := readFull(tee, head[:]); err != nil {
+		return h, nil, err
 	}
-	return Decode(raw)
+	if !bytes.Equal(head[:4], magic[:]) {
+		return h, nil, ErrBadMagic
+	}
+	le := binary.LittleEndian
+	version := le.Uint32(head[4:])
+	fpLen := le.Uint32(head[8:])
+	if fpLen > maxMetaLen {
+		return h, nil, ErrTruncated
+	}
+	meta := make([]byte, int(fpLen)+24)
+	if err := readFull(tee, meta); err != nil {
+		return h, nil, err
+	}
+	h.Fingerprint = string(meta[:fpLen])
+	h.Cycle = int64(le.Uint64(meta[fpLen:]))
+	h.TotalCycles = int64(le.Uint64(meta[fpLen+8:]))
+	payloadLen := le.Uint64(meta[fpLen+16:])
+
+	payload, err := readPayload(tee, payloadLen)
+	if err != nil {
+		return Header{}, nil, err
+	}
+	want := hash.Sum(nil)
+	// The trailing checksum is read from r, not the tee: it does not cover
+	// itself.
+	var sum [sha256.Size]byte
+	if err := readFull(r, sum[:]); err != nil {
+		return Header{}, nil, err
+	}
+	if !bytes.Equal(want, sum[:]) {
+		return Header{}, nil, ErrChecksum
+	}
+	if version != Version {
+		return Header{}, nil, &VersionError{Got: version, Want: Version}
+	}
+	return h, payload, nil
+}
+
+// readFull fills buf from r, mapping a short read to ErrTruncated.
+func readFull(r io.Reader, buf []byte) error {
+	if _, err := io.ReadFull(r, buf); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return ErrTruncated
+		}
+		return fmt.Errorf("snapshot: read: %w", err)
+	}
+	return nil
+}
+
+// Payload reads are chunked and the initial allocation capped so a corrupt
+// length field cannot demand an arbitrary up-front allocation: a declared
+// length the file cannot back stops at ErrTruncated after at most one extra
+// chunk.
+const (
+	payloadChunk        = 64 << 20
+	payloadInitialAlloc = 1 << 30
+)
+
+// readPayload reads exactly n payload bytes from r.
+func readPayload(r io.Reader, n uint64) ([]byte, error) {
+	capHint := n
+	if capHint > payloadInitialAlloc {
+		capHint = payloadInitialAlloc
+	}
+	buf := make([]byte, 0, capHint)
+	for uint64(len(buf)) < n {
+		step := n - uint64(len(buf))
+		if step > payloadChunk {
+			step = payloadChunk
+		}
+		off := uint64(len(buf))
+		if uint64(cap(buf)) >= off+step {
+			buf = buf[:off+step]
+		} else {
+			newCap := uint64(cap(buf)) * 2
+			if newCap < off+step {
+				newCap = off + step
+			}
+			grown := make([]byte, off+step, newCap)
+			copy(grown, buf)
+			buf = grown
+		}
+		if err := readFull(r, buf[off:]); err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
 }
 
 // Info is a lenient description of an envelope for post-mortem tooling

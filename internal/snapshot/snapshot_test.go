@@ -5,9 +5,11 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"errors"
+	"io"
 	"os"
 	"path/filepath"
 	"testing"
+	"testing/iotest"
 )
 
 // seal replaces raw's trailing checksum so a deliberately altered envelope
@@ -129,6 +131,90 @@ func TestPayloadLengthMismatch(t *testing.T) {
 	reseal(raw)
 	if _, _, err := Decode(raw); !errors.Is(err, ErrTruncated) {
 		t.Fatalf("err = %v, want ErrTruncated", err)
+	}
+}
+
+// TestReadStreaming exercises the io.Reader path's own parsing (TestRoundTrip
+// covers agreement with Decode on a healthy file): every defect class maps to
+// the same structured error, with the two documented streaming nuances —
+// corrupt length fields surface as ErrTruncated, and the version verdict is
+// deferred until the checksum has been verified.
+func TestReadStreaming(t *testing.T) {
+	payload := bytes.Repeat([]byte("state"), 1000)
+	h := Header{Fingerprint: "fp", Cycle: 3, TotalCycles: 9}
+	healthy := encode(t, h, payload)
+
+	// A one-byte-at-a-time reader forces every short-read path in readFull
+	// and readPayload.
+	gotH, gotP, err := Read(iotest.OneByteReader(bytes.NewReader(healthy)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotH != h || !bytes.Equal(gotP, payload) {
+		t.Fatal("dribbled read mangled the envelope")
+	}
+
+	// Truncation anywhere — inside the head, the meta, the payload, or the
+	// trailing checksum — is ErrTruncated.
+	for _, n := range []int{0, 7, 14, len(healthy) / 2, len(healthy) - sha256.Size - 1, len(healthy) - 1} {
+		if _, _, err := Read(bytes.NewReader(healthy[:n])); !errors.Is(err, ErrTruncated) {
+			t.Errorf("truncate to %d: err = %v, want ErrTruncated", n, err)
+		}
+	}
+
+	// Bad magic fails before anything is allocated.
+	mut := append([]byte(nil), healthy...)
+	mut[0] = 'X'
+	if _, _, err := Read(bytes.NewReader(mut)); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("bad magic: err = %v, want ErrBadMagic", err)
+	}
+
+	// An oversized fingerprint length is rejected without the allocation.
+	// Streaming nuance: this is ErrTruncated even resealed (Decode's
+	// checksum-first ordering would say ErrChecksum for the unresealed case).
+	mut = append([]byte(nil), healthy...)
+	binary.LittleEndian.PutUint32(mut[8:], maxMetaLen+1)
+	reseal(mut)
+	if _, _, err := Read(bytes.NewReader(mut)); !errors.Is(err, ErrTruncated) {
+		t.Errorf("oversized fpLen: err = %v, want ErrTruncated", err)
+	}
+
+	// A declared payload length the stream cannot back stops at ErrTruncated.
+	mut = append([]byte(nil), healthy...)
+	off := 4 + 4 + 4 + 2 + 8 + 8 // magic, version, fpLen, "fp", cycle, total
+	binary.LittleEndian.PutUint64(mut[off:], uint64(len(payload))+payloadChunk)
+	reseal(mut)
+	if _, _, err := Read(bytes.NewReader(mut)); !errors.Is(err, ErrTruncated) {
+		t.Errorf("overdeclared payload: err = %v, want ErrTruncated", err)
+	}
+
+	// A flipped payload byte is corruption.
+	mut = append([]byte(nil), healthy...)
+	mut[len(mut)-sha256.Size-3] ^= 0xFF
+	if _, _, err := Read(bytes.NewReader(mut)); !errors.Is(err, ErrChecksum) {
+		t.Errorf("corrupt payload: err = %v, want ErrChecksum", err)
+	}
+
+	// A stale version on an otherwise intact envelope is a *VersionError...
+	mut = append([]byte(nil), healthy...)
+	binary.LittleEndian.PutUint32(mut[4:], Version+1)
+	reseal(mut)
+	var ve *VersionError
+	if _, _, err := Read(bytes.NewReader(mut)); !errors.As(err, &ve) || ve.Got != Version+1 {
+		t.Errorf("stale version: err = %v, want *VersionError{Got: %d}", err, Version+1)
+	}
+	// ...but a corrupt (unresealed) version field is corruption, not a format
+	// mismatch: the version verdict waits for the checksum.
+	mut = append([]byte(nil), healthy...)
+	binary.LittleEndian.PutUint32(mut[4:], Version+1)
+	if _, _, err := Read(bytes.NewReader(mut)); !errors.Is(err, ErrChecksum) {
+		t.Errorf("corrupt version: err = %v, want ErrChecksum", err)
+	}
+
+	// A reader that fails mid-stream surfaces its own error, wrapped.
+	bang := errors.New("bang")
+	if _, _, err := Read(io.MultiReader(bytes.NewReader(healthy[:20]), iotest.ErrReader(bang))); !errors.Is(err, bang) {
+		t.Errorf("reader failure: err = %v, want wrapped bang", err)
 	}
 }
 

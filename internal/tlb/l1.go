@@ -223,6 +223,15 @@ func (t *L1TLB) insert(vpn, frame uint64) {
 	t.entries[vpn] = e
 }
 
+// PushPending appends a refused translation request to the retry list, in
+// submission order. The simulator's sharded drain uses it: during the
+// parallel core phase the TLB's backend defers every SubmitTrans into an
+// exchange buffer, and the barrier replays them — failures land here exactly
+// as the sequential path's inline append would have.
+func (t *L1TLB) PushPending(tr *memreq.TransReq) {
+	t.pending = append(t.pending, tr)
+}
+
 // Tick retries backend submissions that were refused.
 func (t *L1TLB) Tick(now int64) {
 	if len(t.pending) == 0 {

@@ -61,12 +61,16 @@ type checkpointPayload struct {
 
 	// The request registry: every live Request/TransReq once, by index, plus
 	// the pool and ID-generator counters so allocation behavior after restore
-	// matches the interrupted run.
-	Reqs      []memreq.RequestDTO
-	Trans     []memreq.TransReqDTO
-	ReqPool   memreq.PoolState
-	TransPool memreq.PoolState
-	IDGen     uint64
+	// matches the interrupted run. ReqPools[0] is the shared pool, then one
+	// entry per core, matching Simulator.reqPoolList; TransPools and IDGens
+	// are per-core. The split is unconditional, so the payload shape is
+	// identical at every Config.Shards value and a checkpoint taken sharded
+	// restores into a sequential run and vice versa.
+	Reqs       []memreq.RequestDTO
+	Trans      []memreq.TransReqDTO
+	ReqPools   []memreq.PoolState
+	TransPools []memreq.PoolState
+	IDGens     []uint64
 
 	// Watchdog is the supervision state mid-run (nil when unsupervised). A
 	// crash checkpoint carries a tripped watchdog, which re-raises its
@@ -144,14 +148,15 @@ func probeCheckpointDir(dir string) error {
 }
 
 // CanonicalConfig strips the fields that do not affect simulated behavior —
-// the display name, test-only fault injection, the fast-forward speed knob
-// (bit-identical by contract), and the checkpoint/resume orchestration
-// itself — so fingerprints and result-cache keys treat behaviorally equal
-// configs as equal.
+// the display name, test-only fault injection, the fast-forward and sharding
+// speed knobs (bit-identical by contract), and the checkpoint/resume
+// orchestration itself — so fingerprints and result-cache keys treat
+// behaviorally equal configs as equal.
 func CanonicalConfig(cfg Config) Config {
 	cfg.Name = ""
 	cfg.FaultPlan = nil
 	cfg.FastForward = false
+	cfg.Shards = 0
 	cfg.CheckpointEvery = 0
 	cfg.CheckpointDir = ""
 	cfg.Resume = false
@@ -179,6 +184,27 @@ func (s *Simulator) Fingerprint() string {
 	return s.fp
 }
 
+// reqPoolList returns every request pool in checkpoint order: the shared
+// pool first (its ID is 0), then the per-core pools (ID 1+coreID), matching
+// the pool IDs stamped on request DTOs.
+func (s *Simulator) reqPoolList() []*memreq.Pool {
+	out := make([]*memreq.Pool, 0, 1+len(s.reqPools))
+	out = append(out, &s.sharedReqPool)
+	for i := range s.reqPools {
+		out = append(out, &s.reqPools[i])
+	}
+	return out
+}
+
+// transPoolList returns the per-core translation pools (pool ID == coreID).
+func (s *Simulator) transPoolList() []*memreq.TransPool {
+	out := make([]*memreq.TransPool, 0, len(s.transPools))
+	for i := range s.transPools {
+		out = append(out, &s.transPools[i])
+	}
+	return out
+}
+
 // Checkpoint serializes the simulator's complete state to w inside the
 // snapshot envelope. Callable between any two cycles: the engine's
 // checkpoint hook calls it at CheckpointEvery boundaries, and tests call it
@@ -189,14 +215,26 @@ func (s *Simulator) Checkpoint(w io.Writer) error {
 	if err != nil {
 		return fmt.Errorf("sim: checkpoint: %w", err)
 	}
+	reqPools := make([]memreq.PoolState, 0, 1+len(s.reqPools))
+	for _, pl := range s.reqPoolList() {
+		reqPools = append(reqPools, pl.State())
+	}
+	transPools := make([]memreq.PoolState, len(s.transPools))
+	for i := range s.transPools {
+		transPools[i] = s.transPools[i].State()
+	}
+	idgens := make([]uint64, len(s.idgens))
+	for i := range s.idgens {
+		idgens[i] = s.idgens[i].State()
+	}
 	p := checkpointPayload{
-		Clock:     s.eng.Clock(),
-		States:    states,
-		Reqs:      tab.Requests(),
-		Trans:     tab.TransReqs(),
-		ReqPool:   s.reqPool.State(),
-		TransPool: s.transPool.State(),
-		IDGen:     s.idgen.State(),
+		Clock:      s.eng.Clock(),
+		States:     states,
+		Reqs:       tab.Requests(),
+		Trans:      tab.TransReqs(),
+		ReqPools:   reqPools,
+		TransPools: transPools,
+		IDGens:     idgens,
 
 		TraceSamples: s.trace.samples,
 		TraceCycle:   s.trace.lastCycle,
@@ -261,10 +299,19 @@ func (s *Simulator) restoreDecoded(h snapshot.Header, payload []byte) error {
 	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&p); err != nil {
 		return fmt.Errorf("sim: decode checkpoint payload: %w", err)
 	}
+	pools, tpools := s.reqPoolList(), s.transPoolList()
+	if len(p.ReqPools) != len(pools) || len(p.TransPools) != len(tpools) || len(p.IDGens) != len(s.idgens) {
+		return fmt.Errorf("sim: checkpoint carries %d/%d/%d request pools/translation pools/id generators, simulator has %d/%d/%d",
+			len(p.ReqPools), len(p.TransPools), len(p.IDGens), len(pools), len(tpools), len(s.idgens))
+	}
 
-	// Phase 1: materialize every live request from the pools. Components
-	// resolve indices against this table during their RestoreState.
-	rt := memreq.NewRestoreTable(p.Reqs, p.Trans, &s.reqPool, &s.transPool)
+	// Phase 1: materialize every live request from the pools (each DTO names
+	// its owning pool by ID). Components resolve indices against this table
+	// during their RestoreState.
+	rt, err := memreq.NewRestoreTable(p.Reqs, p.Trans, pools, tpools)
+	if err != nil {
+		return fmt.Errorf("sim: restore checkpoint: %w", err)
+	}
 	if err := s.eng.RestoreStates(rt, p.States); err != nil {
 		return fmt.Errorf("sim: restore checkpoint: %w", err)
 	}
@@ -305,11 +352,17 @@ func (s *Simulator) restoreDecoded(h snapshot.Header, payload []byte) error {
 	s.trace.lastL2Access = p.TraceL2Acc
 	s.trace.lastL2Miss = p.TraceL2Miss
 
-	// Pools and ID generator last, after every materialization Get, so the
+	// Pools and ID generators last, after every materialization Get, so the
 	// counters reflect the checkpointed run rather than the restore work.
-	s.reqPool.SetState(p.ReqPool)
-	s.transPool.SetState(p.TransPool)
-	s.idgen.SetState(p.IDGen)
+	for i, pl := range pools {
+		pl.SetState(p.ReqPools[i])
+	}
+	for i, pl := range tpools {
+		pl.SetState(p.TransPools[i])
+	}
+	for i := range s.idgens {
+		s.idgens[i].SetState(p.IDGens[i])
+	}
 
 	s.restored = true
 	s.restoredWD = p.Watchdog

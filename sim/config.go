@@ -165,6 +165,16 @@ type Config struct {
 	// panic). Test-only: it exists to exercise the supervision layer.
 	FaultPlan *faultinject.Plan
 
+	// Shards, when > 1, runs each simulated cycle's core and L1-cache phases
+	// on that many worker goroutines with a cycle barrier (docs/MODEL.md
+	// §10). Results are bit-identical at every shard count — cross-shard
+	// traffic is deferred into exchange buffers replayed in registration
+	// order — so, like FastForward, this is purely a speed knob. 0 and 1 both
+	// select the plain sequential engine; the count is capped at the number
+	// of independent core clusters. The CLIs expose -shards, mapping their
+	// "0 = derive from GOMAXPROCS" convention to a concrete count.
+	Shards int
+
 	// FastForward enables the engine's next-event fast-forward: spans in
 	// which every component is provably quiescent are jumped over instead of
 	// ticked cycle by cycle. Results are bit-identical either way (see
@@ -391,6 +401,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("sim: WatchdogCheckEvery must be >= 0, got %d", c.WatchdogCheckEvery)
 	case c.WatchdogStallChecks < 0:
 		return fmt.Errorf("sim: WatchdogStallChecks must be >= 0, got %d", c.WatchdogStallChecks)
+	case c.Shards < 0:
+		return fmt.Errorf("sim: Shards must be >= 0, got %d", c.Shards)
 	case c.CheckpointEvery < 0:
 		return fmt.Errorf("sim: CheckpointEvery must be >= 0, got %d", c.CheckpointEvery)
 	case c.CheckpointEvery > 0 && c.CheckpointDir == "":

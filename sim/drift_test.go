@@ -14,36 +14,59 @@ import (
 // mechanisms (tokens + bypass + Golden/Silver DRAM queues), the SharedTLB and
 // PWCache baselines, Static partitioning, and single-app calibration runs on
 // the Table 2 reference quadrants (one representative per quadrant).
+//
+// Each run takes a config mutator so equivalence suites (fast-forward,
+// sharded execution) can rerun the exact scenario with one knob flipped;
+// pass a no-op for the canonical configuration.
 var driftScenarios = []struct {
 	name   string
-	run    func() (*Results, error)
+	run    func(mod func(*Config)) (*Results, error)
 	cycles int64
 }{
-	{"mask-3DS+CONS", func() (*Results, error) {
-		return Run(context.Background(), MASKConfig(), []string{"3DS", "CONS"}, 4000)
+	{"mask-3DS+CONS", func(mod func(*Config)) (*Results, error) {
+		cfg := MASKConfig()
+		mod(&cfg)
+		return Run(context.Background(), cfg, []string{"3DS", "CONS"}, 4000)
 	}, 4000},
-	{"sharedtlb-MUM+GUP", func() (*Results, error) {
-		return Run(context.Background(), SharedTLBConfig(), []string{"MUM", "GUP"}, 4000)
+	{"sharedtlb-MUM+GUP", func(mod func(*Config)) (*Results, error) {
+		cfg := SharedTLBConfig()
+		mod(&cfg)
+		return Run(context.Background(), cfg, []string{"MUM", "GUP"}, 4000)
 	}, 4000},
-	{"pwcache-3DS+CONS", func() (*Results, error) {
-		return Run(context.Background(), PWCacheConfig(), []string{"3DS", "CONS"}, 4000)
+	{"pwcache-3DS+CONS", func(mod func(*Config)) (*Results, error) {
+		cfg := PWCacheConfig()
+		mod(&cfg)
+		return Run(context.Background(), cfg, []string{"3DS", "CONS"}, 4000)
 	}, 4000},
-	{"static-RED+BP", func() (*Results, error) {
-		return Run(context.Background(), StaticConfig(), []string{"RED", "BP"}, 4000)
+	{"static-RED+BP", func(mod func(*Config)) (*Results, error) {
+		cfg := StaticConfig()
+		mod(&cfg)
+		return Run(context.Background(), cfg, []string{"RED", "BP"}, 4000)
 	}, 4000},
-	{"alone-3DS", func() (*Results, error) {
-		return RunAlone(context.Background(), SharedTLBConfig(), "3DS", 30, 4000)
+	{"alone-3DS", func(mod func(*Config)) (*Results, error) {
+		cfg := SharedTLBConfig()
+		mod(&cfg)
+		return RunAlone(context.Background(), cfg, "3DS", 30, 4000)
 	}, 4000},
-	{"alone-GUP", func() (*Results, error) {
-		return RunAlone(context.Background(), SharedTLBConfig(), "GUP", 30, 4000)
+	{"alone-GUP", func(mod func(*Config)) (*Results, error) {
+		cfg := SharedTLBConfig()
+		mod(&cfg)
+		return RunAlone(context.Background(), cfg, "GUP", 30, 4000)
 	}, 4000},
-	{"alone-NN", func() (*Results, error) {
-		return RunAlone(context.Background(), SharedTLBConfig(), "NN", 30, 4000)
+	{"alone-NN", func(mod func(*Config)) (*Results, error) {
+		cfg := SharedTLBConfig()
+		mod(&cfg)
+		return RunAlone(context.Background(), cfg, "NN", 30, 4000)
 	}, 4000},
-	{"alone-MUM", func() (*Results, error) {
-		return RunAlone(context.Background(), SharedTLBConfig(), "MUM", 30, 4000)
+	{"alone-MUM", func(mod func(*Config)) (*Results, error) {
+		cfg := SharedTLBConfig()
+		mod(&cfg)
+		return RunAlone(context.Background(), cfg, "MUM", 30, 4000)
 	}, 4000},
 }
+
+// unmodified is the no-op config mutator: the scenario's canonical run.
+func unmodified(*Config) {}
 
 // driftFingerprint renders every integer counter (and the derived floats) of
 // a Results into a canonical text form. Any behavioural change — one extra
@@ -88,7 +111,7 @@ const driftGoldenPath = "testdata/drift.golden"
 func TestNoBehavioralDrift(t *testing.T) {
 	var b strings.Builder
 	for _, sc := range driftScenarios {
-		res, err := sc.run()
+		res, err := sc.run(unmodified)
 		if err != nil {
 			t.Fatalf("%s: %v", sc.name, err)
 		}

@@ -1,0 +1,164 @@
+package sim
+
+// Sharded intra-simulation execution (docs/MODEL.md §10). One simulated
+// cycle is split into four phases over the engine's shard plan:
+//
+//	P1  cores                 — parallel, clustered by core index
+//	S1  L1 TLBs, L2 TLB, walker, fault unit, page walk cache — serial
+//	P2  L1 data caches        — parallel, same clusters
+//	S2  L2, DRAM, scheduled ticks, fault plan, telemetry      — serial
+//
+// During a parallel phase every cross-shard submission — an L1 TLB miss
+// headed for the shared L2 TLB/walker in P1, an L1D fill or forwarded write
+// headed for the shared L2 in P2 — is deferred into a per-shard exchange
+// buffer (the outbox types below) instead of touching the shared component.
+// The phase's Drain replays the buffers on the coordinator in registration
+// order, so the shared component observes the exact submission sequence of
+// the sequential engine, including which submissions bounce off full queues.
+// Refused submissions are routed to the same retry lists the inline path
+// would have used. Everything else a parallel phase touches is owned by its
+// cluster: core/warp state, the core's L1 TLB and L1D, and the per-core
+// request pools and ID generators that exist at every shard count.
+
+import (
+	"fmt"
+
+	"masksim/internal/cache"
+	"masksim/internal/engine"
+	"masksim/internal/memreq"
+	"masksim/internal/tlb"
+)
+
+// transOutbox wraps an L1 TLB's translation backend. While deferring (the
+// parallel core phase), SubmitTrans appends to the buffer and reports
+// optimistic success; the barrier drain performs the real submissions. The
+// optimistic true is sound because a refused SubmitTrans has exactly one
+// effect — the request joins the TLB's pending retry list — which the drain
+// reproduces via PushPending.
+type transOutbox struct {
+	real      tlb.TransBackend
+	deferring bool
+	buf       []*memreq.TransReq
+}
+
+func (o *transOutbox) SubmitTrans(now int64, tr *memreq.TransReq) bool {
+	if !o.deferring {
+		return o.real.SubmitTrans(now, tr)
+	}
+	o.buf = append(o.buf, tr)
+	return true
+}
+
+// submitOutbox wraps an L1 data cache's backend (the shared L2). Same
+// contract as transOutbox: a refused Submit's only effect is joining the
+// L1D's retry list, reproduced at drain time via PushRetry.
+type submitOutbox struct {
+	real      cache.Backend
+	deferring bool
+	buf       []*memreq.Request
+}
+
+func (o *submitOutbox) Submit(now int64, r *memreq.Request) bool {
+	if !o.deferring {
+		return o.real.Submit(now, r)
+	}
+	o.buf = append(o.buf, r)
+	return true
+}
+
+// effectiveShards resolves Config.Shards: 0 and 1 (the zero value and the
+// CLI default) select the sequential engine; larger values are capped at the
+// number of core clusters, because cores that share a group-sync barrier
+// must stay on one shard — clusters, not cores, are the unit of parallelism.
+// The CLIs resolve their "-shards 0 = GOMAXPROCS" convention to a concrete
+// count before building the config.
+func (s *Simulator) effectiveShards() int {
+	n := s.cfg.Shards
+	if n <= 1 {
+		return 1
+	}
+	if m := len(s.coreClusters); n > m {
+		n = m
+	}
+	return n
+}
+
+// installShardPlan builds and installs the four-phase plan when more than
+// one shard is effective. With one shard the engine keeps its sequential
+// path — same results either way, pinned by the drift scenarios.
+func (s *Simulator) installShardPlan() {
+	n := s.effectiveShards()
+	if n <= 1 {
+		return
+	}
+	groupsCore := make([][]int, 0, len(s.coreClusters))
+	groupsL1D := make([][]int, 0, len(s.coreClusters))
+	for _, cl := range s.coreClusters {
+		gc := make([]int, 0, len(cl))
+		gd := make([]int, 0, len(cl))
+		for _, c := range cl {
+			gc = append(gc, s.coreTickIdx[c])
+			gd = append(gd, s.l1dTickIdx[c])
+		}
+		groupsCore = append(groupsCore, gc)
+		groupsL1D = append(groupsL1D, gd)
+	}
+	tail := make([]int, 0, s.eng.Len()-s.tailStart)
+	for i := s.tailStart; i < s.eng.Len(); i++ {
+		tail = append(tail, i)
+	}
+	phases := []engine.Phase{
+		{Groups: groupsCore, Enter: s.armTransOutboxes, Drain: s.drainTransOutboxes},
+		{Serial: s.midTickIdx},
+		{Groups: groupsL1D, Enter: s.armSubmitOutboxes, Drain: s.drainSubmitOutboxes},
+		{Serial: tail},
+	}
+	if err := s.eng.SetShardPlan(n, phases); err != nil {
+		// The plan is built from the registration indices recorded one
+		// function above; a mismatch is a wiring bug, not a runtime condition.
+		panic(fmt.Sprintf("sim: shard plan: %v", err))
+	}
+}
+
+func (s *Simulator) armTransOutboxes(now int64) {
+	for _, o := range s.transOut {
+		o.deferring = true
+	}
+}
+
+// drainTransOutboxes replays the deferred L1-miss submissions in core order
+// — exactly the order the sequential engine's core phase produced them.
+func (s *Simulator) drainTransOutboxes(now int64) {
+	for i, o := range s.transOut {
+		o.deferring = false
+		for j, tr := range o.buf {
+			if !o.real.SubmitTrans(now, tr) {
+				s.l1tlbs[i].PushPending(tr)
+			}
+			o.buf[j] = nil
+		}
+		o.buf = o.buf[:0]
+	}
+}
+
+func (s *Simulator) armSubmitOutboxes(now int64) {
+	for _, o := range s.subOut {
+		o.deferring = true
+	}
+}
+
+// drainSubmitOutboxes replays the deferred L2 submissions in L1D order —
+// retries first, then the cycle's new fills, per cache, exactly as the
+// sequential L1D phase interleaved them.
+func (s *Simulator) drainSubmitOutboxes(now int64) {
+	for i, o := range s.subOut {
+		o.deferring = false
+		for j, r := range o.buf {
+			if !o.real.Submit(now, r) {
+				s.l1ds[i].PushRetry(r)
+			}
+			o.buf[j] = nil
+		}
+		o.buf = o.buf[:0]
+	}
+}

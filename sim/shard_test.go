@@ -1,0 +1,290 @@
+package sim
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+
+	"masksim/internal/engine"
+	"masksim/internal/faultinject"
+)
+
+// TestShardedEquivalence is the sharding acceptance test (docs/MODEL.md §10):
+// for every drift scenario, a run sharded over 2 and 4 workers must be
+// deeply equal to the sequential run — including the fast-forward tick/skip
+// split, since all skip decisions happen on the coordinator between cycles —
+// with fast-forward both on and off.
+func TestShardedEquivalence(t *testing.T) {
+	for _, sc := range driftScenarios {
+		for _, ff := range []bool{true, false} {
+			t.Run(fmt.Sprintf("%s/ff=%t", sc.name, ff), func(t *testing.T) {
+				seq, err := sc.run(func(c *Config) { c.FastForward = ff })
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, shards := range []int{2, 4} {
+					sh, err := sc.run(func(c *Config) {
+						c.FastForward = ff
+						c.Shards = shards
+					})
+					if err != nil {
+						t.Fatalf("shards=%d: %v", shards, err)
+					}
+					if sf, gf := driftFingerprint(seq), driftFingerprint(sh); sf != gf {
+						t.Errorf("shards=%d: fingerprints diverge:\n%s", shards, diffLines(sf, gf))
+					}
+					if !reflect.DeepEqual(seq, sh) {
+						t.Errorf("shards=%d: Results differ from sequential run:\nseq: %+v\nshr: %+v",
+							shards, seq, sh)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestShardedDemandPaging covers the deepest machine state under sharding:
+// major faults drain the whole pipeline for thousands of cycles, so the
+// fault unit, walker and fast-forward horizons all interact with the phase
+// barrier.
+func TestShardedDemandPaging(t *testing.T) {
+	run := func(shards int, ff bool) *Results {
+		t.Helper()
+		cfg := SharedTLBConfig()
+		cfg.DemandPaging = true
+		cfg.FastForward = ff
+		cfg.Shards = shards
+		res, err := Run(context.Background(), cfg, []string{"MUM", "GUP"}, 20_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	for _, ff := range []bool{true, false} {
+		seq := run(1, ff)
+		for _, shards := range []int{2, 4} {
+			if sh := run(shards, ff); !reflect.DeepEqual(seq, sh) {
+				t.Errorf("ff=%t shards=%d: paging run diverged:\n%s",
+					ff, shards, diffLines(driftFingerprint(seq), driftFingerprint(sh)))
+			}
+		}
+	}
+}
+
+// TestShardedConcurrentRuns executes the same simulation at several shard
+// counts concurrently — sequential, 2, and GOMAXPROCS — and requires
+// byte-identical fingerprints and identical tick/skip splits. Under -race
+// (the CI test job) this doubles as the data-race proof for the worker pool,
+// the exchange buffers, and the per-core pools.
+func TestShardedConcurrentRuns(t *testing.T) {
+	counts := []int{1, 2, runtime.GOMAXPROCS(0)}
+	type out struct {
+		fp              string
+		ticked, skipped int64
+	}
+	results := make([]out, len(counts))
+	var wg sync.WaitGroup
+	for i, n := range counts {
+		wg.Add(1)
+		go func(i, n int) {
+			defer wg.Done()
+			cfg := MASKConfig()
+			cfg.Shards = n
+			res, err := Run(context.Background(), cfg, []string{"3DS", "CONS"}, 4000)
+			if err != nil {
+				t.Errorf("shards=%d: %v", n, err)
+				return
+			}
+			results[i] = out{driftFingerprint(res), res.CyclesTicked, res.CyclesSkipped}
+		}(i, n)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	for i := 1; i < len(results); i++ {
+		if results[i].fp != results[0].fp {
+			t.Errorf("shards=%d fingerprint differs from sequential:\n%s",
+				counts[i], diffLines(results[0].fp, results[i].fp))
+		}
+		if results[i].ticked != results[0].ticked || results[i].skipped != results[0].skipped {
+			t.Errorf("shards=%d tick/skip split %d/%d, sequential %d/%d",
+				counts[i], results[i].ticked, results[i].skipped,
+				results[0].ticked, results[0].skipped)
+		}
+	}
+}
+
+// TestShardedCheckpointCrossShardCount proves shard-count portability of
+// checkpoints: the payload shape is shard-invariant, so state captured at
+// -shards 4 restores into a sequential simulator and vice versa, with
+// Results deeply equal to an uninterrupted run in either direction.
+func TestShardedCheckpointCrossShardCount(t *testing.T) {
+	const cycles = 4000
+	const every = 1700
+
+	for _, dir := range []struct {
+		name       string
+		take, then int
+	}{
+		{"sharded-to-sequential", 4, 1},
+		{"sequential-to-sharded", 1, 4},
+	} {
+		t.Run(dir.name, func(t *testing.T) {
+			cfg := MASKConfig()
+			ref := prepareScenario(t, cfg, []string{"3DS", "CONS"}, 0).mustRun(t, cycles)
+
+			ckDir := t.TempDir()
+			ckCfg := cfg
+			ckCfg.Shards = dir.take
+			ckCfg.CheckpointEvery = every
+			ckCfg.CheckpointDir = ckDir
+			if taken := prepareScenario(t, ckCfg, []string{"3DS", "CONS"}, 0).
+				mustRun(t, cycles); !reflect.DeepEqual(ref, taken) {
+				t.Fatalf("checkpointing run at shards=%d diverged from reference", dir.take)
+			}
+
+			rsCfg := ckCfg
+			rsCfg.Shards = dir.then
+			rsCfg.Resume = true
+			rsSim := prepareScenario(t, rsCfg, []string{"3DS", "CONS"}, 0)
+			resumed := rsSim.mustRun(t, cycles)
+			if rsSim.CheckpointStats().Restored != 1 {
+				t.Fatalf("resume did not adopt a checkpoint: %+v", rsSim.CheckpointStats())
+			}
+			if !reflect.DeepEqual(ref, resumed) {
+				t.Errorf("restore at shards=%d of a shards=%d checkpoint diverged:\n%s",
+					dir.then, dir.take,
+					diffLines(driftFingerprint(ref), driftFingerprint(resumed)))
+			}
+		})
+	}
+}
+
+// TestShardedFingerprintInvariant pins that Shards is canonicalized out of
+// simulation identity: checkpoints and cache entries are shared across shard
+// counts because the results are bit-identical by contract.
+func TestShardedFingerprintInvariant(t *testing.T) {
+	base := MASKConfig()
+	shr := base
+	shr.Shards = 4
+	a := prepareScenario(t, base, []string{"3DS", "CONS"}, 0)
+	b := prepareScenario(t, shr, []string{"3DS", "CONS"}, 0)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Errorf("fingerprint depends on Shards: %s vs %s", a.Fingerprint(), b.Fingerprint())
+	}
+}
+
+// TestShardedPlanInstallation checks effectiveShards resolution: 0/1 stay
+// sequential, larger counts install a plan capped at the cluster count.
+func TestShardedPlanInstallation(t *testing.T) {
+	build := func(shards int) *Simulator {
+		t.Helper()
+		cfg := MASKConfig()
+		cfg.Shards = shards
+		return prepareScenario(t, cfg, []string{"3DS", "CONS"}, 0)
+	}
+	if s := build(0); s.Engine().Sharded() {
+		t.Error("Shards=0 installed a plan; zero value must stay sequential")
+	}
+	if s := build(1); s.Engine().Sharded() {
+		t.Error("Shards=1 installed a plan")
+	}
+	if s := build(4); !s.Engine().Sharded() {
+		t.Error("Shards=4 did not install a plan")
+	}
+	// Way more shards than clusters: capped, still sharded, still correct.
+	cfg := MASKConfig()
+	cfg.Shards = 1024
+	s := prepareScenario(t, cfg, []string{"3DS", "CONS"}, 0)
+	if !s.Engine().Sharded() {
+		t.Error("oversized shard count did not install a plan")
+	}
+	if n := s.effectiveShards(); n > len(s.coreClusters) {
+		t.Errorf("effectiveShards %d exceeds %d clusters", n, len(s.coreClusters))
+	}
+}
+
+// TestShardedNegativeShardsRejected pins Config.Validate's range check.
+func TestShardedNegativeShardsRejected(t *testing.T) {
+	cfg := MASKConfig()
+	cfg.Shards = -1
+	if _, err := Prepare(cfg, []string{"3DS", "CONS"}); err == nil {
+		t.Error("negative Shards accepted")
+	}
+}
+
+// TestShardedWatchdogWedge reruns the watchdog-wedge scenario sharded:
+// supervision runs on the coordinator between cycles, so a wedged walker
+// must abort at exactly the same cycle as in the sequential run, with
+// identical partial results.
+func TestShardedWatchdogWedge(t *testing.T) {
+	run := func(shards int) (*Results, int64) {
+		t.Helper()
+		cfg := tinyConfig()
+		cfg.Shards = shards
+		cfg.WatchdogCheckEvery = 2_000
+		cfg.WatchdogStallChecks = 2
+		cfg.FaultPlan = &faultinject.Plan{WedgePTWAfter: 200}
+		s := prepareScenario(t, cfg, []string{"3DS", "CONS"}, 0)
+		res, err := s.Run(context.Background(), 2_000_000)
+		if err == nil {
+			t.Fatalf("wedged run (shards=%d) completed without error", shards)
+		}
+		var de *engine.DeadlockError
+		if !errors.As(err, &de) {
+			t.Fatalf("error is %T (%v), want *engine.DeadlockError", err, err)
+		}
+		return res, de.Cycle
+	}
+	seqRes, seqCycle := run(1)
+	for _, shards := range []int{2, 4} {
+		res, cycle := run(shards)
+		if cycle != seqCycle {
+			t.Errorf("shards=%d aborted at cycle %d, sequential at %d", shards, cycle, seqCycle)
+		}
+		if sf, gf := driftFingerprint(seqRes), driftFingerprint(res); sf != gf {
+			t.Errorf("shards=%d partial results diverge:\n%s", shards, diffLines(sf, gf))
+		}
+	}
+}
+
+// TestShardedCheckpointFilesInterchangeable writes a checkpoint from a
+// sharded run and byte-compares restorability of the exact same file into
+// both engines, via the public RestoreCheckpoint reader API.
+func TestShardedCheckpointFilesInterchangeable(t *testing.T) {
+	const cycles = 3000
+	cfg := MASKConfig()
+	names := []string{"3DS", "CONS"}
+	ref := prepareScenario(t, cfg, names, 0).mustRun(t, cycles)
+
+	dir := t.TempDir()
+	ckCfg := cfg
+	ckCfg.Shards = 4
+	ckCfg.CheckpointEvery = 1300
+	ckCfg.CheckpointDir = dir
+	src := prepareScenario(t, ckCfg, names, 0)
+	src.mustRun(t, cycles)
+	data, err := os.ReadFile(src.checkpointPath(2600))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, shards := range []int{1, 2, 4} {
+		c := cfg
+		c.Shards = shards
+		s := prepareScenario(t, c, names, 0)
+		if err := s.RestoreCheckpoint(bytes.NewReader(data)); err != nil {
+			t.Fatalf("shards=%d: restore: %v", shards, err)
+		}
+		if got := s.mustRun(t, cycles); !reflect.DeepEqual(ref, got) {
+			t.Errorf("shards=%d: resumed run diverged from reference", shards)
+		}
+	}
+}

@@ -49,13 +49,28 @@ type Simulator struct {
 	ata    *cache.ATABypass
 	tokens *tlb.TokenPolicy
 
-	// reqPool / transPool are this simulator's request free lists, shared by
-	// every component so a request recycled at one level is reused at any
-	// other. Per-instance ownership keeps concurrent simulators race-free.
-	reqPool   memreq.Pool
-	transPool memreq.TransPool
+	// Request free lists and ID generators. Each core and its private L1D and
+	// L1 TLB share per-core pools (reqPools[i] / transPools[i] / idgens[i]) so
+	// the parallel phases of a sharded run recycle requests without locks; the
+	// shared L2, page walk cache and walker draw from sharedReqPool, which
+	// only the coordinator touches. The split is unconditional — identical
+	// behavior and checkpoint shape at every shard count, including the
+	// sequential engine. Per-instance ownership keeps concurrent simulators
+	// race-free.
+	sharedReqPool memreq.Pool
+	reqPools      []memreq.Pool
+	transPools    []memreq.TransPool
+	idgens        []memreq.IDGen
 
-	idgen memreq.IDGen
+	// Sharded-execution wiring (sim/shard.go): per-core exchange buffers and
+	// the registration indices the phase plan is built over.
+	transOut     []*transOutbox
+	subOut       []*submitOutbox
+	coreClusters [][]int
+	coreTickIdx  []int
+	midTickIdx   []int
+	l1dTickIdx   []int
+	tailStart    int
 
 	maskScheds []*dram.MASKSched
 
@@ -207,6 +222,20 @@ func (s *Simulator) build() {
 	arenaLines += assignedCores * cache.ArenaLines(cfg.L1Cache.SizeBytes, cfg.L1Cache.LineSize, cfg.L1Cache.Ways)
 	arena := cache.NewLineArena(arenaLines)
 
+	// Per-core pools and ID generators (see the field comment). Pool IDs name
+	// the owning pool in checkpoint request DTOs: 0 is the shared pool,
+	// 1+coreID the core's data pool; translation pools use coreID directly.
+	s.reqPools = make([]memreq.Pool, assignedCores)
+	s.transPools = make([]memreq.TransPool, assignedCores)
+	s.idgens = make([]memreq.IDGen, assignedCores)
+	s.sharedReqPool.ID = 0
+	for i := range s.reqPools {
+		s.reqPools[i].ID = i + 1
+	}
+	for i := range s.transPools {
+		s.transPools[i].ID = i
+	}
+
 	// --- DRAM -----------------------------------------------------------
 	mkSched := func(chanIdx int) dram.Scheduler {
 		if cfg.Mask.DRAMSched {
@@ -243,7 +272,7 @@ func (s *Simulator) build() {
 		WriteBack:    true,
 		Arena:        arena,
 	}, s.mem)
-	s.l2c.SetRequestPool(&s.reqPool)
+	s.l2c.SetRequestPool(&s.sharedReqPool)
 	s.registerSnapCache(s.l2c)
 	if cfg.Static {
 		s.l2c.SetWayPartition(wayMasks(cfg.L2Cache.Ways, numApps))
@@ -267,14 +296,14 @@ func (s *Simulator) build() {
 			MSHRs:        cfg.PWCache.MSHRs,
 			Arena:        arena,
 		}, s.l2c)
-		s.pwc.SetRequestPool(&s.reqPool)
+		s.pwc.SetRequestPool(&s.sharedReqPool)
 		s.registerSnapCache(s.pwc)
 		walkBackend = s.pwc
 	}
 
 	// --- walker and shared L2 TLB ----------------------------------------
 	s.walker = ptw.New(cfg.WalkerConcurrency, walkBackend, numApps)
-	s.walker.SetRequestPool(&s.reqPool)
+	s.walker.SetRequestPool(&s.sharedReqPool)
 	s.walker.SetDoneResolver(s.resolveWalkDone)
 	if cfg.DemandPaging && !cfg.Ideal {
 		s.faults = ptw.NewFaultUnit(cfg.FaultLatency, cfg.FaultConcurrency)
@@ -345,7 +374,21 @@ func (s *Simulator) build() {
 		space := s.spaces[appIdx]
 		factory := workload.NewStreamFactory(app.Profile, heapBase, cfg.PageSize,
 			cfg.L1Cache.LineSize, appWarps, app.Seed)
+		// Cores whose warps share a group-sync barrier must tick on one shard
+		// (a barrier release in core i wakes warps in core j the same cycle).
+		// A synthetic profile's groups span cores only when WarpsPerGroup does
+		// not divide the per-core warp count; trace streams have no group sync.
+		wpg := 0
+		if app.Trace == nil {
+			wpg = app.Profile.WarpsPerGroup
+		}
 		for local := 0; local < s.coresPerApp[appIdx]; local++ {
+			if local == 0 || wpg <= 1 || (local*cfg.WarpsPerCore)%wpg == 0 {
+				s.coreClusters = append(s.coreClusters, nil)
+			}
+			cl := len(s.coreClusters) - 1
+			s.coreClusters[cl] = append(s.coreClusters[cl], coreID)
+
 			l1d := cache.New(cache.Config{
 				Name:               fmt.Sprintf("L1D.%d", coreID),
 				SizeBytes:          cfg.L1Cache.SizeBytes,
@@ -358,8 +401,15 @@ func (s *Simulator) build() {
 				MSHRs:              cfg.L1Cache.MSHRs,
 				WriteCombineWindow: cfg.L1Cache.WriteCombineWindow,
 				Arena:              arena,
-			}, s.l2c)
-			l1d.SetRequestPool(&s.reqPool)
+			}, func() cache.Backend {
+				// The L1D reaches the shared L2 through its exchange buffer so
+				// a sharded run can defer cross-shard submissions; outside the
+				// parallel phase the outbox is a transparent pass-through.
+				sub := &submitOutbox{real: s.l2c}
+				s.subOut = append(s.subOut, sub)
+				return sub
+			}())
+			l1d.SetRequestPool(&s.reqPools[coreID])
 			s.registerSnapCache(l1d)
 			s.l1ds = append(s.l1ds, l1d)
 
@@ -378,8 +428,10 @@ func (s *Simulator) build() {
 				if s.l2tlb != nil {
 					transBackend = s.l2tlb
 				}
-				l1 := tlb.NewL1(coreID, appIdx, space.ASID(), cfg.L1TLBEntries, transBackend)
-				l1.SetTransPool(&s.transPool)
+				tout := &transOutbox{real: transBackend}
+				s.transOut = append(s.transOut, tout)
+				l1 := tlb.NewL1(coreID, appIdx, space.ASID(), cfg.L1TLBEntries, tout)
+				l1.SetTransPool(&s.transPools[coreID])
 				s.l1tlbs = append(s.l1tlbs, l1)
 				coreL1 = l1
 				app := appIdx
@@ -403,8 +455,8 @@ func (s *Simulator) build() {
 				FrameSize:    pagetable.FrameSize,
 				LineSize:     uint64(cfg.L1Cache.LineSize),
 				RoundRobin:   cfg.RoundRobinSched,
-			}, streams, translate, l1d, &s.idgen)
-			core.SetRequestPool(&s.reqPool)
+			}, streams, translate, l1d, &s.idgens[coreID])
+			core.SetRequestPool(&s.reqPools[coreID])
 			if coreL1 != nil {
 				l1 := coreL1
 				core.SetWaiterAttach(func(vpn uint64, done func(now int64, frame uint64)) {
@@ -419,27 +471,37 @@ func (s *Simulator) build() {
 	}
 
 	// --- tick order --------------------------------------------------------
+	// Registration indices are recorded as the shard plan's phase boundaries:
+	// cores (parallel P1), the translation machinery (serial), L1Ds (parallel
+	// P2), and everything from tailStart on (serial). The sequential engine
+	// ignores them; the sharded engine reproduces exactly this order.
+	reg := func(t engine.Ticker) int {
+		idx := s.eng.Len()
+		s.eng.Register(t)
+		return idx
+	}
 	for _, c := range s.cores {
-		s.eng.Register(c)
+		s.coreTickIdx = append(s.coreTickIdx, reg(c))
 	}
 	for _, t := range s.l1tlbs {
-		s.eng.Register(t)
+		s.midTickIdx = append(s.midTickIdx, reg(t))
 	}
 	if s.l2tlb != nil {
-		s.eng.Register(s.l2tlb)
+		s.midTickIdx = append(s.midTickIdx, reg(s.l2tlb))
 	}
 	if !cfg.Ideal {
-		s.eng.Register(s.walker)
+		s.midTickIdx = append(s.midTickIdx, reg(s.walker))
 	}
 	if s.faults != nil {
-		s.eng.Register(s.faults)
+		s.midTickIdx = append(s.midTickIdx, reg(s.faults))
 	}
 	if s.pwc != nil {
-		s.eng.Register(s.pwc)
+		s.midTickIdx = append(s.midTickIdx, reg(s.pwc))
 	}
 	for _, d := range s.l1ds {
-		s.eng.Register(d)
+		s.l1dTickIdx = append(s.l1dTickIdx, reg(d))
 	}
+	s.tailStart = s.eng.Len()
 	s.eng.Register(s.l2c)
 	s.eng.Register(s.mem)
 	s.eng.Register(scheduledTick{fn: s.epochTick, interval: func() int64 { return s.epoch }})
@@ -461,6 +523,9 @@ func (s *Simulator) build() {
 
 	// --- telemetry ---------------------------------------------------------
 	s.buildTelemetry()
+
+	// --- sharded execution -------------------------------------------------
+	s.installShardPlan()
 }
 
 // watchdog builds the progress watchdog for one run, wiring progress probes
