@@ -54,6 +54,7 @@ import (
 
 	"masksim/internal/experiments"
 	"masksim/internal/maskd"
+	"masksim/internal/streamio"
 )
 
 func main() {
@@ -135,7 +136,7 @@ func main() {
 			fmt.Println(t)
 			if *csvDir != "" {
 				path := filepath.Join(*csvDir, t.ID+".csv")
-				if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
+				if err := writeTableCSV(path, t); err != nil {
 					csvErrs = append(csvErrs, err)
 				}
 			}
@@ -164,4 +165,18 @@ func main() {
 		}
 		os.Exit(1)
 	}
+}
+
+// writeTableCSV streams one result table into path (gzip-compressed for ".gz"
+// names), propagating the first write error.
+func writeTableCSV(path string, t *experiments.Table) error {
+	f, err := streamio.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -7,10 +7,25 @@
 //	masksim -config SharedTLB -apps RED_RAY -cycles 50000 -speedup
 //	masksim -config MASK -apps 3DS,HISTO -cycles 100000 \
 //	        -checkpoint-dir ckpt -checkpoint-every 10000 -restore
+//	masksim -tracefiles mum.trace.gz,gup.mtb -cycles 100000
+//	masksim -config MASK -apps 3DS,HISTO -epoch 1000 \
+//	        -telemetry-csv tel.csv -stream
 //	masksim -list
 //
 // With -speedup, each app is additionally run alone on the same core count
 // to report weighted speedup, IPC throughput, and unfairness.
+//
+// -tracefiles accepts both trace formats described in docs/FORMATS.md — the
+// textual format and the indexed binary .mtb format — transparently
+// gzip-decompressed when compressed, with identical simulation results
+// regardless of encoding.
+//
+// With -stream, telemetry exports are written incrementally as each epoch
+// closes instead of being buffered until the end of the run, holding
+// telemetry memory constant in the run length; the bytes produced are
+// identical to the buffered exports. Combined with -restore, a resumed run
+// truncates each output to the checkpoint's recorded offset and continues
+// it byte-identically.
 //
 // With -checkpoint-dir, the run writes an atomic, checksummed checkpoint of
 // the full simulator state every -checkpoint-every cycles, plus a final one
@@ -35,6 +50,8 @@ import (
 	"syscall"
 
 	"masksim/internal/faultinject"
+	"masksim/internal/streamio"
+	"masksim/internal/telemetry"
 	"masksim/internal/workload"
 	"masksim/sim"
 )
@@ -51,6 +68,8 @@ func main() {
 		epoch      = flag.Int64("epoch", 0, "telemetry sampling epoch in cycles (0 = telemetry off; see docs/OBSERVABILITY.md)")
 		chromeOut  = flag.String("chrome-trace", "", "write a Chrome trace_event JSON (Perfetto-loadable) to this file; implies -epoch 1000 if unset")
 		telCSV     = flag.String("telemetry-csv", "", "write the telemetry epoch time series as CSV to this file; implies -epoch 1000 if unset")
+		telJSONL   = flag.String("telemetry-jsonl", "", "write telemetry samples and events as JSONL to this file; implies -epoch 1000 if unset")
+		stream     = flag.Bool("stream", false, "stream the telemetry exports incrementally as each epoch closes (O(1) memory) instead of buffering the full series; requires at least one telemetry output flag")
 		paging     = flag.Bool("paging", false, "enable the demand-paging extension (paper §5.5)")
 		timeout    = flag.Duration("timeout", 0, "wall-clock budget for the run (0 = none); partial results are printed on expiry")
 		noFF       = flag.Bool("no-fastforward", false, "disable event-horizon fast-forward (tick every cycle); results are bit-identical either way")
@@ -89,7 +108,7 @@ func main() {
 	if *trace != "" {
 		cfg.TraceInterval = *traceEvery
 	}
-	if (*chromeOut != "" || *telCSV != "") && *epoch <= 0 {
+	if (*chromeOut != "" || *telCSV != "" || *telJSONL != "") && *epoch <= 0 {
 		*epoch = 1000
 	}
 	if *epoch > 0 {
@@ -117,6 +136,45 @@ func main() {
 	}
 	if *killAt > 0 {
 		cfg.FaultPlan = &faultinject.Plan{KillAtCycle: *killAt, AllowKill: true}
+	}
+
+	// -stream attaches a streaming sink: each telemetry output receives its
+	// epochs as they close instead of a full-series export after the run, so
+	// telemetry memory stays O(1) in the run length. With -restore the files
+	// are opened without truncation; a restored sink cuts each one back to its
+	// checkpointed offset and continues byte-identically.
+	var sink *telemetry.StreamSink
+	var sinkOuts []io.WriteCloser
+	if *stream {
+		open := streamio.Create
+		if *restore {
+			open = streamio.CreateResumable
+		}
+		sink = telemetry.NewStreamSink()
+		for _, o := range []struct {
+			format telemetry.Format
+			path   string
+		}{
+			{telemetry.FormatCSV, *telCSV},
+			{telemetry.FormatJSONL, *telJSONL},
+			{telemetry.FormatChrome, *chromeOut},
+		} {
+			if o.path == "" {
+				continue
+			}
+			w, err := open(o.path)
+			if err != nil {
+				fatal(err)
+			}
+			sinkOuts = append(sinkOuts, w)
+			if err := sink.Attach(o.format, w); err != nil {
+				fatal(err)
+			}
+		}
+		if len(sinkOuts) == 0 {
+			fatal(fmt.Errorf("-stream requires a telemetry output flag (-chrome-trace, -telemetry-csv, or -telemetry-jsonl)"))
+		}
+		cfg.TelemetrySink = sink
 	}
 	// SIGINT and SIGTERM stop the run gracefully: partial results are printed
 	// and, with -checkpoint-dir, a final checkpoint records the stopping cycle
@@ -154,8 +212,16 @@ func main() {
 	fmt.Print(res)
 	// Telemetry exports are written even for aborted runs: the partial time
 	// series and the watchdog.abort instant event are exactly what one wants
-	// when debugging a wedged run.
-	if res.Telemetry != nil {
+	// when debugging a wedged run. In streaming mode the epochs already went
+	// straight to the files; closing the sink writes the tails and surfaces
+	// any deferred write error.
+	if sink != nil {
+		if err := closeSink(sink, sinkOuts, *restore); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "masksim: telemetry streamed: %d bytes across %d outputs\n",
+			sink.BytesWritten(), len(sinkOuts))
+	} else if res.Telemetry != nil {
 		if *chromeOut != "" {
 			if err := writeTelemetry(*chromeOut, res.Telemetry.WriteChromeTrace); err != nil {
 				fatal(err)
@@ -169,6 +235,13 @@ func main() {
 			}
 			fmt.Printf("telemetry CSV: %d samples x %d columns written to %s\n",
 				len(res.Telemetry.Samples), len(res.Telemetry.Columns), *telCSV)
+		}
+		if *telJSONL != "" {
+			if err := writeTelemetry(*telJSONL, res.Telemetry.WriteJSONL); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("telemetry JSONL: %d samples x %d columns written to %s\n",
+				len(res.Telemetry.Samples), len(res.Telemetry.Columns), *telJSONL)
 		}
 	}
 	if err2 != nil {
@@ -219,9 +292,10 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-// writeTelemetry creates path and streams one telemetry export into it.
+// writeTelemetry creates path (gzip-compressing ".gz" names) and streams one
+// telemetry export into it.
 func writeTelemetry(path string, write func(w io.Writer) error) error {
-	f, err := os.Create(path)
+	f, err := streamio.Create(path)
 	if err != nil {
 		return err
 	}
@@ -232,16 +306,32 @@ func writeTelemetry(path string, write func(w io.Writer) error) error {
 	return f.Close()
 }
 
-// runTraceFiles loads external traces and runs them as the workload.
+// closeSink finishes a streaming telemetry run: the sink writes its trailing
+// epochs and flushes, then each output file is closed. Outputs opened
+// resumably may still hold stale bytes from the interrupted run beyond the
+// resumed stream's end (the restore truncates to the checkpoint offset, not
+// the final length), so those are cut at the current write position.
+func closeSink(sink *telemetry.StreamSink, outs []io.WriteCloser, resumable bool) error {
+	err := sink.Close()
+	for _, w := range outs {
+		if t, ok := w.(streamio.Truncater); ok && resumable && err == nil {
+			if pos, serr := t.Seek(0, io.SeekCurrent); serr == nil {
+				t.Truncate(pos)
+			}
+		}
+		if cerr := w.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// runTraceFiles loads external traces — text or binary .mtb, either gzipped —
+// and runs them as the workload.
 func runTraceFiles(ctx context.Context, cfg sim.Config, paths []string, cycles int64) (*sim.Results, error) {
 	var apps []workload.App
 	for i, path := range paths {
-		f, err := os.Open(strings.TrimSpace(path))
-		if err != nil {
-			return nil, err
-		}
-		ts, err := workload.ParseTrace(strings.TrimSpace(path), f)
-		f.Close()
+		ts, err := workload.LoadTraceFile(strings.TrimSpace(path))
 		if err != nil {
 			return nil, err
 		}
@@ -256,7 +346,7 @@ func runTraceFiles(ctx context.Context, cfg sim.Config, paths []string, cycles i
 
 // writeTraceCSV dumps the sampled time series for plotting.
 func writeTraceCSV(path string, res *sim.Results) error {
-	f, err := os.Create(path)
+	f, err := streamio.Create(path)
 	if err != nil {
 		return err
 	}

@@ -8,10 +8,21 @@
 //	masktrace -config MASK -apps 3DS,CONS -cycles 50000 -out trace.json
 //	masktrace -apps RED_RAY -epoch 500 -out trace.json -csv series.csv
 //	masktrace -apps 3DS,CONS -out trace.json -check
+//	masktrace convert mum.trace mum.mtb
+//	masktrace convert mum.mtb mum.trace.gz
+//	masktrace info mum.mtb
 //
 // With -check the written trace is re-read and validated (monotonic
 // timestamps, required fields); CI uses this as an end-to-end smoke test.
 // See docs/OBSERVABILITY.md for the probe catalogue.
+//
+// The convert subcommand rewrites a memory trace between the two supported
+// encodings (docs/FORMATS.md): the input format is sniffed from its leading
+// bytes (text or binary .mtb, either gzip-compressed), the output format is
+// chosen by extension — ".mtb" writes the indexed binary format, anything
+// else the canonical text format, gzip-compressed when the name ends in
+// ".gz". The info subcommand prints an .mtb file's footer index without
+// decoding the warp sections.
 package main
 
 import (
@@ -23,11 +34,27 @@ import (
 	"os/signal"
 	"strings"
 
+	"masksim/internal/streamio"
 	"masksim/internal/telemetry"
+	"masksim/internal/workload"
 	"masksim/sim"
 )
 
 func main() {
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "convert":
+			if err := convertCmd(os.Args[2:]); err != nil {
+				fatal(err)
+			}
+			return
+		case "info":
+			if err := infoCmd(os.Args[2:]); err != nil {
+				fatal(err)
+			}
+			return
+		}
+	}
 	var (
 		configName = flag.String("config", "MASK", "configuration: "+strings.Join(sim.ConfigNames(), ", "))
 		appsFlag   = flag.String("apps", "3DS,CONS", "comma- or underscore-separated benchmark names")
@@ -87,7 +114,7 @@ func main() {
 	}
 
 	if *check {
-		f, err := os.Open(*out)
+		f, err := streamio.Open(*out)
 		if err != nil {
 			fatal(err)
 		}
@@ -108,7 +135,7 @@ func main() {
 }
 
 func writeTo(path string, write func(w io.Writer) error) error {
-	f, err := os.Create(path)
+	f, err := streamio.Create(path)
 	if err != nil {
 		return err
 	}
@@ -122,4 +149,88 @@ func writeTo(path string, write func(w io.Writer) error) error {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "masktrace:", err)
 	os.Exit(1)
+}
+
+// convertCmd implements "masktrace convert <in> <out>": load a trace in
+// either format (sniffed) and rewrite it in the format the output extension
+// names. Conversion round-trips exactly — text -> .mtb -> text reproduces
+// the canonical rendering of the input.
+func convertCmd(args []string) error {
+	fs := flag.NewFlagSet("masktrace convert", flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: masktrace convert <in[.trace|.mtb][.gz]> <out[.trace|.mtb][.gz]>")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	in, out := fs.Arg(0), fs.Arg(1)
+
+	ts, err := workload.LoadTraceFile(in)
+	if err != nil {
+		return err
+	}
+	f, err := streamio.Create(out)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(strings.TrimSuffix(out, ".gz"), ".mtb") {
+		err = ts.EncodeMTB(f)
+	} else {
+		err = ts.WriteText(f)
+	}
+	if err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	entries := 0
+	for _, w := range ts.Warps {
+		entries += len(w)
+	}
+	st, err := os.Stat(out)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "masktrace: %s: %d warps, %d entries -> %s (%d bytes)\n",
+		in, len(ts.Warps), entries, out, st.Size())
+	return nil
+}
+
+// infoCmd implements "masktrace info <file.mtb>": print the footer index —
+// warp count and per-section byte extents — without decoding any section.
+func infoCmd(args []string) error {
+	fs := flag.NewFlagSet("masktrace info", flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: masktrace info <file.mtb>")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	path := fs.Arg(0)
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	ix, err := workload.ReadMTBIndex(f, st.Size())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d bytes, %d warp sections\n", path, st.Size(), ix.Warps())
+	for i := range ix.Offsets {
+		fmt.Printf("  warp %3d: offset %8d  length %8d\n", i, ix.Offsets[i], ix.Lengths[i])
+	}
+	return nil
 }

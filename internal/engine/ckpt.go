@@ -44,8 +44,16 @@ func (e *Engine) SnapshotStates(ctx any) (map[int]any, error) {
 // RestoreStates applies previously captured states onto the registered
 // tickers, in registration order. Every keyed index must name a
 // snapshot-capable ticker; the tick list must be built identically to the
-// run that captured the states.
+// run that captured the states. A state keyed past the registered tickers is
+// rejected loudly — it means the capturing run registered tickers this
+// simulator did not (e.g. a fault plan), which would otherwise silently
+// shift or drop component states.
 func (e *Engine) RestoreStates(ctx any, states map[int]any) error {
+	for i := range states {
+		if i < 0 || i >= len(e.tickers) {
+			return fmt.Errorf("engine: restore: checkpoint carries state for ticker %d, but only %d tickers are registered (the restoring simulator must register the same tick list as the checkpointing one)", i, len(e.tickers))
+		}
+	}
 	for i := range e.tickers {
 		st, ok := states[i]
 		if !ok {

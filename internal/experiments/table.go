@@ -1,7 +1,9 @@
 package experiments
 
 import (
+	"bufio"
 	"fmt"
+	"io"
 	"strings"
 )
 
@@ -83,19 +85,27 @@ func (t *Table) String() string {
 	return b.String()
 }
 
-// CSV renders the table as RFC-4180-ish CSV (no quoting needed: cells are
-// generated identifiers and numbers). cmd/maskexp's -csv flag writes one
-// file per table for plotting.
+// WriteCSV streams the table as RFC-4180-ish CSV (quoting only cells that
+// need it) row by row: no whole-table string is ever materialized.
+// cmd/maskexp's -csv flag streams one file per table for plotting.
+func (t *Table) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	writeCSVRow(bw, t.Cols)
+	for _, row := range t.Rows {
+		writeCSVRow(bw, row)
+	}
+	return bw.Flush()
+}
+
+// CSV renders the table as a CSV string; a convenience wrapper over WriteCSV
+// for callers that embed the bytes (tests, golden files).
 func (t *Table) CSV() string {
 	var b strings.Builder
-	writeCSVRow(&b, t.Cols)
-	for _, row := range t.Rows {
-		writeCSVRow(&b, row)
-	}
+	t.WriteCSV(&b)
 	return b.String()
 }
 
-func writeCSVRow(b *strings.Builder, cells []string) {
+func writeCSVRow(b *bufio.Writer, cells []string) {
 	for i, c := range cells {
 		if i > 0 {
 			b.WriteByte(',')

@@ -1,0 +1,86 @@
+package maskd
+
+// The live telemetry relay. A streaming sim cell attaches a JSONL StreamSink
+// output to a telemetryFeed: an io.Writer that splits the stream into lines
+// and retains the newest ones in a bounded ring with absolute sequence
+// numbers. The SSE handler drains the ring per subscriber, so any number of
+// subscribers (including late ones, up to the ring's depth) replay the same
+// records without the simulation ever blocking on a slow client.
+
+import "sync"
+
+// feedDepth is the per-cell ring capacity in records. A record is one closed
+// telemetry epoch (or instant event), so the ring holds the trailing few
+// hundred epochs; subscribers further behind see a skip notice, not stale
+// backpressure.
+const feedDepth = 256
+
+type telemetryFeed struct {
+	notify func() // called after a Write completes at least one line; no locks held
+
+	mu      sync.Mutex
+	partial []byte   // bytes of the current unterminated line
+	lines   []string // ring contents; lines[0] carries sequence base
+	base    uint64
+	dropped uint64 // lines pushed out of the ring, for diagnostics
+}
+
+func newTelemetryFeed(notify func()) *telemetryFeed {
+	return &telemetryFeed{notify: notify}
+}
+
+// Write never fails: the feed is an observer, and a full ring drops its
+// oldest record rather than stalling the simulation behind it.
+func (f *telemetryFeed) Write(p []byte) (int, error) {
+	n := len(p)
+	f.mu.Lock()
+	grew := false
+	for len(p) > 0 {
+		i := -1
+		for j, b := range p {
+			if b == '\n' {
+				i = j
+				break
+			}
+		}
+		if i < 0 {
+			f.partial = append(f.partial, p...)
+			break
+		}
+		line := string(append(f.partial, p[:i]...))
+		f.partial = f.partial[:0]
+		p = p[i+1:]
+		if line == "" {
+			continue
+		}
+		f.lines = append(f.lines, line)
+		grew = true
+		if len(f.lines) > feedDepth {
+			over := len(f.lines) - feedDepth
+			f.lines = append(f.lines[:0], f.lines[over:]...)
+			f.base += uint64(over)
+			f.dropped += uint64(over)
+		}
+	}
+	f.mu.Unlock()
+	if grew && f.notify != nil {
+		f.notify()
+	}
+	return n, nil
+}
+
+// drain returns every retained line with sequence >= since, the sequence to
+// pass next time, and how many lines the caller missed because the ring had
+// already evicted them.
+func (f *telemetryFeed) drain(since uint64) (lines []string, next uint64, skipped uint64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if since < f.base {
+		skipped = f.base - since
+		since = f.base
+	}
+	if off := since - f.base; off < uint64(len(f.lines)) {
+		lines = append(lines, f.lines[off:]...)
+	}
+	return lines, f.base + uint64(len(f.lines)), skipped
+}

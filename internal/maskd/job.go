@@ -31,6 +31,12 @@ type SimSpec struct {
 	Alone bool `json:"alone,omitempty"`
 	// Cores is the alone-run core count (Alone only; 0 = all cores).
 	Cores int `json:"cores,omitempty"`
+	// TelemetryEpoch, when positive, streams the cell's telemetry live: the
+	// simulation samples its probes every TelemetryEpoch cycles and each
+	// closing epoch is relayed on the job's SSE feed as an `event: telemetry`
+	// frame. A streaming cell always executes — the shared result cache is
+	// bypassed, since a cache hit would skip the run the stream observes.
+	TelemetryEpoch int64 `json:"telemetryEpoch,omitempty"`
 }
 
 // SubmitRequest is the body of POST /v1/jobs.
@@ -121,6 +127,11 @@ type job struct {
 	waiters []chan struct{}
 	cancel  context.CancelFunc
 	done    chan struct{} // closed when the last cell finished
+
+	// feeds holds one telemetry ring per cell (nil for cells that do not
+	// stream). The slice is built at submit time and never resized, so SSE
+	// handlers read it without the job lock.
+	feeds []*telemetryFeed
 }
 
 // update applies f under the lock, bumps the version and wakes every waiter.
@@ -200,6 +211,9 @@ func (r *SubmitRequest) validate() error {
 		}
 		if spec.Alone && len(spec.Apps) != 1 {
 			return fmt.Errorf("sim %d: alone runs take exactly one app", i)
+		}
+		if spec.TelemetryEpoch < 0 {
+			return fmt.Errorf("sim %d: negative telemetryEpoch %d", i, spec.TelemetryEpoch)
 		}
 	}
 	return nil

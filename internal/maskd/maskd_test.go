@@ -2,7 +2,9 @@ package maskd
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -616,7 +618,102 @@ func TestGCEndpointAndRetention(t *testing.T) {
 	if got.Scanned != 2 || got.Removed != 1 {
 		t.Fatalf("GC result = %+v, want 1 of 2 removed", got)
 	}
-	if _, err := os.Stat(filepath.Join(dir, strings.Repeat("1", 64) + ".json")); err != nil {
+	if _, err := os.Stat(filepath.Join(dir, strings.Repeat("1", 64)+".json")); err != nil {
 		t.Fatalf("newest entry did not survive the squeeze: %v", err)
+	}
+}
+
+// TestStreamingTelemetrySSE covers the live-telemetry path end to end: a sim
+// cell submitted with TelemetryEpoch must execute even when the shared cache
+// already holds the identical simulation (streaming bypasses the cache), and
+// the job's SSE feed must carry one `event: telemetry` frame per telemetry
+// record — the JSONL meta prelude plus each closing epoch's sample.
+func TestStreamingTelemetrySSE(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	c := client(ts, "t")
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	spec := SimSpec{Config: "SharedTLB", Apps: []string{"MM", "RED"}, Cycles: 600}
+	st, err := c.Submit(SubmitRequest{Sims: []SimSpec{spec}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := c.Wait(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.State != JobDone || warm.Cells[0].Executed == 0 {
+		t.Fatalf("cache-warming job = %+v, want an executed done cell", warm)
+	}
+
+	spec.TelemetryEpoch = 100
+	st, err = c.Submit(SubmitRequest{Sims: []SimSpec{spec}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin, err := c.Wait(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.State != JobDone {
+		t.Fatalf("streaming job = %+v, want done", fin)
+	}
+	if cell := fin.Cells[0]; cell.CacheHit || cell.Executed == 0 {
+		t.Fatalf("streaming cell = %+v: served from cache, its feed saw nothing", cell)
+	}
+
+	// A late subscriber replays the retained ring: meta record first, then
+	// one sample per closed epoch, each wrapped in an event: telemetry frame.
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var meta, samples int
+	var lastSeq uint64
+	for _, block := range strings.Split(string(body), "\n\n") {
+		rest, ok := strings.CutPrefix(block, "event: telemetry\ndata: ")
+		if !ok {
+			continue
+		}
+		var frame struct {
+			Cell    int    `json:"cell"`
+			Seq     uint64 `json:"seq"`
+			Skipped uint64 `json:"skipped"`
+			Record  struct {
+				Type  string `json:"type"`
+				Cycle int64  `json:"cycle"`
+			} `json:"record"`
+		}
+		if err := json.Unmarshal([]byte(rest), &frame); err != nil {
+			t.Fatalf("bad telemetry frame %q: %v", rest, err)
+		}
+		if frame.Cell != 0 || frame.Skipped != 0 {
+			t.Fatalf("frame = %+v, want cell 0 with nothing skipped", frame)
+		}
+		if meta+samples > 0 && frame.Seq != lastSeq+1 {
+			t.Fatalf("telemetry seq jumped %d -> %d", lastSeq, frame.Seq)
+		}
+		lastSeq = frame.Seq
+		switch frame.Record.Type {
+		case "meta":
+			meta++
+		case "sample":
+			samples++
+			if frame.Record.Cycle <= 0 || frame.Record.Cycle > 600 {
+				t.Fatalf("sample cycle %d outside the run", frame.Record.Cycle)
+			}
+		}
+	}
+	if meta != 1 || samples < 3 {
+		t.Fatalf("SSE feed carried %d meta and %d sample frames, want 1 meta and >=3 samples", meta, samples)
+	}
+	if !strings.Contains(string(body), `"state":"done"`) {
+		t.Fatal("SSE feed did not end with the terminal status frame")
 	}
 }

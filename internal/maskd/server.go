@@ -20,6 +20,7 @@ import (
 	"masksim/internal/metrics"
 	"masksim/internal/simcache"
 	"masksim/internal/snapshot"
+	"masksim/internal/telemetry"
 	"masksim/sim"
 )
 
@@ -227,6 +228,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	for _, spec := range req.Sims {
 		j.status.Cells = append(j.status.Cells, CellStatus{Name: cellName(spec), Kind: "sim", State: CellQueued})
 	}
+	j.feeds = make([]*telemetryFeed, len(j.status.Cells))
+	for i, spec := range req.Sims {
+		if spec.TelemetryEpoch > 0 {
+			// Each closing epoch bumps the job version (through an otherwise
+			// empty update), so SSE subscribers and long-pollers wake per
+			// epoch, not per cell transition.
+			j.feeds[len(req.Experiments)+i] = newTelemetryFeed(func() { j.update(func(*JobStatus) {}) })
+		}
+	}
 	s.jobs[id] = j
 	s.order = append(s.order, id)
 	s.active++
@@ -281,7 +291,7 @@ func (s *Server) runJob(ctx context.Context, j *job, ten string, req SubmitReque
 		wg.Add(1)
 		go func(i int, spec SimSpec) {
 			runCell(i, func() (CellStatus, metrics.RunStats) {
-				return s.runSimCell(ctx, ten, spec, cycles)
+				return s.runSimCell(ctx, ten, spec, cycles, j.feeds[i])
 			})
 		}(idx, spec)
 		idx++
@@ -350,7 +360,7 @@ func (s *Server) runExperimentCell(ctx context.Context, ten, id string, cycles i
 	return cell, stats
 }
 
-func (s *Server) runSimCell(ctx context.Context, ten string, spec SimSpec, defCycles int64) (CellStatus, metrics.RunStats) {
+func (s *Server) runSimCell(ctx context.Context, ten string, spec SimSpec, defCycles int64, feed *telemetryFeed) (CellStatus, metrics.RunStats) {
 	cycles := spec.Cycles
 	if cycles <= 0 {
 		cycles = defCycles
@@ -358,6 +368,20 @@ func (s *Server) runSimCell(ctx context.Context, ten string, spec SimSpec, defCy
 	cfg, err := sim.ConfigByName(spec.Config)
 	if err != nil {
 		return CellStatus{State: CellFailed, Error: err.Error()}, metrics.RunStats{}
+	}
+	var sink *telemetry.StreamSink
+	if spec.TelemetryEpoch > 0 && feed != nil {
+		// Stream each closing epoch into the job's feed as JSONL. Auto-flush
+		// pushes records out per epoch instead of per 256KB buffer, and the
+		// sink in the config makes the run uncacheable, so the simulation the
+		// subscribers are watching actually executes.
+		cfg.TelemetryEpoch = spec.TelemetryEpoch
+		sink = telemetry.NewStreamSink()
+		sink.SetAutoFlush(true)
+		if err := sink.Attach(telemetry.FormatJSONL, feed); err != nil {
+			return CellStatus{State: CellFailed, Error: err.Error()}, metrics.RunStats{}
+		}
+		cfg.TelemetrySink = sink
 	}
 	h := experiments.NewHarness(cycles)
 	h.Ctx = ctx
@@ -379,6 +403,11 @@ func (s *Server) runSimCell(ctx context.Context, ten string, spec SimSpec, defCy
 		res, info, err = h.RunAloneEx(cfg, spec.Apps[0], cores)
 	} else {
 		res, info, err = h.RunEx(cfg, spec.Apps)
+	}
+	if sink != nil {
+		if cerr := sink.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("telemetry stream: %w", cerr)
+		}
 	}
 	stats := h.Stats()
 	cell := CellStatus{
@@ -427,8 +456,21 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, j.snapshot())
 }
 
+// telemetryFrame is one `event: telemetry` SSE payload: a raw record from a
+// streaming cell's JSONL telemetry feed, tagged with its cell index and feed
+// sequence number. Skipped, when present, counts records the ring evicted
+// before this subscriber drained them (it only retains the newest feedDepth).
+type telemetryFrame struct {
+	Cell    int             `json:"cell"`
+	Seq     uint64          `json:"seq"`
+	Skipped uint64          `json:"skipped,omitempty"`
+	Record  json.RawMessage `json:"record"`
+}
+
 // handleEvents streams job snapshots as server-sent events until the job is
-// terminal or the client goes away.
+// terminal or the client goes away. Streaming cells interleave `event:
+// telemetry` frames: each closing telemetry epoch is relayed as soon as the
+// sink commits it, ahead of the status frame of the same wake.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	j := s.lookup(r.PathValue("id"))
 	if j == nil {
@@ -445,8 +487,27 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 
 	var since uint64
+	pos := make([]uint64, len(j.feeds))
 	for {
 		st := j.await(r.Context(), since, 30*time.Second)
+		for i, f := range j.feeds {
+			if f == nil {
+				continue
+			}
+			lines, next, skipped := f.drain(pos[i])
+			for li, line := range lines {
+				frame := telemetryFrame{Cell: i, Seq: next - uint64(len(lines)-li), Record: json.RawMessage(line)}
+				if li == 0 {
+					frame.Skipped = skipped
+				}
+				data, err := json.Marshal(frame)
+				if err != nil {
+					continue
+				}
+				fmt.Fprintf(w, "event: telemetry\ndata: %s\n\n", data)
+			}
+			pos[i] = next
+		}
 		data, _ := json.Marshal(st)
 		fmt.Fprintf(w, "data: %s\n\n", data)
 		fl.Flush()

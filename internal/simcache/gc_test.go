@@ -118,8 +118,8 @@ func TestGCForeignFilesUntouched(t *testing.T) {
 func TestGCReclaimsStaleTempFiles(t *testing.T) {
 	now := time.Now()
 	dir := t.TempDir()
-	mk(t, dir, "entry.json.tmp123", 10, now, 2*time.Hour)  // abandoned
-	mk(t, dir, "entry.json.tmp456", 10, now, time.Minute)  // in-flight
+	mk(t, dir, "entry.json.tmp123", 10, now, 2*time.Hour) // abandoned
+	mk(t, dir, "entry.json.tmp456", 10, now, time.Minute) // in-flight
 	res := GC([]string{dir}, GCPolicy{}, now)
 	if res.Removed != 1 {
 		t.Fatalf("res = %+v, want exactly the stale temp removed", res)

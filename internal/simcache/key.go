@@ -17,7 +17,11 @@ const keyVersion = "v1"
 // Cacheable reports whether a run under cfg may be memoized. Fault-injected
 // runs are excluded: a Plan carries mutable counters and exists precisely to
 // exercise the supervision path, which serving a cached result would mask.
-func Cacheable(cfg sim.Config) bool { return cfg.FaultPlan == nil }
+// A run with a streaming telemetry sink must actually execute — a cache hit
+// would skip the simulation and starve the stream — and its buffered Results
+// carry no telemetry samples, so a cached copy would shortchange later
+// consumers too.
+func Cacheable(cfg sim.Config) bool { return cfg.FaultPlan == nil && cfg.TelemetrySink == nil }
 
 // configString renders cfg in a canonical, content-only form, delegating the
 // canonicalization to sim.CanonicalConfig (the same normalization checkpoint

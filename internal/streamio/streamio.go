@@ -1,0 +1,156 @@
+// Package streamio is the simulator's streaming I/O layer: buffered readers
+// that transparently decompress gzip input (detected by magic bytes, not file
+// extension), writers that compress ".gz" outputs, and small counting /
+// fail-fast adapters the streaming exporters build on (docs/FORMATS.md).
+//
+// Every file open in the CLIs routes through Open, so any trace or telemetry
+// artifact can be gzip-compressed at rest without the rest of the code
+// knowing.
+package streamio
+
+import (
+	"bufio"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// readerBufSize is the buffer in front of every input stream; large enough
+// that varint-record and token-level parsers almost never hit the underlying
+// reader.
+const readerBufSize = 256 << 10
+
+// gzip streams start with the two-byte magic 0x1f 0x8b (RFC 1952).
+var gzipMagic = [2]byte{0x1f, 0x8b}
+
+// NewReader wraps r in a buffered reader that transparently decompresses
+// gzip streams. Detection sniffs the first two bytes, so a plain-text stream
+// that merely has a ".gz" name (or a gzip stream without one) is handled by
+// content, not label. The returned reader is always buffered.
+func NewReader(r io.Reader) (*bufio.Reader, error) {
+	br := bufio.NewReaderSize(r, readerBufSize)
+	magic, err := br.Peek(2)
+	if err != nil {
+		// Too short to be gzip (including empty input): serve the bytes as-is
+		// and let the caller's parser report the real problem.
+		return br, nil
+	}
+	if magic[0] != gzipMagic[0] || magic[1] != gzipMagic[1] {
+		return br, nil
+	}
+	zr, err := gzip.NewReader(br)
+	if err != nil {
+		return nil, fmt.Errorf("streamio: gzip header: %w", err)
+	}
+	return bufio.NewReaderSize(zr, readerBufSize), nil
+}
+
+// readCloser pairs a sniffed reader with the file it came from.
+type readCloser struct {
+	*bufio.Reader
+	c io.Closer
+}
+
+func (r *readCloser) Close() error { return r.c.Close() }
+
+// Open opens path for reading through NewReader: callers see decompressed
+// bytes whether or not the file is gzip-compressed.
+func Open(path string) (io.ReadCloser, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	br, err := NewReader(f)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &readCloser{Reader: br, c: f}, nil
+}
+
+// gzWriteCloser closes the gzip layer before the file.
+type gzWriteCloser struct {
+	*gzip.Writer
+	f *os.File
+}
+
+func (w *gzWriteCloser) Close() error {
+	zerr := w.Writer.Close()
+	ferr := w.f.Close()
+	if zerr != nil {
+		return zerr
+	}
+	return ferr
+}
+
+// Create creates path for writing, compressing when the name ends in ".gz".
+// The plain-file result is the *os.File itself, so streaming sinks that need
+// byte-exact checkpoint resume can truncate it; gzip outputs cannot be
+// resumed mid-stream (the compressor state is not recoverable), which
+// StreamSink handles by re-emitting its prelude on restore.
+func Create(path string) (io.WriteCloser, error) {
+	return create(path, true)
+}
+
+// CreateResumable opens path for streaming output without discarding existing
+// content, so a checkpoint-restored sink can truncate back to its recorded
+// offset and continue byte-identically. Gzip outputs are always recreated
+// from scratch (see Create).
+func CreateResumable(path string) (io.WriteCloser, error) {
+	return create(path, false)
+}
+
+func create(path string, trunc bool) (io.WriteCloser, error) {
+	if strings.HasSuffix(path, ".gz") {
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, err
+		}
+		return &gzWriteCloser{Writer: gzip.NewWriter(f), f: f}, nil
+	}
+	flags := os.O_RDWR | os.O_CREATE
+	if trunc {
+		flags |= os.O_TRUNC
+	}
+	return os.OpenFile(path, flags, 0o644)
+}
+
+// Truncater is the capability a writer must offer for byte-exact streaming
+// resume: cut back to a recorded offset and continue appending from there.
+// *os.File implements it; pipes, sockets and gzip streams do not, and sinks
+// fall back to a fresh-prelude resume for those.
+type Truncater interface {
+	Truncate(size int64) error
+	io.Seeker
+}
+
+// TruncateTo cuts w back to off when it supports it and reports whether it
+// did.
+func TruncateTo(w io.Writer, off int64) (bool, error) {
+	t, ok := w.(Truncater)
+	if !ok {
+		return false, nil
+	}
+	if err := t.Truncate(off); err != nil {
+		return false, err
+	}
+	if _, err := t.Seek(off, io.SeekStart); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// CountingWriter counts bytes accepted by the underlying writer. Streaming
+// sinks use the count as the resume offset recorded in checkpoints.
+type CountingWriter struct {
+	W io.Writer
+	N int64
+}
+
+func (c *CountingWriter) Write(p []byte) (int, error) {
+	n, err := c.W.Write(p)
+	c.N += int64(n)
+	return n, err
+}

@@ -1,0 +1,127 @@
+package streamio
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestNewReaderPassesPlainBytes(t *testing.T) {
+	for _, in := range []string{"", "x", "hello\nworld\n", "\x1f"} {
+		r, err := NewReader(strings.NewReader(in))
+		if err != nil {
+			t.Fatalf("%q: %v", in, err)
+		}
+		out, err := io.ReadAll(r)
+		if err != nil {
+			t.Fatalf("%q: %v", in, err)
+		}
+		if string(out) != in {
+			t.Fatalf("round trip of %q gave %q", in, out)
+		}
+	}
+}
+
+func TestNewReaderDecompressesGzip(t *testing.T) {
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	zw.Write([]byte("warp 0\nr 0x1000\n"))
+	zw.Close()
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "warp 0\nr 0x1000\n" {
+		t.Fatalf("decompressed to %q", out)
+	}
+}
+
+func TestNewReaderRejectsCorruptGzipHeader(t *testing.T) {
+	// Correct magic, garbage afterwards: detection commits to gzip and the
+	// broken header surfaces as an error rather than silent plain-text reads.
+	if _, err := NewReader(strings.NewReader("\x1f\x8b\xff\xff broken")); err == nil {
+		t.Fatal("corrupt gzip header accepted")
+	}
+}
+
+func TestOpenAndCreateRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	payload := strings.Repeat("the quick brown fox\n", 1000)
+	for _, name := range []string{"plain.txt", "packed.txt.gz"} {
+		path := filepath.Join(dir, name)
+		w, err := Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := io.WriteString(w, payload); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		r, err := Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := io.ReadAll(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Close()
+		if string(out) != payload {
+			t.Fatalf("%s: round trip mismatch (%d bytes, want %d)", name, len(out), len(payload))
+		}
+	}
+	// The .gz file is actually compressed on disk.
+	st, err := os.Stat(filepath.Join(dir, "packed.txt.gz"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() >= int64(len(payload)) {
+		t.Fatalf("gz file is %d bytes, input %d: not compressed", st.Size(), len(payload))
+	}
+}
+
+func TestTruncateTo(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	io.WriteString(f, "prefix|tail that must go")
+	ok, err := TruncateTo(f, int64(len("prefix|")))
+	if err != nil || !ok {
+		t.Fatalf("TruncateTo = %v, %v", ok, err)
+	}
+	io.WriteString(f, "resumed")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "prefix|resumed" {
+		t.Fatalf("file = %q", data)
+	}
+	// A non-truncatable writer reports ok=false, no error.
+	if ok, err := TruncateTo(&bytes.Buffer{}, 0); ok || err != nil {
+		t.Fatalf("buffer TruncateTo = %v, %v", ok, err)
+	}
+}
+
+func TestCountingWriter(t *testing.T) {
+	var buf bytes.Buffer
+	cw := &CountingWriter{W: &buf}
+	io.WriteString(cw, "abc")
+	io.WriteString(cw, "defg")
+	if cw.N != 7 || buf.String() != "abcdefg" {
+		t.Fatalf("N=%d buf=%q", cw.N, buf.String())
+	}
+}

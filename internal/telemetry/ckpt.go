@@ -9,18 +9,29 @@ type ProbeState struct {
 	LastDen float64
 }
 
-// CollectorState is the collector's checkpoint image.
+// CollectorState is the collector's checkpoint image. Sink is set when the
+// run streamed its telemetry: Samples and Events are then empty and Sink
+// carries the stream resume state instead.
 type CollectorState struct {
 	Probes  []ProbeState
 	Samples []Sample
 	Events  []Event
 	Sampled int64
+	Sink    *SinkState
 }
 
 // SnapshotState implements engine.Snapshotter; the collector needs no request
-// registry, so ctx is ignored.
+// registry, so ctx is ignored. In streaming mode the sink is flushed so the
+// recorded output offsets are durable before the checkpoint claims them.
 func (c *Collector) SnapshotState(ctx any) (any, error) {
 	st := CollectorState{Sampled: c.sampled}
+	if c.sink != nil {
+		ss, err := c.sink.mark()
+		if err != nil {
+			return nil, err
+		}
+		st.Sink = ss
+	}
 	st.Probes = make([]ProbeState, len(c.probes))
 	for i, p := range c.probes {
 		st.Probes[i] = ProbeState{Last: p.last, LastDen: p.lastDen}
@@ -52,11 +63,22 @@ func (c *Collector) RestoreState(ctx any, state any) error {
 	if len(st.Probes) != len(c.probes) {
 		return fmt.Errorf("telemetry: checkpoint has %d probes, collector has %d", len(st.Probes), len(c.probes))
 	}
+	if st.Sink != nil && c.sink == nil {
+		return fmt.Errorf("telemetry: checkpoint streamed its telemetry; attach a streaming sink before restoring")
+	}
+	if st.Sink == nil && c.sink != nil {
+		return fmt.Errorf("telemetry: checkpoint buffered its telemetry; restore without a streaming sink")
+	}
 	for i, p := range c.probes {
 		p.last, p.lastDen = st.Probes[i].Last, st.Probes[i].LastDen
 	}
 	c.samples = append(c.samples[:0], st.Samples...)
 	c.events = append(c.events[:0], st.Events...)
 	c.sampled = st.Sampled
+	if st.Sink != nil {
+		if err := c.sink.restore(st.Sink); err != nil {
+			return err
+		}
+	}
 	return nil
 }

@@ -1,34 +1,49 @@
 package telemetry
 
 import (
-	"bufio"
 	"encoding/json"
 	"fmt"
 	"io"
-	"strings"
 )
+
+// The buffered exporters are replays of the collected Data through the same
+// incremental writers StreamSink uses live, so buffered and streaming output
+// are byte-identical by construction and every write error — not just the
+// final flush — propagates to the caller.
+
+// writeVia replays d through a single-output StreamSink. Events are fed in
+// live arrival order: an event at a sample's exact cycle fires during that
+// cycle's tick, after the snapshot was taken during the previous tick.
+func (d *Data) writeVia(format Format, w io.Writer) error {
+	k := NewStreamSink()
+	if err := k.Attach(format, w); err != nil {
+		return err
+	}
+	if err := k.bind(d.Epoch, d.Columns); err != nil {
+		return err
+	}
+	ei := 0
+	for _, s := range d.Samples {
+		for ei < len(d.Events) && d.Events[ei].Cycle < s.Cycle {
+			k.event(d.Events[ei])
+			ei++
+		}
+		k.sample(s)
+		for ei < len(d.Events) && d.Events[ei].Cycle <= s.Cycle {
+			k.event(d.Events[ei])
+			ei++
+		}
+	}
+	for ; ei < len(d.Events); ei++ {
+		k.event(d.Events[ei])
+	}
+	return k.Close()
+}
 
 // WriteCSV writes the time series as CSV: a "cycle" column followed by one
 // column per probe, one row per epoch sample. Instant events are not part of
 // the CSV; use WriteJSONL or WriteChromeTrace for those.
-func (d *Data) WriteCSV(w io.Writer) error {
-	bw := bufio.NewWriter(w)
-	bw.WriteString("cycle")
-	for _, col := range d.Columns {
-		bw.WriteByte(',')
-		bw.WriteString(col.Name)
-	}
-	bw.WriteByte('\n')
-	for _, s := range d.Samples {
-		fmt.Fprintf(bw, "%d", s.Cycle)
-		for _, v := range s.Values {
-			bw.WriteByte(',')
-			bw.WriteString(formatValue(v))
-		}
-		bw.WriteByte('\n')
-	}
-	return bw.Flush()
-}
+func (d *Data) WriteCSV(w io.Writer) error { return d.writeVia(FormatCSV, w) }
 
 // jsonlRecord is one WriteJSONL line.
 type jsonlRecord struct {
@@ -50,47 +65,7 @@ type jsonlColumn struct {
 // WriteJSONL writes one JSON object per line: a leading "meta" record with
 // the column catalogue, then "sample" and "event" records in cycle order.
 // encoding/json sorts map keys, so output is deterministic.
-func (d *Data) WriteJSONL(w io.Writer) error {
-	bw := bufio.NewWriter(w)
-	enc := json.NewEncoder(bw)
-
-	meta := jsonlRecord{Type: "meta", Epoch: d.Epoch}
-	for _, col := range d.Columns {
-		meta.Columns = append(meta.Columns, jsonlColumn{Name: col.Name, Kind: col.Kind.String()})
-	}
-	if err := enc.Encode(meta); err != nil {
-		return err
-	}
-
-	ei := 0
-	emitEventsThrough := func(cycle int64) error {
-		for ei < len(d.Events) && d.Events[ei].Cycle <= cycle {
-			ev := d.Events[ei]
-			rec := jsonlRecord{Type: "event", Cycle: ev.Cycle, Name: ev.Name, Component: ev.Component, Args: ev.Args}
-			if err := enc.Encode(rec); err != nil {
-				return err
-			}
-			ei++
-		}
-		return nil
-	}
-	for _, s := range d.Samples {
-		if err := emitEventsThrough(s.Cycle); err != nil {
-			return err
-		}
-		rec := jsonlRecord{Type: "sample", Cycle: s.Cycle, Values: make(map[string]float64, len(s.Values))}
-		for i, v := range s.Values {
-			rec.Values[d.Columns[i].Name] = v
-		}
-		if err := enc.Encode(rec); err != nil {
-			return err
-		}
-	}
-	if err := emitEventsThrough(1<<63 - 1); err != nil {
-		return err
-	}
-	return bw.Flush()
-}
+func (d *Data) WriteJSONL(w io.Writer) error { return d.writeVia(FormatJSONL, w) }
 
 // ChromeEvent is one entry of a Chrome trace_event JSON file
 // (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU);
@@ -105,85 +80,14 @@ type ChromeEvent struct {
 	Args  map[string]any `json:"args,omitempty"`
 }
 
-// chromeTrace is the top-level trace_event JSON object.
-type chromeTrace struct {
-	TraceEvents     []ChromeEvent     `json:"traceEvents"`
-	DisplayTimeUnit string            `json:"displayTimeUnit"`
-	Metadata        map[string]string `json:"metadata,omitempty"`
-}
-
 // WriteChromeTrace writes the collected telemetry as Chrome trace_event JSON:
 // one process (track group) per component, counter events ("ph":"C") for
 // every probe sample, and instant events ("ph":"i") for watchdog aborts and
 // fault injections. Timestamps are simulation cycles interpreted as
-// microseconds; events are emitted in non-decreasing ts order.
-func (d *Data) WriteChromeTrace(w io.Writer) error {
-	comps := d.Components()
-	pidOf := make(map[string]int, len(comps))
-	events := make([]ChromeEvent, 0, len(comps)+len(d.Samples)*len(d.Columns)+len(d.Events))
-
-	// Metadata: name each component's process so Perfetto shows one labelled
-	// track group per component.
-	for i, comp := range comps {
-		pid := i + 1 // pid 0 renders poorly in some viewers
-		pidOf[comp] = pid
-		events = append(events, ChromeEvent{
-			Name: "process_name", Phase: "M", PID: pid,
-			Args: map[string]any{"name": comp},
-		})
-	}
-
-	// Counter events per sample, merged with instant events in cycle order.
-	ei := 0
-	appendEventsThrough := func(cycle int64) {
-		for ei < len(d.Events) && d.Events[ei].Cycle <= cycle {
-			ev := d.Events[ei]
-			args := make(map[string]any, len(ev.Args))
-			for _, k := range sortedArgKeys(ev.Args) {
-				args[k] = ev.Args[k]
-			}
-			events = append(events, ChromeEvent{
-				Name: ev.Name, Phase: "i", PID: pidOf[ev.Component],
-				TS: float64(ev.Cycle), Scope: "p", Args: args,
-			})
-			ei++
-		}
-	}
-	for _, s := range d.Samples {
-		appendEventsThrough(s.Cycle - 1)
-		for i, v := range s.Values {
-			col := d.Columns[i]
-			name := col.Name
-			if j := strings.IndexByte(name, '/'); j >= 0 {
-				name = name[j+1:]
-			}
-			events = append(events, ChromeEvent{
-				Name: name, Phase: "C", PID: pidOf[col.Component()],
-				TS: float64(s.Cycle), Args: map[string]any{"value": v},
-			})
-		}
-		appendEventsThrough(s.Cycle)
-	}
-	appendEventsThrough(1<<63 - 1)
-
-	bw := bufio.NewWriter(w)
-	out := chromeTrace{
-		TraceEvents:     events,
-		DisplayTimeUnit: "ms",
-		Metadata:        map[string]string{"source": "masksim", "clock": "gpu-core-cycles-as-us"},
-	}
-	raw, err := json.Marshal(out)
-	if err != nil {
-		return err
-	}
-	if _, err := bw.Write(raw); err != nil {
-		return err
-	}
-	if err := bw.WriteByte('\n'); err != nil {
-		return err
-	}
-	return bw.Flush()
-}
+// microseconds; counter and instant events are emitted in non-decreasing ts
+// order, and each component's process_name metadata event precedes its first
+// timestamped event.
+func (d *Data) WriteChromeTrace(w io.Writer) error { return d.writeVia(FormatChrome, w) }
 
 // ValidateChromeTrace parses a trace_event JSON document and checks the
 // invariants masktrace and CI rely on: every event carries a name and a

@@ -145,6 +145,10 @@ type Data struct {
 	Columns []Column
 	Samples []Sample
 	Events  []Event
+	// Streamed marks a run whose samples and events went to a StreamSink as
+	// they were taken; Samples and Events are empty and the exports already
+	// exist wherever the sink's writers pointed.
+	Streamed bool
 }
 
 // Collector owns a Registry and samples it every Epoch cycles. Register it
@@ -157,7 +161,8 @@ type Collector struct {
 	onSample []func(now int64)
 	samples  []Sample
 	events   []Event
-	sampled  int64 // cycle count covered by taken samples
+	sampled  int64       // cycle count covered by taken samples
+	sink     *StreamSink // when set, samples/events stream out instead of accumulating
 }
 
 // NewCollector returns a collector sampling every epoch cycles (epoch >= 1).
@@ -170,6 +175,32 @@ func NewCollector(epoch int64) *Collector {
 
 // Epoch returns the sampling interval in cycles.
 func (c *Collector) Epoch() int64 { return c.epoch }
+
+// SetSink switches the collector to streaming mode: every snapshot and event
+// is handed to the sink as it happens and nothing accumulates in memory, so
+// an arbitrarily long instrumented run holds O(one epoch) telemetry state.
+// Call it after every probe is registered — the sink binds the column
+// catalogue and writes each output's prelude here.
+func (c *Collector) SetSink(k *StreamSink) error {
+	if c.sink != nil {
+		return fmt.Errorf("telemetry: collector already has a sink")
+	}
+	if k == nil {
+		return fmt.Errorf("telemetry: nil sink")
+	}
+	cols := make([]Column, len(c.probes))
+	for i, p := range c.probes {
+		cols[i] = Column{Name: p.name, Kind: p.kind}
+	}
+	if err := k.bind(c.epoch, cols); err != nil {
+		return err
+	}
+	c.sink = k
+	return nil
+}
+
+// Sink returns the attached streaming sink, nil in buffered mode.
+func (c *Collector) Sink() *StreamSink { return c.sink }
 
 // OnSample registers a hook invoked just before each snapshot; components use
 // it to compute shared scratch state once per epoch (e.g. the DRAM queue
@@ -230,7 +261,11 @@ func (c *Collector) snapshot(cycle int64) {
 			p.lastDen = den
 		}
 	}
-	c.samples = append(c.samples, Sample{Cycle: cycle, Values: vals})
+	if c.sink != nil {
+		c.sink.sample(Sample{Cycle: cycle, Values: vals})
+	} else {
+		c.samples = append(c.samples, Sample{Cycle: cycle, Values: vals})
+	}
 	c.sampled = cycle
 }
 
@@ -238,12 +273,18 @@ func (c *Collector) snapshot(cycle int64) {
 // internal/engine (watchdog aborts) and internal/faultinject (injected
 // faults).
 func (c *Collector) Emit(now int64, name, component string, args map[string]string) {
+	if c.sink != nil {
+		c.sink.event(Event{Cycle: now, Name: name, Component: component, Args: args})
+		return
+	}
 	c.events = append(c.events, Event{Cycle: now, Name: name, Component: component, Args: args})
 }
 
-// Data returns the collected time series and events.
+// Data returns the collected time series and events. In streaming mode the
+// series lives in the sink's outputs; Data carries the catalogue only, with
+// Streamed set.
 func (c *Collector) Data() *Data {
-	d := &Data{Epoch: c.epoch, Samples: c.samples, Events: c.events}
+	d := &Data{Epoch: c.epoch, Samples: c.samples, Events: c.events, Streamed: c.sink != nil}
 	d.Columns = make([]Column, len(c.probes))
 	for i, p := range c.probes {
 		d.Columns[i] = Column{Name: p.name, Kind: p.kind}

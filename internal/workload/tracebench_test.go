@@ -1,0 +1,255 @@
+package workload
+
+import (
+	"bufio"
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// benchTrace is the shared corpus: one mid-size trace rendered to every
+// format once. Throughput numbers are normalized to the text representation
+// size, so text/gzip/.mtb MB/s are directly comparable ("logical trace bytes
+// parsed per second").
+type benchCorpus struct {
+	ts      *TraceSet
+	text    []byte
+	textGz  []byte
+	mtb     []byte
+	entries int
+}
+
+var corpus *benchCorpus
+
+func getCorpus(tb testing.TB) *benchCorpus {
+	if corpus != nil {
+		return corpus
+	}
+	ts := genTrace(tb, 100, 500)
+	var text bytes.Buffer
+	if err := ts.WriteText(&text); err != nil {
+		tb.Fatal(err)
+	}
+	var gz bytes.Buffer
+	zw := gzip.NewWriter(&gz)
+	zw.Write(text.Bytes())
+	zw.Close()
+	var mtb bytes.Buffer
+	if err := ts.EncodeMTB(&mtb); err != nil {
+		tb.Fatal(err)
+	}
+	entries := 0
+	for _, w := range ts.Warps {
+		entries += len(w)
+	}
+	corpus = &benchCorpus{ts: ts, text: text.Bytes(), textGz: gz.Bytes(), mtb: mtb.Bytes(), entries: entries}
+	return corpus
+}
+
+func BenchmarkParseTraceText(b *testing.B) {
+	c := getCorpus(b)
+	b.SetBytes(int64(len(c.text)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseTrace("bench", bytes.NewReader(c.text)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseTraceTextLegacy(b *testing.B) {
+	c := getCorpus(b)
+	b.SetBytes(int64(len(c.text)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := parseTraceLegacy("bench", bytes.NewReader(c.text)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseTraceGzip(b *testing.B) {
+	c := getCorpus(b)
+	b.SetBytes(int64(len(c.text))) // logical bytes, see benchCorpus
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseTrace("bench", bytes.NewReader(c.textGz)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeMTB(b *testing.B) {
+	c := getCorpus(b)
+	b.SetBytes(int64(len(c.text))) // logical bytes, see benchCorpus
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeMTB("bench", bytes.NewReader(c.mtb)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodeMTB(b *testing.B) {
+	c := getCorpus(b)
+	b.SetBytes(int64(len(c.text)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := c.ts.EncodeMTB(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestParseStreamAllocBudget is the streaming-parse peak-alloc gate (CI runs
+// it by name): parsing must allocate O(output) — the TraceEntry and address
+// slices the caller keeps — plus a constant, never per-line or per-token
+// scratch. The legacy line parser spent ~9 allocations per entry on line
+// splitting alone; the budget fails if per-token garbage creeps back in.
+func TestParseStreamAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc budget needs steady allocation accounting")
+	}
+	c := getCorpus(t)
+	allocs := testing.AllocsPerRun(5, func() {
+		if _, err := ParseTrace("bench", bytes.NewReader(c.text)); err != nil {
+			t.Fatal(err)
+		}
+	})
+	perEntry := allocs / float64(c.entries)
+	// ~2.5 allocs/entry of pure output (entry-slice growth + one Addrs slice
+	// per entry); 4 leaves headroom without hiding a per-token regression.
+	if perEntry > 4 {
+		t.Fatalf("streaming parse spends %.1f allocs per entry (%.0f total for %d entries), budget 4",
+			perEntry, allocs, c.entries)
+	}
+	t.Logf("streaming parse: %.2f allocs/entry (%.0f total, %d entries)", perEntry, allocs, c.entries)
+
+	// The binary decoder sits under the same budget.
+	allocs = testing.AllocsPerRun(5, func() {
+		if _, err := DecodeMTB("bench", bytes.NewReader(c.mtb)); err != nil {
+			t.Fatal(err)
+		}
+	})
+	perEntry = allocs / float64(c.entries)
+	if perEntry > 4 {
+		t.Fatalf("mtb decode spends %.1f allocs per entry, budget 4", perEntry)
+	}
+	t.Logf("mtb decode: %.2f allocs/entry", perEntry)
+}
+
+// parseTraceLegacy is the pre-streaming line-at-a-time parser (bufio.Scanner
+// + strings.Fields), kept verbatim as the benchmark baseline the streaming
+// parser's speedup is measured against.
+func parseTraceLegacy(name string, r io.Reader) (*TraceSet, error) {
+	const maxTraceLine = 16 << 20
+	ts := &TraceSet{Name: name}
+	var cur []TraceEntry
+	flush := func() {
+		if cur != nil {
+			ts.Warps = append(ts.Warps, cur)
+			cur = nil
+		}
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), maxTraceLine)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "warp":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("trace %s:%d: 'warp' takes exactly one index, got %q", name, lineNo, line)
+			}
+			idx, err := strconv.Atoi(fields[1])
+			if err != nil || idx < 0 {
+				return nil, fmt.Errorf("trace %s:%d: bad warp index %q", name, lineNo, fields[1])
+			}
+			flush()
+			if idx != len(ts.Warps) {
+				return nil, fmt.Errorf("trace %s:%d: warp index %d out of order (expected %d)", name, lineNo, idx, len(ts.Warps))
+			}
+			cur = []TraceEntry{}
+		case "r", "w":
+			if cur == nil {
+				return nil, fmt.Errorf("trace %s:%d: access before any 'warp' header", name, lineNo)
+			}
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("trace %s:%d: access with no address", name, lineNo)
+			}
+			e := TraceEntry{Write: fields[0] == "w"}
+			for _, f := range fields[1:] {
+				addr, err := strconv.ParseUint(strings.TrimPrefix(f, "0x"), 16, 64)
+				if err != nil {
+					return nil, fmt.Errorf("trace %s:%d: bad address %q: %v", name, lineNo, f, err)
+				}
+				e.Addrs = append(e.Addrs, addr)
+			}
+			cur = append(cur, e)
+		case "c":
+			if len(cur) == 0 {
+				return nil, fmt.Errorf("trace %s:%d: compute gap before any access", name, lineNo)
+			}
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("trace %s:%d: malformed compute gap", name, lineNo)
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("trace %s:%d: bad compute gap %q", name, lineNo, fields[1])
+			}
+			cur[len(cur)-1].ComputeGap = n
+		default:
+			return nil, fmt.Errorf("trace %s:%d: unknown directive %q", name, lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace %s:%d: %w", name, lineNo+1, err)
+	}
+	flush()
+	if len(ts.Warps) == 0 {
+		return nil, fmt.Errorf("trace %s: no warps", name)
+	}
+	return ts, nil
+}
+
+// TestLegacyParserAgrees pins the streaming parser to the legacy one on the
+// benchmark corpus: same trace, entry for entry.
+func TestLegacyParserAgrees(t *testing.T) {
+	c := getCorpus(t)
+	legacy, err := parseTraceLegacy("bench", bytes.NewReader(c.text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := ParseTrace("bench", bytes.NewReader(c.text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(legacy.Warps) != len(stream.Warps) {
+		t.Fatalf("warp counts differ: %d vs %d", len(legacy.Warps), len(stream.Warps))
+	}
+	for i := range legacy.Warps {
+		lw, sw := legacy.Warps[i], stream.Warps[i]
+		if len(lw) != len(sw) {
+			t.Fatalf("warp %d entry counts differ: %d vs %d", i, len(lw), len(sw))
+		}
+		for j := range lw {
+			if lw[j].Write != sw[j].Write || lw[j].ComputeGap != sw[j].ComputeGap || len(lw[j].Addrs) != len(sw[j].Addrs) {
+				t.Fatalf("warp %d entry %d differs: %+v vs %+v", i, j, lw[j], sw[j])
+			}
+			for k := range lw[j].Addrs {
+				if lw[j].Addrs[k] != sw[j].Addrs[k] {
+					t.Fatalf("warp %d entry %d addr %d differs", i, j, k)
+				}
+			}
+		}
+	}
+}

@@ -43,22 +43,22 @@ func TestParseTrace(t *testing.T) {
 
 func TestParseTraceErrors(t *testing.T) {
 	cases := []string{
-		"r 0x1000",             // access before warp header
-		"warp 0\nr zz",         // bad address
-		"warp 0\nc 4",          // gap before access
-		"warp 0\nx 1",          // unknown directive
-		"",                     // empty
-		"warp 0",               // warp with no accesses
-		"warp 0\nr",            // access with no address
-		"warp 0\nr 1\nc -2",    // negative gap
-		"warp\nr 1",            // warp with no index
-		"warp 0 extra\nr 1",    // trailing field on warp header
-		"warp zero\nr 1",       // non-numeric warp index
-		"warp -1\nr 1",         // negative warp index
-		"warp 1\nr 1",          // first warp not numbered 0
+		"r 0x1000",                 // access before warp header
+		"warp 0\nr zz",             // bad address
+		"warp 0\nc 4",              // gap before access
+		"warp 0\nx 1",              // unknown directive
+		"",                         // empty
+		"warp 0",                   // warp with no accesses
+		"warp 0\nr",                // access with no address
+		"warp 0\nr 1\nc -2",        // negative gap
+		"warp\nr 1",                // warp with no index
+		"warp 0 extra\nr 1",        // trailing field on warp header
+		"warp zero\nr 1",           // non-numeric warp index
+		"warp -1\nr 1",             // negative warp index
+		"warp 1\nr 1",              // first warp not numbered 0
 		"warp 0\nr 1\nwarp 2\nr 2", // warp index skips ahead
 		"warp 0\nr 1\nwarp 0\nr 2", // warp index repeats
-		"warp 0\nr 1\nc 2 3",   // trailing field on compute gap
+		"warp 0\nr 1\nc 2 3",       // trailing field on compute gap
 	}
 	for i, c := range cases {
 		if _, err := ParseTrace("bad", strings.NewReader(c)); err == nil {

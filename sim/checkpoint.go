@@ -148,13 +148,15 @@ func probeCheckpointDir(dir string) error {
 }
 
 // CanonicalConfig strips the fields that do not affect simulated behavior —
-// the display name, test-only fault injection, the fast-forward and sharding
+// the display name, test-only fault injection, the telemetry output sink
+// (where samples go, not what they contain), the fast-forward and sharding
 // speed knobs (bit-identical by contract), and the checkpoint/resume
 // orchestration itself — so fingerprints and result-cache keys treat
 // behaviorally equal configs as equal.
 func CanonicalConfig(cfg Config) Config {
 	cfg.Name = ""
 	cfg.FaultPlan = nil
+	cfg.TelemetrySink = nil
 	cfg.FastForward = false
 	cfg.Shards = 0
 	cfg.CheckpointEvery = 0

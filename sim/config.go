@@ -20,6 +20,7 @@ import (
 	"masksim/internal/dram"
 	"masksim/internal/faultinject"
 	"masksim/internal/pagetable"
+	"masksim/internal/telemetry"
 )
 
 // Design selects the baseline translation hierarchy of Figure 2.
@@ -150,6 +151,19 @@ type Config struct {
 	// (docs/OBSERVABILITY.md). Zero (the default) builds no collector and
 	// adds no per-event work to the run.
 	TelemetryEpoch int64
+
+	// TelemetrySink, when non-nil (requires TelemetryEpoch > 0), streams
+	// telemetry out as each epoch closes instead of accumulating it in
+	// Results.Telemetry: attach CSV/JSONL/Chrome-trace writers to the sink
+	// before the run, and the collector writes each epoch's rows the moment
+	// the epoch completes, holding O(one epoch) telemetry state regardless of
+	// run length. Output is byte-identical to the buffered exporters, and
+	// checkpoints record the sink's resume offsets so a restored run
+	// continues its output files without duplicate or missing epochs
+	// (docs/FORMATS.md). The caller owns the sink and must Close it after the
+	// run. Like FaultPlan, the pointer is stripped from fingerprints: it does
+	// not affect simulated behavior.
+	TelemetrySink *telemetry.StreamSink
 
 	// WatchdogCheckEvery is the progress-watchdog check interval in cycles.
 	// If no component makes progress for WatchdogStallChecks consecutive
@@ -389,6 +403,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("sim: TraceInterval must be >= 0, got %d", c.TraceInterval)
 	case c.TelemetryEpoch < 0:
 		return fmt.Errorf("sim: TelemetryEpoch must be >= 0, got %d", c.TelemetryEpoch)
+	case c.TelemetrySink != nil && c.TelemetryEpoch <= 0:
+		return fmt.Errorf("sim: TelemetrySink requires TelemetryEpoch > 0")
 	case c.EpochCycles < 0:
 		return fmt.Errorf("sim: EpochCycles must be >= 0, got %d", c.EpochCycles)
 	case c.TimeMuxQuantum < 0:

@@ -512,7 +512,14 @@ func (s *Simulator) build() {
 		s.eng.Register(scheduledTick{fn: s.traceTick, interval: func() int64 { return s.cfg.TraceInterval }})
 	}
 
+	// --- telemetry ---------------------------------------------------------
+	s.buildTelemetry()
+
 	// --- fault injection ---------------------------------------------------
+	// Registered after every snapshot-capable ticker (the collector included):
+	// panicTick carries no checkpoint state, so a run killed by a fault plan
+	// restores onto a plan-free simulator with every state key still aligned —
+	// fingerprints deliberately ignore FaultPlan, and resume drops the flag.
 	if plan := cfg.FaultPlan; plan != nil && plan.Active() {
 		if !cfg.Ideal {
 			s.walker.SetWedgeHook(plan.WedgeWalk)
@@ -520,9 +527,6 @@ func (s *Simulator) build() {
 		s.mem.SetDropHook(plan.DropResponse)
 		s.eng.Register(panicTick{plan: plan})
 	}
-
-	// --- telemetry ---------------------------------------------------------
-	s.buildTelemetry()
 
 	// --- sharded execution -------------------------------------------------
 	s.installShardPlan()

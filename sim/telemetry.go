@@ -159,6 +159,15 @@ func (s *Simulator) buildTelemetry() {
 		}
 	}
 
+	// --- streaming sink ---------------------------------------------------
+	// Bound after every probe is registered: binding fixes the column
+	// catalogue and writes each attached output's prelude.
+	if s.cfg.TelemetrySink != nil {
+		if err := tel.SetSink(s.cfg.TelemetrySink); err != nil {
+			panic(err) // double-bind or no outputs: wiring bug at the call site
+		}
+	}
+
 	// --- event sinks and tick registration --------------------------------
 	if plan := s.cfg.FaultPlan; plan != nil {
 		plan.SetEventSink(tel)
