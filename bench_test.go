@@ -98,10 +98,11 @@ func TestAllocBudget(t *testing.T) {
 }
 
 // TestAllocBudgetSharded re-runs the allocation gate with sharded execution:
-// the phase barrier must be allocation-free per cycle — exchange buffers are
-// reused across cycles ([:0] reset), worker arming travels by value over
-// pre-built channels — so the only sharding overhead against the budget is
-// one-time plan construction and goroutine start-up.
+// the fused barrier must be allocation-free per cycle — exchange buffers are
+// reused across cycles ([:0] reset), barrier rounds are pure atomics with
+// pre-built per-slot wake channels, reduced cycles allocate nothing — so the
+// only sharding overhead against the budget is one-time plan construction
+// and (with more than one CPU) goroutine start-up.
 func TestAllocBudgetSharded(t *testing.T) {
 	if testing.Short() {
 		t.Skip("allocation gate skipped in -short mode")

@@ -50,11 +50,11 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
-	"runtime"
 
 	"masksim/internal/experiments"
 	"masksim/internal/maskd"
 	"masksim/internal/streamio"
+	"masksim/sim"
 )
 
 func main() {
@@ -103,8 +103,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "maskexp: -shards must be >= 0, got %d\n", *shards)
 		os.Exit(2)
 	}
-	if *shards == 0 {
-		*shards = runtime.GOMAXPROCS(0)
+	var shardWarn string
+	*shards, shardWarn = sim.ResolveShards(*shards)
+	if shardWarn != "" {
+		fmt.Fprintln(os.Stderr, "maskexp:", shardWarn)
 	}
 	opt := experiments.Options{
 		Cycles:          *cycles,

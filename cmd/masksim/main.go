@@ -46,6 +46,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"syscall"
 
@@ -74,6 +75,9 @@ func main() {
 		timeout    = flag.Duration("timeout", 0, "wall-clock budget for the run (0 = none); partial results are printed on expiry")
 		noFF       = flag.Bool("no-fastforward", false, "disable event-horizon fast-forward (tick every cycle); results are bit-identical either way")
 		shards     = flag.Int("shards", 1, "worker goroutines ticking the simulation (1 = sequential, 0 = derive from GOMAXPROCS); results are bit-identical at any count")
+		noBatch    = flag.Bool("no-shard-batch", false, "disable quiescent-cycle batching under -shards (wake workers every cycle); results are bit-identical either way")
+		cpuProf    = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProf    = flag.String("memprofile", "", "write a pprof heap profile (taken at exit, after a GC) to this file")
 		traceFiles = flag.String("tracefiles", "", "comma-separated trace files to run instead of -apps (see workload.ParseTrace for the format)")
 		ckptDir    = flag.String("checkpoint-dir", "", "write mid-run checkpoints (and watchdog crash dumps) to this directory")
 		ckptEvery  = flag.Int64("checkpoint-every", 10_000, "cycles between checkpoints (with -checkpoint-dir)")
@@ -123,9 +127,13 @@ func main() {
 	if *shards < 0 {
 		fatal(fmt.Errorf("-shards must be >= 0, got %d", *shards))
 	}
-	cfg.Shards = *shards
-	if *shards == 0 {
-		cfg.Shards = runtime.GOMAXPROCS(0)
+	var shardWarn string
+	cfg.Shards, shardWarn = sim.ResolveShards(*shards)
+	if shardWarn != "" {
+		fmt.Fprintln(os.Stderr, "masksim:", shardWarn)
+	}
+	if *noBatch {
+		cfg.ShardBatch = false
 	}
 	if *ckptDir != "" {
 		cfg.CheckpointDir = *ckptDir
@@ -136,6 +144,14 @@ func main() {
 	}
 	if *killAt > 0 {
 		cfg.FaultPlan = &faultinject.Plan{KillAtCycle: *killAt, AllowKill: true}
+	}
+	// Profiles bracket everything from here on (the run, telemetry export,
+	// -speedup alone-runs). Explicit stop calls rather than a defer: the error
+	// paths leave via os.Exit, which runs no defers.
+	if stop, err := startProfiles(*cpuProf, *memProf); err != nil {
+		fatal(err)
+	} else {
+		stopProfiles = stop
 	}
 
 	// -stream attaches a streaming sink: each telemetry output receives its
@@ -247,6 +263,7 @@ func main() {
 	if err2 != nil {
 		// Aborted run (watchdog, timeout, interrupt): the partial results
 		// above are still useful; report why and exit non-zero.
+		stopProfiles()
 		fmt.Fprintln(os.Stderr, "masksim:", err2)
 		os.Exit(1)
 	}
@@ -279,6 +296,49 @@ func main() {
 		fmt.Printf("weighted speedup = %.3f   IPC throughput = %.3f   unfairness (max slowdown) = %.3f\n",
 			m.WeightedSpeedup, m.IPCThroughput, m.Unfairness)
 	}
+	stopProfiles()
+}
+
+// stopProfiles finishes the -cpuprofile/-memprofile outputs; a no-op until
+// startProfiles installs the real closer. fatal() and the abort path call it
+// so profiles survive error exits.
+var stopProfiles = func() {}
+
+// startProfiles starts a CPU profile and/or arranges a heap profile, returning
+// the function that stops the former and writes the latter.
+func startProfiles(cpu, mem string) (func(), error) {
+	stop := func() {}
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		stop = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+	}
+	if mem != "" {
+		cpuStop := stop
+		stop = func() {
+			cpuStop()
+			f, err := os.Create(mem)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "masksim: memprofile:", err)
+				return
+			}
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "masksim: memprofile:", err)
+			}
+			f.Close()
+		}
+	}
+	return stop, nil
 }
 
 // splitApps accepts both "A,B" and the paper's "A_B" pair syntax.
@@ -288,6 +348,7 @@ func splitApps(s string) []string {
 }
 
 func fatal(err error) {
+	stopProfiles()
 	fmt.Fprintln(os.Stderr, "masksim:", err)
 	os.Exit(1)
 }

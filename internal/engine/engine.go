@@ -66,6 +66,10 @@ type Engine struct {
 
 	fastForward bool
 
+	// shardBatch enables reduced cycles under a shard plan (SetShardBatching):
+	// cycles whose parallel phases are provably quiescent run coordinator-only.
+	shardBatch bool
+
 	// ckptEvery/ckptFn is the periodic checkpoint hook (SetCheckpointHook):
 	// fn runs whenever the clock lands on a multiple of every at a
 	// supervision boundary. Zero/nil when checkpointing is off.
@@ -77,6 +81,7 @@ type Engine struct {
 	// number of cycles simulated.
 	ticked  int64
 	skipped int64
+	reduced int64
 
 	// plan, when non-nil, is the sharded execution plan (SetShardPlan):
 	// Run/RunContext then tick cycles phase by phase with worker goroutines,

@@ -2,7 +2,9 @@ package engine
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // Sharded execution: the engine can split one cycle into an ordered list of
@@ -14,6 +16,32 @@ import (
 // the phase's Drain hook replays in fixed order on the coordinator
 // (docs/MODEL.md §10). Fast-forward, the watchdog, and checkpoints all
 // operate between cycles on the coordinator, so they compose unchanged.
+//
+// The per-cycle synchronization is a fused sense-reversing barrier
+// (shardBarrier): one wakeup drives a worker through all of its parallel
+// phases for the cycle, with every interior phase transition a pair of
+// atomic barrier rounds. Waiters spin briefly and then park on a buffered
+// per-slot channel, so a phase transition costs tens of nanoseconds when the
+// workers are hot and no CPU when they are idle. Channels are only touched
+// to wake a parked worker — never on the spin fast path.
+//
+// Two throughput escapes keep sharding from taxing runs it cannot help:
+//
+//   - Inline mode: when the process has a single CPU (GOMAXPROCS == 1), or
+//     the plan has no parallel phases, Run executes the plan's groups on the
+//     coordinator itself, in group order, with no goroutines at all. By the
+//     shard contract this is bit-identical, and it reduces the coordination
+//     cost to the exchange-buffer arm/drain.
+//
+//   - Reduced cycles (SetShardBatching): on a cycle where every group ticker
+//     reports a quiescence horizon beyond now, the parallel phases are
+//     provably no-ops, so the coordinator runs the cycle alone — Skippers
+//     among the group tickers get SkipTo(now, now+1) for their per-cycle
+//     bookkeeping, serial phases tick normally, and the parallel phases'
+//     Enter/Drain hooks are skipped (their exchange buffers stay empty).
+//     Workers stay parked. This composes with fast-forward: fast-forward
+//     skips spans where the WHOLE system is quiescent, reduced cycles cover
+//     the spans where only the parallel fraction is.
 
 // Phase is one segment of a sharded cycle. A phase ticks either its Groups
 // (concurrently, one group per worker slot, each group's tickers in list
@@ -22,6 +50,11 @@ import (
 // Drain runs on the coordinator after every tick of the phase has completed
 // (i.e. after the barrier, for parallel phases). The simulator uses
 // Enter/Drain to arm and replay the exchange buffers.
+//
+// On a reduced cycle (see SetShardBatching) a parallel phase is skipped
+// wholesale — no Enter, no ticks, no Drain — so the hooks of a parallel
+// phase must be no-ops when none of its group tickers tick; serial phases
+// always run in full.
 type Phase struct {
 	Groups [][]int
 	Serial []int
@@ -29,32 +62,180 @@ type Phase struct {
 	Drain  func(now int64)
 }
 
-// shardStart is the message arming one worker for one phase of one cycle.
-type shardStart struct {
-	phase int
-	now   int64
+type shardWorker struct {
+	// lists[phase] is the flat, ordered ticker list this worker runs in that
+	// phase (empty when the worker has no work there).
+	lists [][]Ticker
 }
 
-type shardWorker struct {
-	start chan shardStart
-	// lists[phase] is the flat, ordered ticker list this worker runs in that
-	// phase (nil when the worker has no work there).
-	lists [][]Ticker
+// Barrier slot states: a waiter publishes slotParked before blocking on its
+// wake channel so releasers know who needs a wakeup.
+const (
+	slotAwake  uint32 = 0
+	slotParked uint32 = 1
+)
+
+// barrierSpin is how many sense polls a waiter performs before parking on
+// its wake channel. Large enough to ride out another worker's tick list and
+// the coordinator's serial segments when everyone is hot; small enough that
+// an oversubscribed or idle run parks quickly instead of burning a CPU.
+const barrierSpin = 1 << 12
+
+const cacheLine = 64
+
+// barrierSlot is one participant's parking spot, padded so the hot status
+// word of adjacent slots never shares a cache line.
+type barrierSlot struct {
+	status atomic.Uint32
+	wake   chan struct{} // buffered(1): wake tokens are lossy-idempotent
+	_      [cacheLine - 12]byte
+}
+
+// shardBarrier is a sense-reversing centralized barrier over parties
+// participants (slot 0 is the coordinator). One round: every participant
+// arrives; the last arrival resets the arrival count, flips the global
+// sense, and wakes every parked waiter. Waiters spin on the sense word and
+// park on their slot channel when the round takes long (a coordinator serial
+// segment, an idle span). arrived and sense live on their own cache lines so
+// arrivals and sense polls do not false-share.
+type shardBarrier struct {
+	arrived atomic.Int32
+	_       [cacheLine - 4]byte
+	sense   atomic.Uint32
+	_       [cacheLine - 4]byte
+	parties int32
+	// spin is the per-round spin budget before parking. Spinning only pays
+	// when the releasing participant can run simultaneously, so when the
+	// process has fewer usable CPUs than barrier parties the budget drops to
+	// near zero and waiters park (and yield the CPU) almost immediately.
+	spin  int
+	slots []barrierSlot
+}
+
+func newShardBarrier(parties int) *shardBarrier {
+	b := &shardBarrier{parties: int32(parties), slots: make([]barrierSlot, parties)}
+	procs := runtime.GOMAXPROCS(0)
+	if n := runtime.NumCPU(); n < procs {
+		procs = n
+	}
+	b.spin = barrierSpin
+	if procs < parties {
+		b.spin = 16
+	}
+	for i := range b.slots {
+		b.slots[i].wake = make(chan struct{}, 1)
+	}
+	return b
+}
+
+// sync is one barrier round for the participant occupying slot. localSense
+// is the participant's round parity, flipped on entry; the call returns once
+// every participant has arrived. stopping, when non-nil, lets a waiter
+// abandon the round during shutdown — sync then returns false and the
+// participant must not touch the barrier again. The atomic arrive/flip pair
+// is also the happens-before edge that publishes the coordinator's writes
+// (exchange-buffer arming, the cycle clock) to workers and vice versa.
+func (b *shardBarrier) sync(slot int, localSense *uint32, stopping *atomic.Bool) bool {
+	want := *localSense ^ 1
+	*localSense = want
+	if b.arrived.Add(1) == b.parties {
+		// Last arrival releases the round. Reset the arrival count before
+		// flipping the sense: no participant can start the next round until
+		// the flip is visible.
+		b.arrived.Store(0)
+		b.sense.Store(want)
+		for i := range b.slots {
+			if i == slot {
+				continue
+			}
+			s := &b.slots[i]
+			if s.status.Load() == slotParked {
+				select {
+				case s.wake <- struct{}{}:
+				default: // a token is already pending; one is enough
+				}
+			}
+		}
+		return true
+	}
+	return b.wait(slot, want, stopping)
+}
+
+// wait blocks slot until the global sense reaches want: spin first, then
+// park. The parked path is Dekker-safe against sync's release scan — the
+// waiter stores slotParked and then re-reads the sense, the releaser stores
+// the sense and then reads the status, and both are sequentially consistent,
+// so at least one side observes the other. Stale wake tokens (the waiter
+// raced past a releaser's send) surface as a spurious wakeup on the next
+// park and are re-checked harmlessly.
+func (b *shardBarrier) wait(slot int, want uint32, stopping *atomic.Bool) bool {
+	for spin := 0; spin < b.spin; spin++ {
+		if b.sense.Load() == want {
+			return true
+		}
+		if stopping != nil && stopping.Load() {
+			return false
+		}
+		if spin&0xff == 0xff {
+			// Be polite when participants outnumber CPUs.
+			runtime.Gosched()
+		}
+	}
+	s := &b.slots[slot]
+	for {
+		s.status.Store(slotParked)
+		if b.sense.Load() == want {
+			s.status.Store(slotAwake)
+			return true
+		}
+		if stopping != nil && stopping.Load() {
+			s.status.Store(slotAwake)
+			return false
+		}
+		<-s.wake
+		s.status.Store(slotAwake)
+		if b.sense.Load() == want {
+			return true
+		}
+		if stopping != nil && stopping.Load() {
+			return false
+		}
+	}
 }
 
 // shardPlan is the validated, precomputed execution plan.
 type shardPlan struct {
 	phases []Phase
-	// workers hold the per-phase ticker lists; populated by SetShardPlan,
-	// goroutines exist only while a Run is in progress.
+	// workers hold the per-phase ticker lists; goroutines exist only while a
+	// Run is in progress.
 	workers []*shardWorker
-	// active[phase] counts the workers with work in that phase (the number of
-	// done signals the barrier waits for).
-	active []int
+	// parallel lists the indices of phases that have Groups, in plan order —
+	// the fused worker loop walks exactly these.
+	parallel []int
+	// flat[phase] is the phase's group tickers in group-major order, for
+	// inline mode.
+	flat [][]Ticker
 
-	done    chan struct{}
-	running bool
-	wg      sync.WaitGroup
+	// Reduced-cycle support: parSrcs holds every group ticker's EventSource
+	// in ascending registration order (batchable reports none were missing),
+	// and phaseSkip[phase] the Skippers among a parallel phase's group
+	// tickers, ascending, for the per-cycle SkipTo replay.
+	parSrcs   []EventSource
+	phaseSkip [][]Skipper
+	batchable bool
+
+	// Run-scoped state. barrier synchronizes coordinator (slot 0) and
+	// workers (slots 1..n); cycleNow carries the cycle clock to workers
+	// (published by the barrier round that releases them); stopping makes
+	// waiters abandon their round at shutdown; inline marks a run executing
+	// its groups on the coordinator without goroutines.
+	barrier    *shardBarrier
+	coordSense uint32
+	cycleNow   int64
+	stopping   atomic.Bool
+	inline     bool
+	running    bool
+	wg         sync.WaitGroup
 }
 
 // SetShardPlan installs a sharded execution plan: phases are executed in
@@ -109,32 +290,57 @@ func (e *Engine) SetShardPlan(workers int, phases []Phase) error {
 	}
 
 	plan := &shardPlan{
-		phases: phases,
-		active: make([]int, len(phases)),
-		done:   make(chan struct{}, workers),
+		phases:    phases,
+		flat:      make([][]Ticker, len(phases)),
+		phaseSkip: make([][]Skipper, len(phases)),
+		batchable: true,
 	}
 	for w := 0; w < workers; w++ {
 		plan.workers = append(plan.workers, &shardWorker{
-			start: make(chan shardStart),
 			lists: make([][]Ticker, len(phases)),
 		})
 	}
-	// Round-robin groups over workers, resolving indices to tickers once.
+	// Round-robin groups over workers, resolving indices to tickers once, and
+	// precompute the reduced-cycle metadata (quiescence probes and per-cycle
+	// Skippers, both in ascending registration order).
 	for pi, ph := range phases {
+		if len(ph.Groups) == 0 {
+			continue
+		}
+		plan.parallel = append(plan.parallel, pi)
+		var idxs []int
 		for gi, g := range ph.Groups {
 			w := plan.workers[gi%workers]
 			for _, idx := range g {
 				w.lists[pi] = append(w.lists[pi], e.tickers[idx])
+				plan.flat[pi] = append(plan.flat[pi], e.tickers[idx])
+				idxs = append(idxs, idx)
 			}
 		}
-		for _, w := range plan.workers {
-			if len(w.lists[pi]) > 0 {
-				plan.active[pi]++
+		sortInts(idxs)
+		for _, idx := range idxs {
+			if src := e.sources[idx]; src != nil {
+				plan.parSrcs = append(plan.parSrcs, src)
+			} else {
+				plan.batchable = false
+			}
+			if skp := e.skippers[idx]; skp != nil {
+				plan.phaseSkip[pi] = append(plan.phaseSkip[pi], skp)
 			}
 		}
 	}
 	e.plan = plan
 	return nil
+}
+
+// sortInts is a small insertion sort: plan construction runs once and the
+// lists are near-sorted already (groups are built in registration order).
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
 }
 
 // Sharded reports whether a shard plan is installed.
@@ -144,62 +350,178 @@ func (e *Engine) Sharded() bool { return e.plan != nil }
 // ticker registration indices).
 func (e *Engine) Len() int { return len(e.tickers) }
 
+// SetShardBatching enables reduced cycles under a shard plan: when every
+// group ticker's NextEvent horizon is beyond the current cycle, the
+// coordinator runs the cycle alone (serial phases tick, parallel Skippers
+// get SkipTo for the single cycle) without waking the workers. Results are
+// bit-identical either way — a group ticker whose horizon is in the future
+// would have ticked as a no-op — so, like fast-forward, this is purely a
+// speed knob. It only takes effect when every group ticker implements
+// EventSource.
+func (e *Engine) SetShardBatching(on bool) { e.shardBatch = on }
+
+// ReducedCycles returns the number of cycles executed coordinator-only under
+// shard batching (a subset of Ticked).
+func (e *Engine) ReducedCycles() int64 { return e.reduced }
+
 // startShardWorkers launches the plan's worker goroutines and returns the
 // function that stops them, or nil when no plan is installed. Run/RunContext
-// bracket the run with it so no goroutines outlive a run.
+// bracket the run with it so no goroutines outlive a run. On a single-CPU
+// process (or a plan with no parallel phases) no goroutines are started at
+// all: the run executes inline on the coordinator, bit-identically, avoiding
+// pure time-shared coordination overhead.
 func (e *Engine) startShardWorkers() func() {
 	p := e.plan
 	if p == nil {
 		return nil
 	}
 	p.running = true
-	for _, w := range p.workers {
-		w := w
-		p.wg.Add(1)
-		go func() {
-			defer p.wg.Done()
-			for st := range w.start {
-				for _, t := range w.lists[st.phase] {
-					t.Tick(st.now)
-				}
-				p.done <- struct{}{}
-			}
-		}()
+	p.inline = len(p.parallel) == 0 || runtime.GOMAXPROCS(0) < 2
+	if p.inline {
+		return func() { p.running = false }
 	}
-	return func() {
-		for _, w := range p.workers {
-			close(w.start)
-		}
-		p.wg.Wait()
-		p.running = false
-		// Fresh channels for the next run (closed ones cannot be reused).
-		for _, w := range p.workers {
-			w.start = make(chan shardStart)
+	p.barrier = newShardBarrier(len(p.workers) + 1)
+	p.coordSense = 0
+	p.stopping.Store(false)
+	for i, w := range p.workers {
+		p.wg.Add(1)
+		go p.runWorker(w, i+1)
+	}
+	return p.stop
+}
+
+// runWorker is the fused worker loop: one barrier release per cycle carries
+// the worker through all of its parallel phases, each bracketed by a
+// release/join round pair shared with the coordinator. The loop exits when a
+// round is abandoned at shutdown.
+func (p *shardPlan) runWorker(w *shardWorker, slot int) {
+	defer p.wg.Done()
+	sense := uint32(0)
+	for {
+		for _, pi := range p.parallel {
+			if !p.barrier.sync(slot, &sense, &p.stopping) {
+				return
+			}
+			now := p.cycleNow
+			for _, t := range w.lists[pi] {
+				t.Tick(now)
+			}
+			if !p.barrier.sync(slot, &sense, &p.stopping) {
+				return
+			}
 		}
 	}
 }
 
-// shardStep advances one cycle under the installed plan. The channel
-// send/receive pairs around each parallel phase establish the
-// happens-before edges that make the coordinator's Enter/Drain writes (the
-// exchange-buffer arming) visible to workers and vice versa.
+// stop shuts the workers down: raise the stop flag, then keep waking parked
+// slots until every worker has observed it and exited. The wake loop also
+// unsticks workers left mid-protocol if the coordinator abandoned a cycle
+// (a panic unwinding through Run's deferred stop).
+func (p *shardPlan) stop() {
+	p.stopping.Store(true)
+	done := make(chan struct{})
+	go func() {
+		p.wg.Wait()
+		close(done)
+	}()
+	for {
+		select {
+		case <-done:
+			p.barrier = nil
+			p.running = false
+			return
+		default:
+		}
+		for i := range p.barrier.slots {
+			s := &p.barrier.slots[i]
+			if s.status.Load() == slotParked {
+				select {
+				case s.wake <- struct{}{}:
+				default:
+				}
+			}
+		}
+		runtime.Gosched()
+	}
+}
+
+// quiescentParallel reports whether every group ticker's horizon is beyond
+// now — the parallel phases of this cycle are provably no-ops. The scan
+// early-exits on the first active component, so on busy cycles it costs one
+// NextEvent call.
+func (p *shardPlan) quiescentParallel(now int64) bool {
+	for _, s := range p.parSrcs {
+		if s.NextEvent(now) <= now {
+			return false
+		}
+	}
+	return true
+}
+
+// shardStep advances one cycle under the installed plan.
 func (e *Engine) shardStep() {
 	p := e.plan
 	now := e.now
+	if e.shardBatch && p.batchable && len(p.parallel) > 0 && p.quiescentParallel(now) {
+		e.reducedStep(p, now)
+		return
+	}
+	if p.inline {
+		for pi := range p.phases {
+			ph := &p.phases[pi]
+			if ph.Enter != nil {
+				ph.Enter(now)
+			}
+			for _, t := range p.flat[pi] {
+				t.Tick(now)
+			}
+			for _, idx := range ph.Serial {
+				e.tickers[idx].Tick(now)
+			}
+			if ph.Drain != nil {
+				ph.Drain(now)
+			}
+		}
+	} else {
+		p.cycleNow = now
+		for pi := range p.phases {
+			ph := &p.phases[pi]
+			if ph.Enter != nil {
+				ph.Enter(now)
+			}
+			if len(ph.Groups) > 0 {
+				p.barrier.sync(0, &p.coordSense, nil) // release workers into the phase
+				p.barrier.sync(0, &p.coordSense, nil) // join: every group tick done
+			}
+			for _, idx := range ph.Serial {
+				e.tickers[idx].Tick(now)
+			}
+			if ph.Drain != nil {
+				ph.Drain(now)
+			}
+		}
+	}
+	e.now++
+	e.ticked++
+}
+
+// reducedStep runs one cycle entirely on the coordinator: every parallel
+// phase is quiescent, so its ticks would be no-ops — Skippers get the
+// single-cycle SkipTo that reproduces their per-cycle bookkeeping (idle
+// attribution, write-combine window parity) and the phase's Enter/Drain are
+// skipped (nothing ticked, so the exchange buffers stay empty). Serial
+// phases run exactly as in a full cycle. Workers stay parked.
+func (e *Engine) reducedStep(p *shardPlan, now int64) {
 	for pi := range p.phases {
 		ph := &p.phases[pi]
+		if len(ph.Groups) > 0 {
+			for _, sk := range p.phaseSkip[pi] {
+				sk.SkipTo(now, now+1)
+			}
+			continue
+		}
 		if ph.Enter != nil {
 			ph.Enter(now)
-		}
-		if n := p.active[pi]; n > 0 {
-			for _, w := range p.workers {
-				if len(w.lists[pi]) > 0 {
-					w.start <- shardStart{phase: pi, now: now}
-				}
-			}
-			for i := 0; i < n; i++ {
-				<-p.done
-			}
 		}
 		for _, idx := range ph.Serial {
 			e.tickers[idx].Tick(now)
@@ -210,9 +532,10 @@ func (e *Engine) shardStep() {
 	}
 	e.now++
 	e.ticked++
+	e.reduced++
 }
 
-// step advances one cycle, sharded when workers are live, sequentially
+// step advances one cycle, sharded when a plan is live, sequentially
 // otherwise. Both paths are bit-identical by the shard contract.
 func (e *Engine) step() {
 	if e.plan != nil && e.plan.running {

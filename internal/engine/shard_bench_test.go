@@ -1,0 +1,106 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// BenchmarkShardBarrier isolates the pure cost of one cycle's worth of
+// coordination — release all workers, join all workers, no actual tick work —
+// for the fused sense-reversing barrier against the channel handshake it
+// replaced (one start-channel send per worker plus one done-channel receive
+// per worker, per phase, as shipped in the first sharded-ticking PR). Run
+// with GOMAXPROCS >= workers+1 for contended-but-parallel numbers; on fewer
+// CPUs both paths measure scheduler time-sharing instead.
+func BenchmarkShardBarrier(b *testing.B) {
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("atomic/workers=%d", workers), func(b *testing.B) {
+			benchAtomicBarrier(b, workers)
+		})
+		b.Run(fmt.Sprintf("channel/workers=%d", workers), func(b *testing.B) {
+			benchChannelBarrier(b, workers)
+		})
+	}
+}
+
+func benchAtomicBarrier(b *testing.B, workers int) {
+	bar := newShardBarrier(workers + 1)
+	var stopping atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			sense := uint32(0)
+			for {
+				if !bar.sync(slot, &sense, &stopping) {
+					return
+				}
+				if !bar.sync(slot, &sense, &stopping) {
+					return
+				}
+			}
+		}(w + 1)
+	}
+	coordSense := uint32(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bar.sync(0, &coordSense, nil) // release
+		bar.sync(0, &coordSense, nil) // join
+	}
+	b.StopTimer()
+	stopping.Store(true)
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for {
+		select {
+		case <-done:
+			return
+		default:
+		}
+		for i := range bar.slots {
+			s := &bar.slots[i]
+			if s.status.Load() == slotParked {
+				select {
+				case s.wake <- struct{}{}:
+				default:
+				}
+			}
+		}
+	}
+}
+
+// benchChannelBarrier reproduces the pre-fusion protocol: a buffered start
+// channel per worker carrying the cycle stamp, one shared buffered done
+// channel, two channel operations per worker on each side of the phase.
+func benchChannelBarrier(b *testing.B, workers int) {
+	starts := make([]chan int64, workers)
+	done := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		starts[w] = make(chan int64, 1)
+		wg.Add(1)
+		go func(start chan int64) {
+			defer wg.Done()
+			for range start {
+				done <- struct{}{}
+			}
+		}(starts[w])
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, s := range starts {
+			s <- int64(i)
+		}
+		for w := 0; w < workers; w++ {
+			<-done
+		}
+	}
+	b.StopTimer()
+	for _, s := range starts {
+		close(s)
+	}
+	wg.Wait()
+}

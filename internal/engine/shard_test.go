@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"fmt"
+	"runtime"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -195,5 +197,160 @@ func TestShardedSetPlanDuringRunRejected(t *testing.T) {
 	}
 	if e.Now() != 3 {
 		t.Fatalf("run did not complete: Now=%d", e.Now())
+	}
+}
+
+// withGOMAXPROCS runs the rest of the test at a forced GOMAXPROCS so both
+// execution modes are exercised regardless of the host: >= 2 forces the
+// barrier/worker path, 1 forces inline mode.
+func withGOMAXPROCS(t *testing.T, n int) {
+	t.Helper()
+	prev := runtime.GOMAXPROCS(n)
+	t.Cleanup(func() { runtime.GOMAXPROCS(prev) })
+}
+
+// TestShardedBarrierPathMatchesSequential forces the worker/barrier path
+// (even on a single-CPU host) and checks bit-identity plus plan reuse across
+// runs — the fused barrier must survive a stop/restart cycle.
+func TestShardedBarrierPathMatchesSequential(t *testing.T) {
+	withGOMAXPROCS(t, 4)
+	seq, shr, seqTicks, shrTicks := shardedPair(t, 9, 3)
+	seq.Run(137)
+	shr.Run(137)
+	if shr.plan.inline {
+		t.Fatal("expected the barrier path at GOMAXPROCS=4, got inline mode")
+	}
+	shr.Step()
+	seq.Step()
+	shr.Run(63)
+	seq.Run(63)
+	if seq.Now() != shr.Now() || seq.Ticked() != shr.Ticked() {
+		t.Fatalf("clock diverged: seq now=%d ticked=%d, sharded now=%d ticked=%d",
+			seq.Now(), seq.Ticked(), shr.Now(), shr.Ticked())
+	}
+	for i := range seqTicks {
+		if *seqTicks[i] != *shrTicks[i] {
+			t.Fatalf("ticker %d ticked %d times sharded, %d sequentially",
+				i, *shrTicks[i], *seqTicks[i])
+		}
+	}
+}
+
+// TestShardedInlineSingleCPU pins the single-CPU escape: at GOMAXPROCS=1 a
+// run under a plan starts no workers at all and executes inline,
+// bit-identically.
+func TestShardedInlineSingleCPU(t *testing.T) {
+	withGOMAXPROCS(t, 1)
+	seq, shr, seqTicks, shrTicks := shardedPair(t, 9, 3)
+	before := runtime.NumGoroutine()
+	seq.Run(137)
+	shr.Run(137)
+	if !shr.plan.inline {
+		t.Fatal("expected inline mode at GOMAXPROCS=1")
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Fatalf("inline run grew goroutine count from %d to %d", before, after)
+	}
+	for i := range seqTicks {
+		if *seqTicks[i] != *shrTicks[i] {
+			t.Fatalf("ticker %d ticked %d times inline-sharded, %d sequentially",
+				i, *shrTicks[i], *seqTicks[i])
+		}
+	}
+}
+
+// pulseTicker fires every period cycles and accounts every cycle either by
+// Tick or by SkipTo — quiescent between pulses, so reduced cycles and
+// fast-forward may both skip it, and any accounting discrepancy is a
+// bit-identity violation.
+type pulseTicker struct {
+	period    int64
+	fires     int64
+	accounted int64
+}
+
+func (p *pulseTicker) Tick(now int64) {
+	p.accounted++
+	if now%p.period == 0 {
+		p.fires++
+	}
+}
+
+func (p *pulseTicker) NextEvent(now int64) int64 {
+	if now%p.period == 0 {
+		return now
+	}
+	return now + (p.period - now%p.period)
+}
+
+func (p *pulseTicker) SkipTo(from, to int64) { p.accounted += to - from }
+
+// TestShardedReducedCycles pins quiescent-span cycle batching: pulse tickers
+// with coprime periods in a parallel phase, a plain (non-EventSource, so
+// fast-forward stays off) counter in a serial phase. Cycles where no pulse
+// fires must run coordinator-only — parallel Enter/Drain skipped, Skippers
+// fed the single-cycle span — with results identical to batching off and to
+// the sequential engine.
+func TestShardedReducedCycles(t *testing.T) {
+	for _, procs := range []int{1, 2} {
+		for _, batch := range []bool{false, true} {
+			t.Run(fmt.Sprintf("procs=%d batch=%v", procs, batch), func(t *testing.T) {
+				withGOMAXPROCS(t, procs)
+				const cycles = 300
+				build := func() (*Engine, []*pulseTicker, *int64) {
+					e := New()
+					pulses := []*pulseTicker{{period: 3}, {period: 5}, {period: 7}}
+					for _, p := range pulses {
+						e.Register(p)
+					}
+					serial := new(int64)
+					e.Register(TickFunc(func(int64) { *serial++ }))
+					return e, pulses, serial
+				}
+				seq, seqPulses, seqSerial := build()
+				seq.Run(cycles)
+
+				shr, shrPulses, shrSerial := build()
+				var enters, drains int64
+				plan := []Phase{
+					{Groups: [][]int{{0}, {1}, {2}},
+						Enter: func(int64) { enters++ },
+						Drain: func(int64) { drains++ }},
+					{Serial: []int{3}},
+				}
+				if err := shr.SetShardPlan(2, plan); err != nil {
+					t.Fatal(err)
+				}
+				shr.SetShardBatching(batch)
+				shr.Run(cycles)
+
+				if *seqSerial != *shrSerial {
+					t.Fatalf("serial ticker: %d sharded, %d sequential", *shrSerial, *seqSerial)
+				}
+				for i := range seqPulses {
+					if seqPulses[i].fires != shrPulses[i].fires ||
+						seqPulses[i].accounted != shrPulses[i].accounted {
+						t.Fatalf("pulse %d: fires=%d accounted=%d sharded, fires=%d accounted=%d sequential",
+							i, shrPulses[i].fires, shrPulses[i].accounted,
+							seqPulses[i].fires, seqPulses[i].accounted)
+					}
+				}
+				reduced := shr.ReducedCycles()
+				if !batch && reduced != 0 {
+					t.Fatalf("batching off but ReducedCycles=%d", reduced)
+				}
+				if batch {
+					// Cycles not divisible by 3, 5 or 7: 300 * (2/3)(4/5)(6/7) noisy
+					// by boundary effects — just require a substantial count.
+					if reduced < 100 {
+						t.Fatalf("batching on but only %d reduced cycles", reduced)
+					}
+					if enters != shr.Ticked()-reduced || drains != enters {
+						t.Fatalf("parallel hooks ran on reduced cycles: enters=%d drains=%d ticked=%d reduced=%d",
+							enters, drains, shr.Ticked(), reduced)
+					}
+				}
+			})
+		}
 	}
 }

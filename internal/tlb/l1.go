@@ -76,6 +76,14 @@ type L1TLB struct {
 	mshrs   map[uint64]*l1miss
 	pending []*memreq.TransReq
 
+	// retryHold, when set and reporting true, makes Tick a no-op. The
+	// simulator's sharded plan ticks L1 TLBs inside the parallel core phase,
+	// where the backend is a deferring exchange buffer; retrying there would
+	// reorder pending submissions around the cycle's fresh lookups, so the
+	// hold keeps retries out of the buffer and the barrier drain replays them
+	// via RetryPending in the sequential engine's order instead.
+	retryHold func() bool
+
 	// entryBuf batch-allocates the TLB's steady-state entry objects: insert
 	// carves new entries out of it until the TLB is full, after which the
 	// eviction path recycles existing objects. One construction allocation
@@ -232,8 +240,22 @@ func (t *L1TLB) PushPending(tr *memreq.TransReq) {
 	t.pending = append(t.pending, tr)
 }
 
-// Tick retries backend submissions that were refused.
+// SetRetryHold installs the predicate that suppresses Tick's retry loop (see
+// the retryHold field). Must be set before simulation starts.
+func (t *L1TLB) SetRetryHold(held func() bool) { t.retryHold = held }
+
+// Tick retries backend submissions that were refused, unless a retry hold is
+// in effect (sharded parallel phase; the drain calls RetryPending instead).
 func (t *L1TLB) Tick(now int64) {
+	if t.retryHold != nil && t.retryHold() {
+		return
+	}
+	t.RetryPending(now)
+}
+
+// RetryPending resubmits the pending list in order, keeping what the backend
+// still refuses.
+func (t *L1TLB) RetryPending(now int64) {
 	if len(t.pending) == 0 {
 		return
 	}

@@ -159,6 +159,7 @@ func CanonicalConfig(cfg Config) Config {
 	cfg.TelemetrySink = nil
 	cfg.FastForward = false
 	cfg.Shards = 0
+	cfg.ShardBatch = false
 	cfg.CheckpointEvery = 0
 	cfg.CheckpointDir = ""
 	cfg.Resume = false

@@ -189,6 +189,17 @@ type Config struct {
 	// "0 = derive from GOMAXPROCS" convention to a concrete count.
 	Shards int
 
+	// ShardBatch enables quiescent-cycle batching under a shard plan: on a
+	// cycle where every parallel-phase component (cores, L1 TLBs, L1Ds)
+	// reports a horizon beyond now, the coordinator runs the cycle alone
+	// without waking shard workers. Bit-identical either way — such a cycle's
+	// parallel ticks are provably no-ops — so, like FastForward (which skips
+	// cycles where the WHOLE system is quiescent), this is purely a speed
+	// knob. No effect when Shards selects the sequential engine. The standard
+	// configurations enable it; masksim's -no-shard-batch turns it off for
+	// A/B verification.
+	ShardBatch bool
+
 	// FastForward enables the engine's next-event fast-forward: spans in
 	// which every component is provably quiescent are jumped over instead of
 	// ticked cycle by cycle. Results are bit-identical either way (see
@@ -264,6 +275,7 @@ func Baseline() Config {
 		WatchdogStallChecks: 4,
 
 		FastForward: true,
+		ShardBatch:  true,
 	}
 }
 

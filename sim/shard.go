@@ -3,10 +3,10 @@ package sim
 // Sharded intra-simulation execution (docs/MODEL.md §10). One simulated
 // cycle is split into four phases over the engine's shard plan:
 //
-//	P1  cores                 — parallel, clustered by core index
-//	S1  L1 TLBs, L2 TLB, walker, fault unit, page walk cache — serial
-//	P2  L1 data caches        — parallel, same clusters
-//	S2  L2, DRAM, scheduled ticks, fault plan, telemetry      — serial
+//	P1  cores + their private L1 TLBs — parallel, clustered by core index
+//	S1  L2 TLB, walker, fault unit, page walk cache          — serial
+//	P2  L1 data caches                — parallel, same clusters
+//	S2  L2, DRAM, scheduled ticks, fault plan, telemetry     — serial
 //
 // During a parallel phase every cross-shard submission — an L1 TLB miss
 // headed for the shared L2 TLB/walker in P1, an L1D fill or forwarded write
@@ -19,15 +19,40 @@ package sim
 // would have used. Everything else a parallel phase touches is owned by its
 // cluster: core/warp state, the core's L1 TLB and L1D, and the per-core
 // request pools and ID generators that exist at every shard count.
+//
+// The L1 TLBs tick inside P1 (they are per-core state the cluster already
+// owns), but their pending-retry loop must observe the shared L2 TLB queue
+// in submission order — so while the outbox defers, Tick is held to a no-op
+// (tlb.SetRetryHold) and the drain replays the cycle's fresh lookups first
+// (core order) and then each TLB's pending retries (TLB order), which is
+// exactly the sequential engine's sequence.
 
 import (
 	"fmt"
+	"runtime"
 
 	"masksim/internal/cache"
 	"masksim/internal/engine"
 	"masksim/internal/memreq"
 	"masksim/internal/tlb"
 )
+
+// ResolveShards resolves a CLI-level -shards value: 0 selects
+// runtime.GOMAXPROCS(0) (never oversubscribed), and an explicit request
+// beyond GOMAXPROCS is honored — results are bit-identical at any count —
+// with a warning that the extra workers only time-share CPUs.
+func ResolveShards(requested int) (count int, warning string) {
+	procs := runtime.GOMAXPROCS(0)
+	if requested == 0 {
+		return procs, ""
+	}
+	if requested > procs {
+		return requested, fmt.Sprintf(
+			"-shards %d exceeds GOMAXPROCS=%d: workers time-share CPUs with no throughput upside (results are bit-identical; -shards 0 auto-sizes)",
+			requested, procs)
+	}
+	return requested, ""
+}
 
 // transOutbox wraps an L1 TLB's translation backend. While deferring (the
 // parallel core phase), SubmitTrans appends to the buffer and reports
@@ -94,11 +119,18 @@ func (s *Simulator) installShardPlan() {
 	groupsCore := make([][]int, 0, len(s.coreClusters))
 	groupsL1D := make([][]int, 0, len(s.coreClusters))
 	for _, cl := range s.coreClusters {
-		gc := make([]int, 0, len(cl))
+		gc := make([]int, 0, 2*len(cl))
 		gd := make([]int, 0, len(cl))
 		for _, c := range cl {
 			gc = append(gc, s.coreTickIdx[c])
 			gd = append(gd, s.l1dTickIdx[c])
+		}
+		// The cluster's L1 TLBs ride in the core phase; their Tick is held
+		// while the outboxes defer, so group-internal order is immaterial.
+		for _, c := range cl {
+			if c < len(s.l1tlbTickIdx) {
+				gc = append(gc, s.l1tlbTickIdx[c])
+			}
 		}
 		groupsCore = append(groupsCore, gc)
 		groupsL1D = append(groupsL1D, gd)
@@ -127,7 +159,11 @@ func (s *Simulator) armTransOutboxes(now int64) {
 }
 
 // drainTransOutboxes replays the deferred L1-miss submissions in core order
-// — exactly the order the sequential engine's core phase produced them.
+// — exactly the order the sequential engine's core phase produced them —
+// then runs each TLB's pending-retry loop (suppressed during the parallel
+// phase by the retry hold) in TLB order, reproducing the sequential
+// sequence: all lookups, then all retries, refusals of the former queued
+// behind the older pending entries before the latter runs.
 func (s *Simulator) drainTransOutboxes(now int64) {
 	for i, o := range s.transOut {
 		o.deferring = false
@@ -138,6 +174,9 @@ func (s *Simulator) drainTransOutboxes(now int64) {
 			o.buf[j] = nil
 		}
 		o.buf = o.buf[:0]
+	}
+	for _, t := range s.l1tlbs {
+		t.RetryPending(now)
 	}
 }
 

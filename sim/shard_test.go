@@ -10,6 +10,7 @@ import (
 	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"masksim/internal/engine"
 	"masksim/internal/faultinject"
@@ -19,7 +20,8 @@ import (
 // for every drift scenario, a run sharded over 2 and 4 workers must be
 // deeply equal to the sequential run — including the fast-forward tick/skip
 // split, since all skip decisions happen on the coordinator between cycles —
-// with fast-forward both on and off.
+// with fast-forward on and off crossed with quiescent-cycle batching on and
+// off.
 func TestShardedEquivalence(t *testing.T) {
 	for _, sc := range driftScenarios {
 		for _, ff := range []bool{true, false} {
@@ -29,23 +31,164 @@ func TestShardedEquivalence(t *testing.T) {
 					t.Fatal(err)
 				}
 				for _, shards := range []int{2, 4} {
-					sh, err := sc.run(func(c *Config) {
-						c.FastForward = ff
-						c.Shards = shards
-					})
-					if err != nil {
-						t.Fatalf("shards=%d: %v", shards, err)
-					}
-					if sf, gf := driftFingerprint(seq), driftFingerprint(sh); sf != gf {
-						t.Errorf("shards=%d: fingerprints diverge:\n%s", shards, diffLines(sf, gf))
-					}
-					if !reflect.DeepEqual(seq, sh) {
-						t.Errorf("shards=%d: Results differ from sequential run:\nseq: %+v\nshr: %+v",
-							shards, seq, sh)
+					for _, batch := range []bool{true, false} {
+						sh, err := sc.run(func(c *Config) {
+							c.FastForward = ff
+							c.Shards = shards
+							c.ShardBatch = batch
+						})
+						if err != nil {
+							t.Fatalf("shards=%d batch=%t: %v", shards, batch, err)
+						}
+						if sf, gf := driftFingerprint(seq), driftFingerprint(sh); sf != gf {
+							t.Errorf("shards=%d batch=%t: fingerprints diverge:\n%s",
+								shards, batch, diffLines(sf, gf))
+						}
+						if !reflect.DeepEqual(seq, sh) {
+							t.Errorf("shards=%d batch=%t: Results differ from sequential run:\nseq: %+v\nshr: %+v",
+								shards, batch, seq, sh)
+						}
 					}
 				}
 			})
 		}
+	}
+}
+
+// TestShardedBarrierFullStack forces the worker/barrier execution mode (a
+// single-CPU host would otherwise run the plan inline) and checks full-stack
+// bit-identity, batching on and off. Under -race this is the data-race proof
+// for the fused barrier carrying real simulator traffic.
+func TestShardedBarrierFullStack(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	scenarios := []struct {
+		name string
+		mod  func(*Config)
+		apps []string
+	}{
+		{"mask", func(c *Config) {}, []string{"3DS", "CONS"}},
+		{"paging", func(c *Config) { c.DemandPaging = true }, []string{"MUM", "GUP"}},
+	}
+	for _, sc := range scenarios {
+		cfg := MASKConfig()
+		sc.mod(&cfg)
+		seq := prepareScenario(t, cfg, sc.apps, 0).mustRun(t, 6000)
+		for _, batch := range []bool{true, false} {
+			c := cfg
+			c.Shards = 4
+			c.ShardBatch = batch
+			s := prepareScenario(t, c, sc.apps, 0)
+			got := s.mustRun(t, 6000)
+			if !s.Engine().Sharded() {
+				t.Fatalf("%s: no shard plan installed", sc.name)
+			}
+			if !reflect.DeepEqual(seq, got) {
+				t.Errorf("%s batch=%t: barrier-mode run diverged:\n%s",
+					sc.name, batch, diffLines(driftFingerprint(seq), driftFingerprint(got)))
+			}
+		}
+	}
+}
+
+// TestShardedReducedCyclesEngaged proves batching actually fires on real
+// workloads: a sharded MASK run must execute a substantial fraction of its
+// ticked cycles coordinator-only (cores and L1Ds quiescent, memory side
+// busy), and turning batching off must drop that to zero without changing
+// results (covered by TestShardedEquivalence).
+func TestShardedReducedCyclesEngaged(t *testing.T) {
+	run := func(batch bool) (*Simulator, int64) {
+		cfg := MASKConfig()
+		cfg.Shards = 2
+		cfg.ShardBatch = batch
+		s := prepareScenario(t, cfg, []string{"3DS", "CONS"}, 0)
+		s.mustRun(t, 8000)
+		return s, s.Engine().ReducedCycles()
+	}
+	if _, reduced := run(false); reduced != 0 {
+		t.Errorf("batching off but ReducedCycles=%d", reduced)
+	}
+	s, reduced := run(true)
+	if reduced == 0 {
+		t.Errorf("batching on but no reduced cycles in %d ticked", s.Engine().Ticked())
+	}
+	t.Logf("reduced %d of %d ticked cycles (%d fast-forwarded)",
+		reduced, s.Engine().Ticked(), s.Engine().Skipped())
+}
+
+// TestShardedBatchCheckpointPortability takes checkpoints from a batching
+// run — boundaries land inside quiescent spans as they please, since reduced
+// cycles keep no cross-cycle state — and restores them with batching off and
+// at different shard counts: ShardBatch is canonicalized out of the
+// fingerprint, so every combination must resume to identical results.
+func TestShardedBatchCheckpointPortability(t *testing.T) {
+	const cycles = 4000
+	names := []string{"3DS", "CONS"}
+	cfg := MASKConfig()
+	ref := prepareScenario(t, cfg, names, 0).mustRun(t, cycles)
+
+	dir := t.TempDir()
+	ckCfg := cfg
+	ckCfg.Shards = 4
+	ckCfg.ShardBatch = true
+	ckCfg.CheckpointEvery = 1700
+	ckCfg.CheckpointDir = dir
+	src := prepareScenario(t, ckCfg, names, 0)
+	src.mustRun(t, cycles)
+	data, err := os.ReadFile(src.checkpointPath(3400))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, shards := range []int{1, 2, 4} {
+		for _, batch := range []bool{true, false} {
+			c := cfg
+			c.Shards = shards
+			c.ShardBatch = batch
+			s := prepareScenario(t, c, names, 0)
+			if err := s.RestoreCheckpoint(bytes.NewReader(data)); err != nil {
+				t.Fatalf("shards=%d batch=%t: restore: %v", shards, batch, err)
+			}
+			if got := s.mustRun(t, cycles); !reflect.DeepEqual(ref, got) {
+				t.Errorf("shards=%d batch=%t: resumed run diverged from reference", shards, batch)
+			}
+		}
+	}
+}
+
+// TestShardOverheadGate is the CI coordination-overhead gate (set
+// MASKSIM_PERF_GATE=1 to enable): at GOMAXPROCS=1 a Shards=2 run executes
+// inline on the coordinator — no worker goroutines, no barrier — so its
+// wall-clock must stay within 1.05× of the sequential engine. Min-of-trials
+// damps scheduler noise.
+func TestShardOverheadGate(t *testing.T) {
+	if os.Getenv("MASKSIM_PERF_GATE") == "" {
+		t.Skip("set MASKSIM_PERF_GATE=1 to run the wall-clock gate")
+	}
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+	const cycles = 20_000
+	const trials = 3
+	measure := func(shards int) time.Duration {
+		best := time.Duration(1<<63 - 1)
+		for i := 0; i < trials; i++ {
+			cfg := MASKConfig()
+			cfg.Shards = shards
+			s := prepareScenario(t, cfg, []string{"3DS", "CONS"}, 0)
+			start := time.Now()
+			s.mustRun(t, cycles)
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	seq := measure(1)
+	shr := measure(2)
+	ratio := float64(shr) / float64(seq)
+	t.Logf("1-CPU wall-clock: shards=1 %v, shards=2 %v, ratio %.3f", seq, shr, ratio)
+	if ratio > 1.05 {
+		t.Errorf("Shards=2 coordination overhead %.3fx at 1 CPU exceeds the 1.05x gate", ratio)
 	}
 }
 

@@ -68,6 +68,7 @@ type Simulator struct {
 	subOut       []*submitOutbox
 	coreClusters [][]int
 	coreTickIdx  []int
+	l1tlbTickIdx []int
 	midTickIdx   []int
 	l1dTickIdx   []int
 	tailStart    int
@@ -207,6 +208,7 @@ func (s *Simulator) build() {
 	cfg := s.cfg
 	numApps := len(s.apps)
 	s.eng.SetFastForward(cfg.FastForward)
+	s.eng.SetShardBatching(cfg.ShardBatch)
 
 	// One shared arena backs every cache's line array (L2, page walk cache,
 	// per-core L1Ds): a single construction-time allocation instead of one
@@ -432,6 +434,7 @@ func (s *Simulator) build() {
 				s.transOut = append(s.transOut, tout)
 				l1 := tlb.NewL1(coreID, appIdx, space.ASID(), cfg.L1TLBEntries, tout)
 				l1.SetTransPool(&s.transPools[coreID])
+				l1.SetRetryHold(func() bool { return tout.deferring })
 				s.l1tlbs = append(s.l1tlbs, l1)
 				coreL1 = l1
 				app := appIdx
@@ -484,7 +487,7 @@ func (s *Simulator) build() {
 		s.coreTickIdx = append(s.coreTickIdx, reg(c))
 	}
 	for _, t := range s.l1tlbs {
-		s.midTickIdx = append(s.midTickIdx, reg(t))
+		s.l1tlbTickIdx = append(s.l1tlbTickIdx, reg(t))
 	}
 	if s.l2tlb != nil {
 		s.midTickIdx = append(s.midTickIdx, reg(s.l2tlb))
